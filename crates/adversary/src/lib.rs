@@ -1,0 +1,39 @@
+//! Locally bounded adversarial fault placement (§II of the paper).
+//!
+//! The adversary may corrupt any set of nodes as long as **no single
+//! neighborhood contains more than `t` faults**, where a neighborhood is
+//! the closed ball of radius `r` around any grid point. This crate
+//! provides:
+//!
+//! * [`local_fault_bound`] — the exact audit: the maximum number of
+//!   faults any neighborhood contains (every placement used in an
+//!   experiment is audited against its announced `t`);
+//! * [`Placement`] — a library of placement strategies: the worst-case
+//!   strip constructions from the impossibility proofs, random
+//!   locally-bounded placement, wavefront-blocking clusters, and
+//!   unconstrained Bernoulli faults for the percolation extension.
+//!
+//! Byzantine *behaviour* (what corrupted nodes send) lives with the
+//! protocol implementations in `rbcast-protocols`; this crate only
+//! decides *where* the faults are.
+//!
+//! # Example
+//!
+//! ```
+//! use rbcast_adversary::{local_fault_bound, Placement};
+//! use rbcast_grid::{Metric, Torus};
+//!
+//! let torus = Torus::for_radius(2);
+//! let faults = Placement::DoubleStrip.place(&torus, 2, Metric::Linf);
+//! // The Theorem 4 construction: exactly r(2r+1) faults per neighborhood.
+//! assert_eq!(local_fault_bound(&torus, 2, Metric::Linf, &faults), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod placement;
+
+pub use audit::{local_fault_bound, respects_bound};
+pub use placement::Placement;

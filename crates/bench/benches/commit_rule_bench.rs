@@ -1,0 +1,59 @@
+//! Criterion bench: the commit-rule ablation (DESIGN.md choice #1) —
+//! two-level (§VI) vs one-level (§VI-B) evaluation cost on identical
+//! synthetic evidence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbcast_grid::{Coord, Metric, Torus};
+use rbcast_protocols::{CommitRule, EvidenceStore};
+
+/// Loads evidence mimicking a frontier node at commit time: `committers`
+/// committers in one neighborhood, each reported over several disjoint
+/// relay chains.
+fn loaded_store(torus: &Torus, rule: CommitRule, t: usize, committers: i64) -> EvidenceStore {
+    let mut ev = EvidenceStore::new(t, rule);
+    for k in 0..committers {
+        let committer = torus.id(Coord::new(10 + (k % 5), 10 + (k / 5)));
+        // a direct observation plus disjoint relayed chains
+        ev.record_direct(committer, true);
+        for relay_row in 0..4i64 {
+            let relay = torus.id(Coord::new(9 - relay_row, 9 + k % 3));
+            ev.record_chain(committer, true, &[relay]);
+        }
+    }
+    ev
+}
+
+fn bench_commit_rules(c: &mut Criterion) {
+    let torus = Torus::new(32, 32);
+    let mut group = c.benchmark_group("commit_rule_evaluate");
+    for &(rule, name) in &[
+        (CommitRule::TwoLevel, "two_level"),
+        (CommitRule::OneLevel, "one_level"),
+    ] {
+        for &committers in &[6i64, 12] {
+            group.bench_with_input(
+                BenchmarkId::new(name, committers),
+                &committers,
+                |b, &committers| {
+                    b.iter_batched(
+                        || loaded_store(&torus, rule, 4, committers),
+                        |mut ev| {
+                            let geo = rbcast_protocols::Geometry {
+                                torus: &torus,
+                                r: 2,
+                                metric: Metric::Linf,
+                                me: Coord::new(8, 8),
+                            };
+                            ev.evaluate(&geo)
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_rules);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: Dinic max-flow and vertex-disjoint path counting on
+//! lattice ball graphs (the Menger verification used by the commit
+//! rules and construction checks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbcast_flow::{vertex_disjoint_count, FlowNetwork};
+use rbcast_grid::{Coord, Metric};
+
+/// Builds the adjacency of the closed L∞ ball of radius `r` around the
+/// origin, under transmission radius `r`.
+fn ball_graph(r: u32) -> (Vec<Vec<usize>>, usize, usize) {
+    let ri = i64::from(r);
+    let mut nodes = Vec::new();
+    for dy in -ri..=ri {
+        for dx in -ri..=ri {
+            nodes.push(Coord::new(dx, dy));
+        }
+    }
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&a| {
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b != a && Metric::Linf.within(a, b, r))
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    // corner to corner
+    let s = 0;
+    let t = nodes.len() - 1;
+    (adj, s, t)
+}
+
+fn bench_vertex_disjoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_disjoint_count");
+    for r in [2u32, 3, 4] {
+        let (adj, s, t) = ball_graph(r);
+        group.bench_with_input(BenchmarkId::new("ball_corner_to_corner", r), &r, |b, _| {
+            b.iter(|| vertex_disjoint_count(std::hint::black_box(&adj), s, t, None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dinic_unit_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic");
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("layered_unit", n), &n, |b, &n| {
+            b.iter(|| {
+                // source -> n middle nodes -> sink, unit capacities
+                let mut net = FlowNetwork::new(n + 2);
+                let (s, t) = (n, n + 1);
+                for i in 0..n {
+                    net.add_edge(s, i, 1);
+                    net.add_edge(i, t, 1);
+                }
+                net.max_flow(s, t)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_disjoint, bench_dinic_unit_grid);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: geometry primitives — neighborhood iteration, fault
+//! placement, local-bound auditing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbcast_adversary::{local_fault_bound, Placement};
+use rbcast_grid::{Coord, Metric, Torus};
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let torus = Torus::new(40, 40);
+    let center = torus.id(Coord::new(20, 20));
+    let mut group = c.benchmark_group("neighborhood_iteration");
+    for r in [1u32, 2, 4] {
+        for metric in [Metric::Linf, Metric::L2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{metric}"), r),
+                &r,
+                |b, &r| {
+                    b.iter(|| torus.neighborhood(center, r, metric).count());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_placement_and_audit(c: &mut Criterion) {
+    let torus = Torus::for_radius(2);
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(20);
+
+    group.bench_function("random_local_t4", |b| {
+        b.iter(|| {
+            Placement::RandomLocal {
+                t: 4,
+                seed: 9,
+                attempts: 60,
+            }
+            .place(&torus, 2, Metric::Linf)
+        });
+    });
+
+    let faults = Placement::DoubleStrip.place(&torus, 2, Metric::Linf);
+    group.bench_function("audit_double_strip", |b| {
+        b.iter(|| local_fault_bound(&torus, 2, Metric::Linf, &faults));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighborhood, bench_placement_and_audit);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: end-to-end broadcast runs — simulator round
+//! throughput for each protocol family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbcast_adversary::Placement;
+use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("flood_r2_fault_free", |b| {
+        b.iter(|| Experiment::new(2, ProtocolKind::Flood).run());
+    });
+
+    group.bench_function("cpa_r2_cluster", |b| {
+        let t = thresholds::cpa_guaranteed_t(2) as usize;
+        b.iter(|| {
+            Experiment::new(2, ProtocolKind::Cpa)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(FaultKind::Silent)
+                .run()
+        });
+    });
+
+    group.bench_function("indirect_simplified_r2_cluster", |b| {
+        let t = thresholds::byzantine_max_t(2) as usize;
+        b.iter(|| {
+            Experiment::new(2, ProtocolKind::IndirectSimplified)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(FaultKind::Silent)
+                .run()
+        });
+    });
+
+    group.bench_function("indirect_full_r1_cluster", |b| {
+        let t = thresholds::byzantine_max_t(1) as usize;
+        b.iter(|| {
+            Experiment::new(1, ProtocolKind::IndirectFull)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(FaultKind::Liar)
+                .run()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

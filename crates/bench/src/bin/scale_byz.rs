@@ -1,0 +1,53 @@
+//! SCALE — how the exact-threshold protocol scales with the radius:
+//! the simplified §VI-B protocol at `t_max = ⌈½·r(2r+1)⌉ − 1` for
+//! growing `r`, with a liar cluster on the wavefront. Reports arena
+//! size, faults tolerated, message volume by kind, rounds, and wall
+//! time.
+
+use rbcast_adversary::Placement;
+use rbcast_bench::{header, rule, Verdicts};
+use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
+use std::time::Instant;
+
+fn main() {
+    header("Scaling the exact threshold (indirect-simplified, liar cluster)");
+    println!(
+        "{:>3} {:>8} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>9}",
+        "r", "nodes", "t_max", "correct", "wrong", "broadcasts", "HEARD", "rounds", "secs"
+    );
+    rule(82);
+
+    let mut v = Verdicts::new();
+    for r in 1..=4u32 {
+        let t = thresholds::byzantine_max_t(r) as usize;
+        let start = Instant::now();
+        let o = Experiment::new(r, ProtocolKind::IndirectSimplified)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t })
+            .with_fault_kind(FaultKind::Liar)
+            .run();
+        let secs = start.elapsed().as_secs_f64();
+        let heard = o
+            .message_kinds
+            .iter()
+            .find(|&&(k, _)| k == "HEARD")
+            .map_or(0, |&(_, n)| n);
+        println!(
+            "{:>3} {:>8} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>9.2}",
+            r,
+            o.honest + o.fault_count,
+            t,
+            o.committed_correct,
+            o.committed_wrong,
+            o.stats.messages_sent,
+            heard,
+            o.stats.rounds,
+            secs
+        );
+        v.check(
+            &format!("r={r}: all honest correct at t_max = {t}"),
+            o.all_honest_correct(),
+        );
+    }
+    v.finish()
+}

@@ -1,0 +1,120 @@
+//! THRESH-CPA — Theorem 6 vs the other bounds: CPA succeeds at
+//! `t = ⌊⅔r²⌋`; an empirical sweep locates CPA's failure frontier under
+//! cluster faults; the bound curves (Theorem 6, Koo's bound, the exact
+//! `½r(2r+1)` threshold of the indirect protocol) are tabulated.
+
+use rbcast_adversary::Placement;
+use rbcast_bench::{header, rule, Verdicts};
+use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
+
+fn main() {
+    header("Bound curves");
+    println!(
+        "{:>4} {:>14} {:>14} {:>16} {:>14}",
+        "r", "⌊⅔r²⌋ (Thm 6)", "Koo CPA bound", "½r(2r+1) exact", "r(2r+1) crash"
+    );
+    rule(68);
+    for r in 1..=12u32 {
+        println!(
+            "{:>4} {:>14} {:>14.2} {:>16.1} {:>14}",
+            r,
+            thresholds::cpa_guaranteed_t(r),
+            thresholds::koo_cpa_bound(r),
+            thresholds::byzantine_max_t(r) as f64 + 0.5,
+            thresholds::crash_impossible_t(r)
+        );
+    }
+
+    let mut v = Verdicts::new();
+
+    // Theorem 6 budget: CPA succeeds.
+    for r in 1..=3u32 {
+        let t = thresholds::cpa_guaranteed_t(r) as usize;
+        let mut ok = true;
+        for kind in [FaultKind::Silent, FaultKind::Liar] {
+            let o = Experiment::new(r, ProtocolKind::Cpa)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(kind)
+                .run();
+            ok &= o.all_honest_correct();
+        }
+        v.check(&format!("CPA succeeds at Theorem 6 budget t = {t} (r={r})"), ok);
+    }
+
+    // Empirical frontier: sweep t upward under the cluster adversary and
+    // find where CPA first fails to complete.
+    header("Empirical CPA failure frontier (frontier-cluster, silent faults)");
+    println!(
+        "{:>4} {:>10} {:>12} {:>14} {:>16}",
+        "r", "⌊⅔r²⌋", "first fail", "exact thresh", "crash thresh"
+    );
+    rule(60);
+    for r in 1..=3u32 {
+        let exact = thresholds::byzantine_max_t(r) as usize;
+        let mut first_fail = None;
+        for t in 0..=(thresholds::crash_impossible_t(r) as usize) {
+            let o = Experiment::new(r, ProtocolKind::Cpa)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(FaultKind::Silent)
+                .run();
+            if !o.all_honest_correct() {
+                first_fail = Some(t);
+                break;
+            }
+        }
+        let ff = first_fail.map_or("none".to_string(), |t| t.to_string());
+        println!(
+            "{:>4} {:>10} {:>12} {:>14} {:>16}",
+            r,
+            thresholds::cpa_guaranteed_t(r),
+            ff,
+            exact,
+            thresholds::crash_impossible_t(r)
+        );
+        if let Some(t) = first_fail {
+            v.check(
+                &format!("CPA's empirical frontier ≥ Theorem 6 guarantee (r={r})"),
+                t > thresholds::cpa_guaranteed_t(r) as usize,
+            );
+        }
+    }
+
+    // Safety within the bound: with at most t liars per neighborhood no
+    // honest node ever accepts the wrong value ("no non-faulty node will
+    // ever accept the wrong value", §III/§IX).
+    for r in 2..=3u32 {
+        let t = thresholds::cpa_guaranteed_t(r) as usize;
+        let o = Experiment::new(r, ProtocolKind::Cpa)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t })
+            .with_fault_kind(FaultKind::Liar)
+            .run();
+        v.check(
+            &format!("CPA is safe with t = {t} liars in one neighborhood (r={r})"),
+            o.safe() && o.audited_bound <= t,
+        );
+    }
+
+    // Necessity of the locally bounded assumption: 2t+2 liars in one
+    // neighborhood exceed the budget and CAN make honest nodes accept
+    // the wrong value (t+1 same-neighborhood liars fabricate a quorum).
+    for r in 1..=2u32 {
+        let t = thresholds::cpa_guaranteed_t(r) as usize;
+        let o = Experiment::new(r, ProtocolKind::Cpa)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t: 2 * t + 2 })
+            .with_fault_kind(FaultKind::Liar)
+            .run();
+        v.check(
+            &format!(
+                "beyond the bound ({} liars vs t = {t}) honest nodes are deceived (r={r})",
+                2 * t + 2
+            ),
+            o.committed_wrong > 0,
+        );
+    }
+
+    v.finish()
+}

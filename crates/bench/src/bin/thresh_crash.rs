@@ -1,0 +1,79 @@
+//! THRESH-CRASH — Theorems 4–5: flooding succeeds at
+//! `t = r(2r+1) − 1` under adversarial placements and fails (partition)
+//! at `t = r(2r+1)` under the strip construction: the exact crash-stop
+//! threshold.
+
+use rbcast_adversary::Placement;
+use rbcast_bench::{header, rule, Verdicts};
+use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
+
+fn main() {
+    header("Crash-stop threshold experiments (Theorems 4-5)");
+    println!(
+        "{:>3} {:>6} {:<18} {:>8} {:>9} {:>10} {:>8}",
+        "r", "t", "placement", "faults", "correct", "undecided", "rounds"
+    );
+    rule(70);
+
+    let mut v = Verdicts::new();
+    for r in 1..=3u32 {
+        let t_max = thresholds::crash_max_t(r) as usize;
+        let t_imp = thresholds::crash_impossible_t(r) as usize;
+
+        // Achievable side: t_max, several adversarial placements.
+        let mut ok = true;
+        for placement in [
+            Placement::FrontierCluster { t: t_max },
+            Placement::RandomLocal {
+                t: t_max,
+                seed: 3,
+                attempts: 80,
+            },
+            Placement::ColumnStrips,
+        ] {
+            let o = Experiment::new(r, ProtocolKind::Flood)
+                .with_t(t_max)
+                .with_placement(placement.clone())
+                .with_fault_kind(FaultKind::CrashStop)
+                .run();
+            println!(
+                "{:>3} {:>6} {:<18} {:>8} {:>9} {:>10} {:>8}",
+                r,
+                t_max,
+                placement.name(),
+                o.fault_count,
+                o.committed_correct,
+                o.undecided,
+                o.stats.rounds
+            );
+            // column strips have a lower local bound; audit anyway
+            ok &= o.all_honest_correct() || o.audited_bound > t_max;
+        }
+        v.check(
+            &format!("flood covers everyone at t = r(2r+1)−1 = {t_max} (r={r})"),
+            ok,
+        );
+
+        // Impossible side: the strip at t = r(2r+1).
+        let o = Experiment::new(r, ProtocolKind::Flood)
+            .with_t(t_imp)
+            .with_placement(Placement::DoubleStrip)
+            .with_fault_kind(FaultKind::CrashStop)
+            .run();
+        println!(
+            "{:>3} {:>6} {:<18} {:>8} {:>9} {:>10} {:>8}",
+            r,
+            t_imp,
+            "double-strip",
+            o.fault_count,
+            o.committed_correct,
+            o.undecided,
+            o.stats.rounds
+        );
+        v.check(
+            &format!("strip at t = r(2r+1) = {t_imp} partitions the network (r={r})"),
+            o.undecided > 0 && o.audited_bound == t_imp,
+        );
+    }
+    v.finish()
+}

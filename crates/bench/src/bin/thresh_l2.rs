@@ -1,0 +1,97 @@
+//! THRESH-L2 — the Euclidean-metric thresholds of §VIII, tested
+//! empirically. The paper argues (informally, for large `r`) that
+//! Byzantine broadcast is achievable for `t < 0.23πr²` and impossible
+//! around `0.3πr²`; crash-stop doubles both. We run the simplified
+//! indirect protocol under the L2 metric at `t = ⌊0.23πr²⌋` against
+//! hostile placements, and flooding at the crash estimates.
+
+use rbcast_adversary::Placement;
+use rbcast_bench::{header, rule, Verdicts};
+use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
+use rbcast_grid::Metric;
+
+fn main() {
+    header("Euclidean-metric thresholds (§VIII), simulated");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>14}",
+        "r", "|nbd|", "0.23πr²", "0.3πr²", "crash 0.46πr²"
+    );
+    rule(54);
+    for r in 2..=4u32 {
+        println!(
+            "{:>3} {:>8} {:>12.1} {:>12.1} {:>14.1}",
+            r,
+            Metric::L2.neighborhood_size(r),
+            thresholds::l2_byzantine_estimate(r),
+            0.3 * std::f64::consts::PI * f64::from(r) * f64::from(r),
+            thresholds::l2_crash_estimate(r)
+        );
+    }
+
+    let mut v = Verdicts::new();
+
+    // Byzantine achievability at t = ⌊0.23πr²⌋ under the L2 metric.
+    for r in 2..=3u32 {
+        let t = thresholds::l2_byzantine_estimate(r).floor() as usize;
+        let mut ok = true;
+        for (placement, kind) in [
+            (Placement::FrontierCluster { t }, FaultKind::Liar),
+            (Placement::FrontierCluster { t }, FaultKind::Forger),
+            (
+                Placement::RandomLocal {
+                    t,
+                    seed: 5,
+                    attempts: 60,
+                },
+                FaultKind::Liar,
+            ),
+        ] {
+            let o = Experiment::new(r, ProtocolKind::IndirectSimplified)
+                .with_metric(Metric::L2)
+                .with_t(t)
+                .with_placement(placement.clone())
+                .with_fault_kind(kind)
+                .run();
+            println!(
+                "r={r} t={t} {}/{kind:?}: {o}",
+                placement.name()
+            );
+            ok &= o.all_honest_correct() && o.audited_bound <= t;
+        }
+        v.check(
+            &format!("L2 Byzantine broadcast achieved at t = ⌊0.23πr²⌋ = {t} (r={r})"),
+            ok,
+        );
+    }
+
+    // Crash-stop achievability at t = ⌊0.46πr²⌋ − small margin, and the
+    // strip partition on the impossibility side.
+    for r in 2..=3u32 {
+        let t = thresholds::l2_crash_estimate(r).floor() as usize;
+        let o = Experiment::new(r, ProtocolKind::Flood)
+            .with_metric(Metric::L2)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t })
+            .with_fault_kind(FaultKind::CrashStop)
+            .run();
+        println!("r={r} crash cluster t={t}: {o}");
+        v.check(
+            &format!("L2 crash-stop flood survives a ⌊0.46πr²⌋ = {t} cluster (r={r})"),
+            o.all_honest_correct(),
+        );
+
+        let strip = Experiment::new(r, ProtocolKind::Flood)
+            .with_metric(Metric::L2)
+            .with_t(t)
+            .with_placement(Placement::DoubleStrip)
+            .with_fault_kind(FaultKind::CrashStop)
+            .run();
+        println!("r={r} crash strip (≈0.6πr² per nbd): {strip}");
+        v.check(
+            &format!("the ≈0.6πr² strip partitions the L2 network (r={r})"),
+            strip.undecided > 0,
+        );
+    }
+
+    v.finish()
+}

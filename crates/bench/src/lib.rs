@@ -1,0 +1,60 @@
+//! Experiment runners regenerating every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` prints one artifact's rows (see DESIGN.md
+//! for the experiment index); the Criterion benches in `benches/` cover
+//! the performance-sensitive machinery. This library holds the shared
+//! report formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Prints a table rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Prints a PASS/FAIL verdict line (also used by EXPERIMENTS.md).
+pub fn verdict(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+}
+
+/// Tracks an overall exit status across verdicts.
+#[derive(Debug, Default)]
+pub struct Verdicts {
+    failures: usize,
+    total: usize,
+}
+
+impl Verdicts {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Verdicts::default()
+    }
+
+    /// Records and prints one verdict.
+    pub fn check(&mut self, label: &str, ok: bool) {
+        verdict(label, ok);
+        self.total += 1;
+        if !ok {
+            self.failures += 1;
+        }
+    }
+
+    /// Prints the summary and exits nonzero on any failure.
+    pub fn finish(self) -> ! {
+        println!();
+        println!(
+            "{}/{} checks passed",
+            self.total - self.failures,
+            self.total
+        );
+        std::process::exit(i32::from(self.failures > 0))
+    }
+}

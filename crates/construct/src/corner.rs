@@ -1,0 +1,183 @@
+//! Regions `M`, `R`, `U`, `S1`, `S2` of Figs. 1–3.
+//!
+//! With the neighborhood center at the origin and the worst-case frontier
+//! node `P = (−r, r+1)`, the completeness proof partitions the region
+//! `M ⊂ nbd(0,0)` of committers whose values `P` can reliably determine:
+//!
+//! * `R` — the `r(r+1)` nodes `P` hears directly (Fig. 2),
+//! * `U` — the upper triangle `{(p, q) | 1 ≤ p < q ≤ r}` (Fig. 3),
+//! * `S1` — the left column `{(−r, −p) | 0 ≤ p ≤ r−1}`,
+//! * `S2` — the lower-left triangle `{(−q, −p) | 0 ≤ p < q ≤ r−1}`,
+//!
+//! with `M = R ∪ U ∪ S1 ∪ S2` a disjoint union of `r(2r+1)` nodes.
+
+use crate::worst_case_p;
+use rbcast_grid::{Coord, Metric};
+
+/// Region `M` (Fig. 1): `{(−r+p, −r+q) | 2r ≥ q > p ≥ 0}` — the strict
+/// upper-left triangle of `nbd(0,0)` above the main diagonal.
+#[must_use]
+pub fn region_m(r: u32) -> Vec<Coord> {
+    let r = i64::from(r);
+    let mut v = Vec::new();
+    for p in 0..=(2 * r) {
+        for q in (p + 1)..=(2 * r) {
+            v.push(Coord::new(-r + p, -r + q));
+        }
+    }
+    v
+}
+
+/// Region `R` (Fig. 2): `{(x, y) | −r ≤ x ≤ 0, 1 ≤ y ≤ r}` — the
+/// `r(r+1)` nodes of `nbd(0,0)` that `P` hears directly.
+#[must_use]
+pub fn region_r(r: u32) -> Vec<Coord> {
+    let r = i64::from(r);
+    let mut v = Vec::new();
+    for y in 1..=r {
+        for x in -r..=0 {
+            v.push(Coord::new(x, y));
+        }
+    }
+    v
+}
+
+/// Region `U` (Fig. 3): `{(p, q) | 1 ≤ p < q ≤ r}` — `½·r(r−1)` nodes.
+#[must_use]
+pub fn region_u(r: u32) -> Vec<Coord> {
+    let r = i64::from(r);
+    let mut v = Vec::new();
+    for p in 1..=r {
+        for q in (p + 1)..=r {
+            v.push(Coord::new(p, q));
+        }
+    }
+    v
+}
+
+/// Region `S1` (Fig. 3): `{(−r, −p) | 0 ≤ p ≤ r−1}` — `r` nodes.
+#[must_use]
+pub fn region_s1(r: u32) -> Vec<Coord> {
+    let r = i64::from(r);
+    (0..r).map(|p| Coord::new(-r, -p)).collect()
+}
+
+/// Region `S2` (Fig. 3): `{(−q, −p) | r−1 ≥ q > p ≥ 0}` — `½·r(r−1)`
+/// nodes.
+#[must_use]
+pub fn region_s2(r: u32) -> Vec<Coord> {
+    let r = i64::from(r);
+    let mut v = Vec::new();
+    for p in 0..r {
+        for q in (p + 1)..r {
+            v.push(Coord::new(-q, -p));
+        }
+    }
+    v
+}
+
+/// Checks the decomposition claim of Figs. 1–3: `M` is the disjoint union
+/// of `R`, `U`, `S1` and `S2`, and `|M| = r(2r+1)`.
+#[must_use]
+pub fn decomposition_holds(r: u32) -> bool {
+    use std::collections::BTreeSet;
+    let m: BTreeSet<Coord> = region_m(r).into_iter().collect();
+    let parts = [region_r(r), region_u(r), region_s1(r), region_s2(r)];
+    let total: usize = parts.iter().map(Vec::len).sum();
+    if total != crate::r_2r_plus_1(r) || m.len() != total {
+        return false;
+    }
+    let mut union = BTreeSet::new();
+    for part in &parts {
+        for &c in part {
+            if !union.insert(c) {
+                return false; // overlap between parts
+            }
+        }
+    }
+    union == m
+}
+
+/// All members of `M` lie in `nbd(0,0)` and all members of `R` are within
+/// direct range of `P` — the premises of Fig. 1 / Fig. 2.
+#[must_use]
+pub fn containment_holds(r: u32) -> bool {
+    let p = worst_case_p(r);
+    region_m(r)
+        .iter()
+        .all(|&c| Metric::Linf.within(Coord::ORIGIN, c, r))
+        && region_r(r).iter().all(|&c| Metric::Linf.within(p, c, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_paper_formulas() {
+        for r in 1..=12u32 {
+            let ru = r as usize;
+            assert_eq!(region_m(r).len(), ru * (2 * ru + 1), "M, r={r}");
+            assert_eq!(region_r(r).len(), ru * (ru + 1), "R, r={r}");
+            assert_eq!(region_u(r).len(), ru * (ru - 1) / 2, "U, r={r}");
+            assert_eq!(region_s1(r).len(), ru, "S1, r={r}");
+            assert_eq!(region_s2(r).len(), ru * (ru - 1) / 2, "S2, r={r}");
+        }
+    }
+
+    #[test]
+    fn m_decomposes_into_r_u_s1_s2() {
+        for r in 1..=10 {
+            assert!(decomposition_holds(r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn m_and_r_containment() {
+        for r in 1..=10 {
+            assert!(containment_holds(r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn r1_degenerate_shapes() {
+        // r = 1: U and S2 are empty, M = R ∪ S1 with 3 nodes.
+        assert!(region_u(1).is_empty());
+        assert!(region_s2(1).is_empty());
+        assert_eq!(region_m(1).len(), 3);
+    }
+
+    #[test]
+    fn m_is_strictly_above_the_diagonal() {
+        for c in region_m(4) {
+            assert!(c.y > c.x, "{c} not above diagonal");
+        }
+    }
+
+    #[test]
+    fn s1_is_the_left_edge_column() {
+        for c in region_s1(5) {
+            assert_eq!(c.x, -5);
+            assert!((-4..=0).contains(&c.y));
+        }
+    }
+
+    #[test]
+    fn direct_range_region_r_is_maximal() {
+        // R is exactly nbd(P) ∩ nbd(0,0) for the worst-case P:
+        // every node of nbd(0,0) within direct range of P is in R.
+        for r in 1..=6u32 {
+            let p = worst_case_p(r);
+            let rset: std::collections::BTreeSet<Coord> =
+                region_r(r).into_iter().collect();
+            let ri = i64::from(r);
+            for x in -ri..=ri {
+                for y in -ri..=ri {
+                    let c = Coord::new(x, y);
+                    let in_range = Metric::Linf.within(p, c, r);
+                    assert_eq!(rset.contains(&c), in_range, "r={r} c={c}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Computational reproductions of the geometric constructions in
+//! Bhandari & Vaidya, *On Reliable Broadcast in a Radio Network*.
+//!
+//! The paper's proofs are constructive lattice geometry: explicit families
+//! of node-disjoint relay paths inside single neighborhoods (Theorems 1,
+//! 3), fault-strip impossibility constructions (Theorems 4, Fig. 13), the
+//! Euclidean-metric approximation (§VIII), and the staged wavefront
+//! analysis of the simple CPA protocol (Theorem 6). Every figure and the
+//! table of the paper corresponds to a module here:
+//!
+//! | Paper artifact | Module |
+//! |----------------|--------|
+//! | Figs. 1–3 (regions `M`, `R`, `U`, `S1`, `S2`) | [`corner`] |
+//! | Table I + Figs. 4–5 (regions `A`..`D3`, paths for region `U`) | [`regions`], [`paths_u`] |
+//! | Fig. 6 (regions `J`, `K1`, `K2`, paths for region `S1`) | [`paths_s1`] |
+//! | axial symmetry for region `S2` | [`symmetry`] |
+//! | Fig. 7 (arbitrary position of `P`, §VI-A) | [`arbitrary_p`] |
+//! | §VI-B simplified-protocol connectivity witness | [`simplified`] |
+//! | Fig. 8 (crash-stop impossibility strip) | [`impossibility`] |
+//! | Figs. 11–13 (Euclidean metric, §VIII) | [`l2`] |
+//! | Figs. 14–19 (CPA stage geometry, Theorem 6) | [`cpa_stages`] |
+//!
+//! Throughout, the neighborhood center is normalised to the origin
+//! (`(a, b) = (0, 0)`) and the paper's worst-case frontier node is
+//! `P = (−r, r+1)`. A *neighborhood*, as a set, is the closed L∞ ball of
+//! radius `r` (the `(2r+1)²` lattice points within distance `r` of the
+//! center, center included) — the convention under which the paper's
+//! fault-budget statements ("a faulty node may have up to `t−1` faulty
+//! neighbors") are consistent.
+//!
+//! # Example
+//!
+//! ```
+//! use rbcast_construct::paths_u;
+//!
+//! // For every committer in region U the construction yields exactly
+//! // r(2r+1) node-disjoint paths to P, all inside one neighborhood.
+//! let r = 3;
+//! let paths = paths_u::build(r, 1, 2);
+//! assert_eq!(paths.len(), (r * (2 * r + 1)) as usize);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary_p;
+pub mod corner;
+pub mod cpa_stages;
+pub mod impossibility;
+pub mod l2;
+pub mod paths_s1;
+pub mod paths_u;
+pub mod regions;
+pub mod simplified;
+pub mod symmetry;
+pub mod verify;
+
+use rbcast_grid::Coord;
+
+/// The paper's worst-case frontier node `P = (a−r, b+r+1)`, with the
+/// neighborhood center normalised to the origin.
+#[must_use]
+pub fn worst_case_p(r: u32) -> Coord {
+    Coord::new(-i64::from(r), i64::from(r) + 1)
+}
+
+/// `r(2r+1)` — the number of node-disjoint paths each construction
+/// produces, the size of region `M`, and (twice) the Byzantine threshold.
+#[must_use]
+pub fn r_2r_plus_1(r: u32) -> usize {
+    let r = r as usize;
+    r * (2 * r + 1)
+}

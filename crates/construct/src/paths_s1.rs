@@ -1,0 +1,132 @@
+//! The Fig. 6 construction: `r(2r+1)` node-disjoint paths between a
+//! region-`S1` committer `N = (−r, −p)` and `P = (−r, r+1)`, all inside
+//! the neighborhood centered at `(−r, 1)` (the paper's `nbd(a−r, b+1)`).
+//!
+//! * `N → J → P` — one relay each; `J` is the `(r−p)(2r+1)` common
+//!   neighbors of `N` and `P`;
+//! * `N → K1 → K2 → P` — two relays; `K2 = K1 + (0, r)`, `p(2r+1)` paths.
+
+use crate::regions::S1Params;
+use crate::{r_2r_plus_1, worst_case_p};
+use rbcast_grid::Coord;
+
+/// The enclosing neighborhood center for the region-`S1` construction:
+/// `(a − r, b + 1)` — normalised, `(−r, 1)`.
+#[must_use]
+pub fn enclosing_center(r: u32) -> Coord {
+    Coord::new(-i64::from(r), 1)
+}
+
+/// Builds the full family of `r(2r+1)` node-disjoint `N → P` paths for
+/// the committer `N = (−r, −p)` in region `S1`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ r−1` (the definition of region `S1`).
+#[must_use]
+pub fn build(r: u32, p: u32) -> Vec<Vec<Coord>> {
+    let params = S1Params::new(r, p);
+    let n = Coord::new(-params.r, -params.p);
+    let target = worst_case_p(r);
+    let ri = i64::from(r);
+
+    let mut paths = Vec::with_capacity(r_2r_plus_1(r));
+    for j in params.region_j().points() {
+        paths.push(vec![n, j, target]);
+    }
+    for k1 in params.region_k1().points() {
+        let k2 = k1 + Coord::new(0, ri);
+        paths.push(vec![n, k1, k2, target]);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_family;
+    use rbcast_grid::Metric;
+
+    #[test]
+    fn count_is_r_2r_plus_1() {
+        for r in 1..=10u32 {
+            for p in 0..r {
+                assert_eq!(build(r, p).len(), r_2r_plus_1(r), "r={r} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn family_verifies_for_all_parameters() {
+        for r in 1..=8u32 {
+            for p in 0..r {
+                let n = Coord::new(-i64::from(r), -i64::from(p));
+                let result = verify_family(
+                    &build(r, p),
+                    n,
+                    worst_case_p(r),
+                    r,
+                    Metric::Linf,
+                    enclosing_center(r),
+                    3,
+                );
+                assert_eq!(result, Ok(()), "r={r} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn p_zero_uses_only_direct_relays() {
+        // p = 0: K1 empty, all r(2r+1) paths are single-relay J paths.
+        let paths = build(4, 0);
+        assert!(paths.iter().all(|path| path.len() == 3));
+    }
+
+    #[test]
+    fn relay_depth_split() {
+        let paths = build(5, 3);
+        let one_relay = paths.iter().filter(|p| p.len() == 3).count();
+        let two_relay = paths.iter().filter(|p| p.len() == 4).count();
+        // |J| = (r−p)(2r+1) = 2·11 = 22; |K1| = p(2r+1) = 33.
+        assert_eq!(one_relay, 22);
+        assert_eq!(two_relay, 33);
+    }
+
+    #[test]
+    fn flow_cross_check() {
+        use rbcast_flow::vertex_disjoint_count;
+        use rbcast_grid::Neighborhood;
+        for r in 1..=4u32 {
+            for p in [0, r - 1] {
+                let center = enclosing_center(r);
+                let ball: Vec<Coord> = Neighborhood::new(center, r, Metric::Linf)
+                    .members()
+                    .chain(std::iter::once(center))
+                    .collect();
+                let index: std::collections::HashMap<Coord, usize> =
+                    ball.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+                let adj: Vec<Vec<usize>> = ball
+                    .iter()
+                    .map(|&a| {
+                        ball.iter()
+                            .enumerate()
+                            .filter(|&(_, &b)| b != a && Metric::Linf.within(a, b, r))
+                            .map(|(j, _)| j)
+                            .collect()
+                    })
+                    .collect();
+                let n = Coord::new(-i64::from(r), -i64::from(p));
+                let want = r_2r_plus_1(r) as u32;
+                let got =
+                    vertex_disjoint_count(&adj, index[&n], index[&worst_case_p(r)], Some(want));
+                assert!(got >= want, "r={r} p={p}: flow={got} < {want}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "region S1 requires")]
+    fn rejects_out_of_range_params() {
+        let _ = build(3, 3);
+    }
+}

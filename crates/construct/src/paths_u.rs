@@ -1,0 +1,185 @@
+//! The Fig. 4–5 construction: `r(2r+1)` node-disjoint paths between a
+//! region-`U` committer `N = (p, q)` and the frontier node
+//! `P = (−r, r+1)`, all inside the neighborhood centered at `(0, r+1)`.
+//!
+//! Path families (with counts summing to `r(2r+1)`):
+//!
+//! * `N → A → P` — one relay each, `(r−p+1)(r+q)` paths;
+//! * `N → B1 → B2 → P` — two relays, `(p−1)(r+q)` paths, `B2 = B1 − (r, 0)`;
+//! * `N → C1 → C2 → P` — two relays, `(r−p)(r−q+1)` paths, `C2 = C1 + (−r, r)`;
+//! * `N → D1 → D2 → D3 → P` — three relays, `p(r−q+1)` paths, where every
+//!   node of `D2` neighbors every node of `D1` (any pairing works) and
+//!   `D3 = D2 − (r, 0)`.
+
+use crate::regions::UParams;
+use crate::{r_2r_plus_1, worst_case_p};
+use rbcast_grid::Coord;
+
+/// The enclosing neighborhood center for the region-`U` construction:
+/// `(a, b + r + 1)` — normalised, `(0, r+1)`.
+#[must_use]
+pub fn enclosing_center(r: u32) -> Coord {
+    Coord::new(0, i64::from(r) + 1)
+}
+
+/// Builds the full family of `r(2r+1)` node-disjoint `N → P` paths for
+/// the committer `N = (p, q)` in region `U`.
+///
+/// Each returned path lists its nodes in order, starting at `N` and
+/// ending at `P`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ p < q ≤ r` (the definition of region `U`).
+#[must_use]
+pub fn build(r: u32, p: u32, q: u32) -> Vec<Vec<Coord>> {
+    let params = UParams::new(r, p, q);
+    let n = Coord::new(params.p, params.q);
+    let target = worst_case_p(r);
+    let ri = i64::from(r);
+
+    let mut paths = Vec::with_capacity(r_2r_plus_1(r));
+
+    // N -> A -> P
+    for a in params.region_a().points() {
+        paths.push(vec![n, a, target]);
+    }
+    // N -> B1 -> B2 -> P, with B2 the (−r, 0) translate of B1.
+    for b1 in params.region_b1().points() {
+        let b2 = b1 + Coord::new(-ri, 0);
+        paths.push(vec![n, b1, b2, target]);
+    }
+    // N -> C1 -> C2 -> P, with C2 the (−r, +r) translate of C1.
+    for c1 in params.region_c1().points() {
+        let c2 = c1 + Coord::new(-ri, ri);
+        paths.push(vec![n, c1, c2, target]);
+    }
+    // N -> D1 -> D2 -> D3 -> P. D1–D2 pairing is arbitrary (all pairs are
+    // neighbors); we use the row-major zip. D3 is the (−r, 0) translate
+    // of D2.
+    let d1: Vec<Coord> = params.region_d1().points().collect();
+    let d2: Vec<Coord> = params.region_d2().points().collect();
+    debug_assert_eq!(d1.len(), d2.len());
+    for (d1n, d2n) in d1.into_iter().zip(d2) {
+        let d3n = d2n + Coord::new(-ri, 0);
+        paths.push(vec![n, d1n, d2n, d3n, target]);
+    }
+
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_family;
+    use rbcast_grid::Metric;
+
+    #[test]
+    fn count_is_r_2r_plus_1() {
+        for r in 2..=9u32 {
+            for p in 1..r {
+                for q in (p + 1)..=r {
+                    assert_eq!(
+                        build(r, p, q).len(),
+                        r_2r_plus_1(r),
+                        "r={r} p={p} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_verifies_for_all_parameters() {
+        for r in 2..=8u32 {
+            for p in 1..r {
+                for q in (p + 1)..=r {
+                    let paths = build(r, p, q);
+                    let n = Coord::new(i64::from(p), i64::from(q));
+                    let result = verify_family(
+                        &paths,
+                        n,
+                        worst_case_p(r),
+                        r,
+                        Metric::Linf,
+                        enclosing_center(r),
+                        3,
+                    );
+                    assert_eq!(result, Ok(()), "r={r} p={p} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relay_depth_matches_family() {
+        // A-paths have 1 relay, B/C-paths 2, D-paths 3 — all within the
+        // protocol's 4-hop HEARD propagation.
+        let paths = build(5, 2, 4);
+        let mut by_len = std::collections::BTreeMap::new();
+        for p in &paths {
+            *by_len.entry(p.len() - 2).or_insert(0usize) += 1;
+        }
+        let u = UParams::new(5, 2, 4);
+        assert_eq!(by_len.get(&1).copied().unwrap_or(0), u.region_a().len());
+        assert_eq!(
+            by_len.get(&2).copied().unwrap_or(0),
+            u.region_b1().len() + u.region_c1().len()
+        );
+        assert_eq!(by_len.get(&3).copied().unwrap_or(0), u.region_d1().len());
+    }
+
+    #[test]
+    fn flow_cross_check_small_radii() {
+        // Independent Menger verification: the lattice graph restricted to
+        // the enclosing closed ball admits at least r(2r+1) vertex-
+        // disjoint N–P paths.
+        use rbcast_flow::vertex_disjoint_count;
+        use rbcast_grid::Neighborhood;
+        for r in 2..=4u32 {
+            for (p, q) in [(1, 2), (1, r), (r - 1, r)] {
+                if p >= q || q > r || p < 1 {
+                    continue;
+                }
+                let center = enclosing_center(r);
+                let ball: Vec<Coord> = Neighborhood::new(center, r, Metric::Linf)
+                    .members()
+                    .chain(std::iter::once(center))
+                    .collect();
+                let index: std::collections::HashMap<Coord, usize> =
+                    ball.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+                let adj: Vec<Vec<usize>> = ball
+                    .iter()
+                    .map(|&a| {
+                        ball.iter()
+                            .enumerate()
+                            .filter(|&(_, &b)| b != a && Metric::Linf.within(a, b, r))
+                            .map(|(j, _)| j)
+                            .collect()
+                    })
+                    .collect();
+                let n = Coord::new(i64::from(p), i64::from(q));
+                let s = index[&n];
+                let t = index[&worst_case_p(r)];
+                let want = r_2r_plus_1(r) as u32;
+                let got = vertex_disjoint_count(&adj, s, t, Some(want));
+                assert!(got >= want, "r={r} p={p} q={q}: flow={got} < {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_start_and_end_correctly() {
+        let paths = build(3, 1, 3);
+        for path in &paths {
+            assert_eq!(path[0], Coord::new(1, 3));
+            assert_eq!(*path.last().unwrap(), worst_case_p(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "region U requires")]
+    fn rejects_out_of_range_params() {
+        let _ = build(3, 0, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Connectivity condition of the simplified protocol (§VI-B).
+//!
+//! The §VI-B condition: given that all honest nodes of `nbd(a,b)` have
+//! committed, a frontier node `P` must be connected to `2t+1` committers
+//! `N ∈ nbd(a,b)` by *one path each, of at most one relay*, such that the
+//! paths are collectively node-disjoint and all committers and relays lie
+//! inside one single neighborhood.
+//!
+//! For the worst-case corner `P = (−r, r+1)` an explicit witness exists
+//! with the enclosing neighborhood centered at `(0, r+1)`:
+//!
+//! * committers `{(x, y) | −r ≤ x ≤ 0, 1 ≤ y ≤ r}` (region `R`) are heard
+//!   directly — `r(r+1)` zero-relay paths;
+//! * committers `{(x, y) | 1 ≤ x ≤ r, 1 ≤ y ≤ r}` each use the relay
+//!   `(x−r, y+r)` — a *translation by `(−r, +r)`*, giving `r²` one-relay
+//!   paths with pairwise distinct relays that live in the top band
+//!   `y ≥ r+1` of the ball (so they never collide with committers).
+//!
+//! Total: `r(2r+1)` collectively disjoint ≤1-relay paths — enough for
+//! `2t+1` at the exact threshold `t < ½·r(2r+1)`. This module builds the
+//! witness, verifies it, and cross-checks optimality with a max-flow
+//! formulation over every frontier node.
+
+use crate::{r_2r_plus_1, worst_case_p};
+use rbcast_flow::FlowNetwork;
+use rbcast_grid::{Coord, Metric};
+use std::collections::HashMap;
+
+/// Builds the explicit §VI-B witness for the worst-case corner `P`:
+/// `r(2r+1)` paths `[committer, P]` or `[committer, relay, P]`.
+#[must_use]
+pub fn witness_paths(r: u32) -> Vec<Vec<Coord>> {
+    let ri = i64::from(r);
+    let p = worst_case_p(r);
+    let mut paths = Vec::with_capacity(r_2r_plus_1(r));
+    // Region R: direct.
+    for y in 1..=ri {
+        for x in -ri..=0 {
+            paths.push(vec![Coord::new(x, y), p]);
+        }
+    }
+    // Right half: relay by translation (−r, +r).
+    for y in 1..=ri {
+        for x in 1..=ri {
+            let committer = Coord::new(x, y);
+            let relay = Coord::new(x - ri, y + ri);
+            paths.push(vec![committer, relay, p]);
+        }
+    }
+    paths
+}
+
+/// Verifies the witness family: committers in `nbd(0,0)`, hops within
+/// `r`, committers and relays inside the ball at `(0, r+1)`, and
+/// collective disjointness. Returns the number of valid paths.
+#[must_use]
+pub fn verify_witness(r: u32) -> Option<usize> {
+    let paths = witness_paths(r);
+    let p = worst_case_p(r);
+    let center = Coord::new(0, i64::from(r) + 1);
+    let mut used = std::collections::HashSet::new();
+    for path in &paths {
+        let committer = *path.first()?;
+        // committer in nbd(0,0), path ends at P
+        if !Metric::Linf.within(Coord::ORIGIN, committer, r) || *path.last()? != p {
+            return None;
+        }
+        // hops within r
+        for w in path.windows(2) {
+            if !Metric::Linf.within(w[0], w[1], r) {
+                return None;
+            }
+        }
+        // committer + relays inside the enclosing ball, collectively
+        // disjoint (P itself is exempt per §VI-B)
+        for &node in &path[..path.len() - 1] {
+            if !Metric::Linf.within(center, node, r) || !used.insert(node) {
+                return None;
+            }
+        }
+    }
+    Some(paths.len())
+}
+
+/// Maximum number of collectively node-disjoint ≤1-relay paths from
+/// committers of `ball(0, r)` to `p`, with committers and relays confined
+/// to `ball(center, r)` — solved exactly as a max-flow.
+///
+/// Encoding: every ball node (except `p`) gets a unit capacity arc
+/// `v_in → v_out`; `source → v_in` for committers; `v_out → sink` for
+/// nodes that hear `p`; and a relay edge `c_out → z_in` for every
+/// committer `c` and potential relay `z` (adjacent to both `c` and `p`).
+/// A flow path may in principle traverse several relays, but since every
+/// relay edge targets a node adjacent to `p`, truncating such a path at
+/// its *first* relay yields a valid ≤1-relay path using a subset of its
+/// vertices — so the max-flow value equals the true maximum.
+#[must_use]
+pub fn max_disjoint_paths(r: u32, p: Coord, center: Coord) -> u32 {
+    let ri = i64::from(r);
+    // nodes of the enclosing closed ball
+    let mut ball: Vec<Coord> = Vec::new();
+    for dy in -ri..=ri {
+        for dx in -ri..=ri {
+            let c = center + Coord::new(dx, dy);
+            if c != p {
+                ball.push(c);
+            }
+        }
+    }
+    let index: HashMap<Coord, usize> =
+        ball.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let n = ball.len();
+    // layout: node v has in = 2v, out = 2v+1; source = 2n, sink = 2n+1
+    let mut net = FlowNetwork::new(2 * n + 2);
+    let (source, sink) = (2 * n, 2 * n + 1);
+    let committer = |c: Coord| Metric::Linf.within(Coord::ORIGIN, c, r);
+    let hears_p = |c: Coord| Metric::Linf.within(p, c, r);
+    for (i, &c) in ball.iter().enumerate() {
+        net.add_edge(2 * i, 2 * i + 1, 1); // shared node capacity
+        if committer(c) {
+            net.add_edge(source, 2 * i, 1);
+        }
+        if hears_p(c) {
+            net.add_edge(2 * i + 1, sink, 1);
+        }
+    }
+    for (i, &c) in ball.iter().enumerate() {
+        if !committer(c) {
+            continue;
+        }
+        for &z in &ball {
+            if z != c && hears_p(z) && Metric::Linf.within(c, z, r) {
+                net.add_edge(2 * i + 1, 2 * index[&z], 1);
+            }
+        }
+    }
+    net.max_flow(source, sink)
+}
+
+/// Checks the §VI-B claim for every frontier node of `pnbd(0,0)`:
+/// some enclosing ball within distance `r+1` of `P` admits at least
+/// `r(2r+1)` collectively disjoint ≤1-relay paths.
+#[must_use]
+pub fn frontier_condition_holds(r: u32) -> bool {
+    let need = r_2r_plus_1(r) as u32;
+    crate::arbitrary_p::frontier_nodes(r).into_iter().all(|p| {
+        let ri = i64::from(r) + 1;
+        // candidate centers within r+1 of P
+        for dy in -ri..=ri {
+            for dx in -ri..=ri {
+                let center = p + Coord::new(dx, dy);
+                if max_disjoint_paths(r, p, center) >= need {
+                    return true;
+                }
+            }
+        }
+        false
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_has_r_2r_plus_1_paths() {
+        for r in 1..=8u32 {
+            assert_eq!(verify_witness(r), Some(r_2r_plus_1(r)), "r={r}");
+        }
+    }
+
+    #[test]
+    fn witness_relays_live_in_the_top_band() {
+        let r = 4;
+        for path in witness_paths(r) {
+            if path.len() == 3 {
+                let relay = path[1];
+                assert!(relay.y > i64::from(r), "relay {relay} below band");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_matches_witness_at_the_corner() {
+        for r in 1..=4u32 {
+            let p = worst_case_p(r);
+            let center = Coord::new(0, i64::from(r) + 1);
+            let flow = max_disjoint_paths(r, p, center);
+            assert!(
+                flow >= r_2r_plus_1(r) as u32,
+                "r={r}: flow {flow} < {}",
+                r_2r_plus_1(r)
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_condition_small_radii() {
+        for r in 1..=2 {
+            assert!(frontier_condition_holds(r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn flow_bounded_by_ball_population() {
+        let r = 3;
+        let p = worst_case_p(r);
+        let center = Coord::new(0, 4);
+        let flow = max_disjoint_paths(r, p, center);
+        assert!(flow as usize <= (2 * r as usize + 1).pow(2));
+    }
+}

@@ -1,0 +1,198 @@
+//! Reusable verifier for constructed node-disjoint path families.
+
+use rbcast_grid::{Coord, Metric};
+use std::collections::HashSet;
+
+/// Why a path family failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathDefect {
+    /// A path is shorter than the two endpoints.
+    TooShort,
+    /// A path does not start at the committer.
+    WrongStart(Coord),
+    /// A path does not end at the target.
+    WrongEnd(Coord),
+    /// Two consecutive path nodes are farther apart than `r`.
+    BrokenHop(Coord, Coord),
+    /// A node appears on two different paths (or twice on one).
+    SharedNode(Coord),
+    /// A path node lies outside the enclosing neighborhood.
+    OutsideNeighborhood(Coord),
+    /// A path has more intermediate relays than the protocol propagates.
+    TooManyRelays(usize),
+}
+
+impl std::fmt::Display for PathDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathDefect::TooShort => write!(f, "path shorter than two nodes"),
+            PathDefect::WrongStart(c) => write!(f, "path starts at {c}, not the committer"),
+            PathDefect::WrongEnd(c) => write!(f, "path ends at {c}, not the target"),
+            PathDefect::BrokenHop(a, b) => write!(f, "hop {a} -> {b} exceeds the radius"),
+            PathDefect::SharedNode(c) => write!(f, "node {c} appears on two paths"),
+            PathDefect::OutsideNeighborhood(c) => {
+                write!(f, "node {c} lies outside the enclosing neighborhood")
+            }
+            PathDefect::TooManyRelays(n) => write!(f, "{n} relays exceed the protocol bound"),
+        }
+    }
+}
+
+/// Verifies that `paths` is a family of node-disjoint `from → to` paths,
+/// every hop within radius `r` (under `metric`), every node inside the
+/// closed ball of radius `r` around `enclosing_center`, and no path using
+/// more than `max_relays` intermediates.
+///
+/// Disjointness is *internal*: the shared endpoints `from`/`to` are
+/// exempt, matching the paper's condition.
+///
+/// # Errors
+///
+/// Returns the first [`PathDefect`] found.
+pub fn verify_family(
+    paths: &[Vec<Coord>],
+    from: Coord,
+    to: Coord,
+    r: u32,
+    metric: Metric,
+    enclosing_center: Coord,
+    max_relays: usize,
+) -> Result<(), PathDefect> {
+    let mut used: HashSet<Coord> = HashSet::new();
+    for path in paths {
+        if path.len() < 2 {
+            return Err(PathDefect::TooShort);
+        }
+        let first = *path.first().expect("len >= 2");
+        let last = *path.last().expect("len >= 2");
+        if first != from {
+            return Err(PathDefect::WrongStart(first));
+        }
+        if last != to {
+            return Err(PathDefect::WrongEnd(last));
+        }
+        let relays = &path[1..path.len() - 1];
+        if relays.len() > max_relays {
+            return Err(PathDefect::TooManyRelays(relays.len()));
+        }
+        for w in path.windows(2) {
+            if !metric.within(w[0], w[1], r) {
+                return Err(PathDefect::BrokenHop(w[0], w[1]));
+            }
+        }
+        for &node in relays {
+            if node == from || node == to {
+                return Err(PathDefect::SharedNode(node));
+            }
+            if !used.insert(node) {
+                return Err(PathDefect::SharedNode(node));
+            }
+        }
+        // Every node of the path (endpoints included) must lie in the
+        // closed ball around the enclosing center.
+        for &node in path.iter() {
+            if !metric.within(enclosing_center, node, r) {
+                return Err(PathDefect::OutsideNeighborhood(node));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: i64, y: i64) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn accepts_valid_family() {
+        let paths = vec![
+            vec![c(0, 0), c(1, 0), c(2, 0)],
+            vec![c(0, 0), c(1, 1), c(2, 0)],
+        ];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(2, 0), 1, Metric::Linf, c(1, 0), 3),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_endpoints() {
+        let paths = vec![vec![c(1, 0), c(2, 0)]];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(2, 0), 1, Metric::Linf, c(1, 0), 3),
+            Err(PathDefect::WrongStart(c(1, 0)))
+        );
+        let paths = vec![vec![c(0, 0), c(1, 0)]];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(2, 0), 1, Metric::Linf, c(1, 0), 3),
+            Err(PathDefect::WrongEnd(c(1, 0)))
+        );
+    }
+
+    #[test]
+    fn rejects_broken_hop() {
+        let paths = vec![vec![c(0, 0), c(3, 0)]];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(3, 0), 1, Metric::Linf, c(1, 0), 3),
+            Err(PathDefect::BrokenHop(c(0, 0), c(3, 0)))
+        );
+    }
+
+    #[test]
+    fn rejects_shared_relay() {
+        let paths = vec![
+            vec![c(0, 0), c(1, 0), c(2, 0)],
+            vec![c(0, 0), c(1, 0), c(2, 0)],
+        ];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(2, 0), 1, Metric::Linf, c(1, 0), 3),
+            Err(PathDefect::SharedNode(c(1, 0)))
+        );
+    }
+
+    #[test]
+    fn rejects_outside_neighborhood() {
+        let paths = vec![vec![c(0, 0), c(1, 0), c(2, 0)]];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(2, 0), 1, Metric::Linf, c(10, 10), 3),
+            Err(PathDefect::OutsideNeighborhood(c(0, 0)))
+        );
+    }
+
+    #[test]
+    fn rejects_relay_equal_to_endpoint() {
+        let paths = vec![vec![c(0, 0), c(0, 0), c(1, 0)]];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(1, 0), 1, Metric::Linf, c(0, 0), 3),
+            Err(PathDefect::SharedNode(c(0, 0)))
+        );
+    }
+
+    #[test]
+    fn rejects_too_many_relays() {
+        let paths = vec![vec![c(0, 0), c(1, 0), c(2, 0), c(3, 0), c(4, 0), c(5, 0)]];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(5, 0), 5, Metric::Linf, c(2, 0), 3),
+            Err(PathDefect::TooManyRelays(4))
+        );
+    }
+
+    #[test]
+    fn direct_edge_is_a_valid_path() {
+        let paths = vec![vec![c(0, 0), c(1, 1)]];
+        assert_eq!(
+            verify_family(&paths, c(0, 0), c(1, 1), 2, Metric::Linf, c(0, 0), 0),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn defect_display_is_informative() {
+        let d = PathDefect::BrokenHop(c(0, 0), c(5, 5));
+        assert!(d.to_string().contains("exceeds the radius"));
+    }
+}

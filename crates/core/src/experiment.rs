@@ -1,0 +1,449 @@
+//! One-stop experiment harness: torus + protocol + placement + behaviour
+//! → outcome.
+
+use rbcast_adversary::{local_fault_bound, Placement};
+use rbcast_grid::{Coord, Metric, NodeId, Torus};
+use rbcast_protocols::{
+    attackers, Cpa, Flood, Indirect, IndirectConfig, Msg, PersistentFlood, ProtocolParams,
+};
+use rbcast_sim::{ChannelConfig, Network, Process, RunStats, Value};
+use std::collections::HashSet;
+
+/// Which protocol the honest nodes run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Crash-stop flooding (§VII).
+    Flood,
+    /// The simple protocol / Certified Propagation Algorithm (§IX).
+    Cpa,
+    /// The full indirect-report protocol (§VI): 4-hop reports, two-level
+    /// rule.
+    IndirectFull,
+    /// Flooding with per-node re-transmissions (§X counter-measure to
+    /// disruption and loss).
+    PersistentFlood {
+        /// Re-transmissions per node.
+        repeats: u32,
+    },
+    /// The simplified protocol (§VI-B): 2-hop reports, one-level rule.
+    IndirectSimplified,
+    /// A custom indirect configuration (ablations).
+    IndirectCustom(IndirectConfig),
+}
+
+impl ProtocolKind {
+    /// Short name for tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Flood => "flood",
+            ProtocolKind::PersistentFlood { .. } => "persistent-flood",
+            ProtocolKind::Cpa => "cpa",
+            ProtocolKind::IndirectFull => "indirect-full",
+            ProtocolKind::IndirectSimplified => "indirect-simplified",
+            ProtocolKind::IndirectCustom(_) => "indirect-custom",
+        }
+    }
+}
+
+/// How faulty nodes behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash-stop: the node never participates.
+    CrashStop,
+    /// Byzantine but mute (strictly weaker than crash for this model —
+    /// kept separate for bookkeeping).
+    Silent,
+    /// Byzantine: pushes the wrong value and corrupts relayed chains.
+    Liar,
+    /// Byzantine: additionally fabricates indirect reports wholesale.
+    Forger,
+    /// Byzantine with the §X spoofing relaxation: impersonates honest
+    /// neighbors (only effective on a spoofing-enabled channel).
+    Spoofer,
+    /// Each faulty node independently draws one of silent/liar/forger
+    /// (deterministically from the seed) — a heterogeneous adversary.
+    Mixed {
+        /// Seed for the per-node behaviour draw.
+        seed: u64,
+    },
+}
+
+/// Aggregate result of one broadcast experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Number of honest (non-faulty) nodes.
+    pub honest: usize,
+    /// Honest nodes that committed the source's value.
+    pub committed_correct: usize,
+    /// Honest nodes that committed the wrong value (must be 0 whenever
+    /// the placement respects the protocol's `t` — the safety theorem).
+    pub committed_wrong: usize,
+    /// Honest nodes that never decided.
+    pub undecided: usize,
+    /// Number of faulty nodes placed.
+    pub fault_count: usize,
+    /// Audited local fault bound of the placement (max faults in any
+    /// single neighborhood).
+    pub audited_bound: usize,
+    /// Simulator statistics.
+    pub stats: RunStats,
+    /// Transmission counts per message kind (SOURCE / COMMITTED / HEARD).
+    pub message_kinds: Vec<(&'static str, u64)>,
+}
+
+impl Outcome {
+    /// True iff every honest node committed the correct value —
+    /// the paper's *reliable broadcast achieved*.
+    #[must_use]
+    pub fn all_honest_correct(&self) -> bool {
+        self.committed_wrong == 0 && self.undecided == 0 && self.committed_correct == self.honest
+    }
+
+    /// True iff no honest node committed a wrong value (Theorem 2's
+    /// safety property — holds under any placement within budget).
+    #[must_use]
+    pub fn safe(&self) -> bool {
+        self.committed_wrong == 0
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} correct, {} wrong, {} undecided (faults: {}, bound: {}; {})",
+            self.committed_correct,
+            self.honest,
+            self.committed_wrong,
+            self.undecided,
+            self.fault_count,
+            self.audited_bound,
+            self.stats
+        )
+    }
+}
+
+/// Builder for a single broadcast experiment.
+///
+/// Defaults: torus `4(2r+1)` square, L∞ metric, `t` = the protocol's
+/// maximum tolerable budget, no faults, source value `true`,
+/// 10 000-round cap.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    r: u32,
+    metric: Metric,
+    torus: Option<Torus>,
+    protocol: ProtocolKind,
+    t: Option<usize>,
+    placement: Option<Placement>,
+    fault_kind: FaultKind,
+    value: Value,
+    max_rounds: u32,
+    channel: ChannelConfig,
+}
+
+impl Experiment {
+    /// Starts an experiment description for radius `r` and `protocol`.
+    #[must_use]
+    pub fn new(r: u32, protocol: ProtocolKind) -> Self {
+        Experiment {
+            r,
+            metric: Metric::Linf,
+            torus: None,
+            protocol,
+            t: None,
+            placement: None,
+            fault_kind: FaultKind::CrashStop,
+            value: true,
+            max_rounds: 10_000,
+            channel: ChannelConfig::reliable(),
+        }
+    }
+
+    /// Overrides the metric (default L∞).
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Overrides the arena (default `Torus::for_radius(r)`).
+    #[must_use]
+    pub fn with_torus(mut self, torus: Torus) -> Self {
+        self.torus = Some(torus);
+        self
+    }
+
+    /// Sets the protocol's fault budget `t`.
+    #[must_use]
+    pub fn with_t(mut self, t: usize) -> Self {
+        self.t = Some(t);
+        self
+    }
+
+    /// Sets the fault placement (default: none).
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Sets the faulty nodes' behaviour (default crash-stop).
+    #[must_use]
+    pub fn with_fault_kind(mut self, kind: FaultKind) -> Self {
+        self.fault_kind = kind;
+        self
+    }
+
+    /// Sets the source's value (default `true`).
+    #[must_use]
+    pub fn with_value(mut self, value: Value) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Sets the round cap (default 10 000).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Overrides the channel model (default: the paper's reliable local
+    /// broadcast). When jammers are left empty on a jam-enabled channel,
+    /// the faulty placement doubles as the jammer set.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// The default fault budget when `with_t` was not called: the
+    /// maximum the chosen protocol is proven to tolerate at this radius.
+    fn default_t(&self) -> usize {
+        let r = self.r;
+        (match self.protocol {
+            ProtocolKind::Flood | ProtocolKind::PersistentFlood { .. } => {
+                crate::thresholds::crash_max_t(r)
+            }
+            ProtocolKind::Cpa => crate::thresholds::cpa_guaranteed_t(r),
+            _ => crate::thresholds::byzantine_max_t(r),
+        }) as usize
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena cannot host the radius (see
+    /// [`Torus::supports_radius`]).
+    #[must_use]
+    pub fn run(&self) -> Outcome {
+        let torus = self
+            .torus
+            .clone()
+            .unwrap_or_else(|| Torus::for_radius(self.r));
+        let t = self.t.unwrap_or_else(|| self.default_t());
+        let source = torus.id(Coord::ORIGIN);
+        let params = ProtocolParams {
+            source,
+            value: self.value,
+            t,
+        };
+        let faults: Vec<NodeId> = self
+            .placement
+            .as_ref()
+            .map(|p| p.place(&torus, self.r, self.metric))
+            .unwrap_or_default();
+        let audited_bound = local_fault_bound(&torus, self.r, self.metric, &faults);
+        let fault_set: HashSet<NodeId> = faults.iter().copied().collect();
+
+        let protocol = self.protocol;
+        let fault_kind = self.fault_kind;
+        let wrong = !self.value;
+        let fs = fault_set.clone();
+        let mut channel = self.channel.clone();
+        if channel.jam_budget > 0 && channel.jammers.is_empty() {
+            channel.jammers = faults.clone();
+        }
+        let mut net = Network::new_with_channel(torus.clone(), self.r, self.metric, channel, move |id| {
+            if fs.contains(&id) {
+                match fault_kind {
+                    // crash is applied post-construction; give them a
+                    // silent process either way
+                    FaultKind::CrashStop | FaultKind::Silent => attackers::silent(),
+                    FaultKind::Liar => attackers::liar(wrong),
+                    FaultKind::Forger => attackers::forger(wrong),
+                    FaultKind::Spoofer => attackers::spoofer(wrong),
+                    FaultKind::Mixed { seed } => {
+                        // cheap deterministic per-node draw
+                        let mut x = seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(u64::from(id.0));
+                        x ^= x >> 33;
+                        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                        match x % 3 {
+                            0 => attackers::silent(),
+                            1 => attackers::liar(wrong),
+                            _ => attackers::forger(wrong),
+                        }
+                    }
+                }
+            } else {
+                match protocol {
+                    ProtocolKind::Flood => {
+                        Box::new(Flood::new(params)) as Box<dyn Process<Msg>>
+                    }
+                    ProtocolKind::PersistentFlood { repeats } => {
+                        Box::new(PersistentFlood::new(params, repeats))
+                    }
+                    ProtocolKind::Cpa => Box::new(Cpa::new(params)),
+                    ProtocolKind::IndirectFull => {
+                        Box::new(Indirect::new(params, IndirectConfig::full()))
+                    }
+                    ProtocolKind::IndirectSimplified => {
+                        Box::new(Indirect::new(params, IndirectConfig::simplified()))
+                    }
+                    ProtocolKind::IndirectCustom(cfg) => {
+                        Box::new(Indirect::new(params, cfg))
+                    }
+                }
+            }
+        });
+        net.set_classifier(Msg::kind);
+        if matches!(self.fault_kind, FaultKind::CrashStop) {
+            for &f in &faults {
+                net.crash_at(f, 0);
+            }
+        }
+        let stats = net.run(self.max_rounds);
+        let message_kinds: Vec<(&'static str, u64)> =
+            net.kind_counts().iter().map(|(&k, &v)| (k, v)).collect();
+
+        let mut committed_correct = 0;
+        let mut committed_wrong = 0;
+        let mut undecided = 0;
+        let mut honest = 0;
+        for id in torus.node_ids() {
+            if fault_set.contains(&id) {
+                continue;
+            }
+            honest += 1;
+            match net.decision(id) {
+                Some((v, _)) if v == self.value => committed_correct += 1,
+                Some(_) => committed_wrong += 1,
+                None => undecided += 1,
+            }
+        }
+        Outcome {
+            honest,
+            committed_correct,
+            committed_wrong,
+            undecided,
+            fault_count: faults.len(),
+            audited_bound,
+            stats,
+            message_kinds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_flood() {
+        let o = Experiment::new(2, ProtocolKind::Flood).run();
+        assert!(o.all_honest_correct());
+        assert_eq!(o.fault_count, 0);
+    }
+
+    #[test]
+    fn flood_below_crash_threshold_survives_strips_minus_one() {
+        // random local placement at t = r(2r+1) − 1 cannot partition
+        let t = crate::thresholds::crash_max_t(2) as usize;
+        let o = Experiment::new(2, ProtocolKind::Flood)
+            .with_t(t)
+            .with_placement(Placement::RandomLocal {
+                t,
+                seed: 11,
+                attempts: 60,
+            })
+            .run();
+        assert!(o.audited_bound <= t);
+        assert!(o.all_honest_correct(), "{o}");
+    }
+
+    #[test]
+    fn flood_partitioned_by_double_strip() {
+        // Theorem 4: t = r(2r+1) faults as a strip partition the torus.
+        let o = Experiment::new(2, ProtocolKind::Flood)
+            .with_t(10)
+            .with_placement(Placement::DoubleStrip)
+            .run();
+        assert_eq!(o.audited_bound, 10);
+        assert!(o.undecided > 0, "{o}");
+        assert!(o.safe());
+    }
+
+    #[test]
+    fn cpa_tolerates_its_guarantee_r2() {
+        let t = crate::thresholds::cpa_guaranteed_t(2) as usize; // 2
+        let o = Experiment::new(2, ProtocolKind::Cpa)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t })
+            .with_fault_kind(FaultKind::Liar)
+            .run();
+        assert!(o.all_honest_correct(), "{o}");
+    }
+
+    #[test]
+    fn indirect_simplified_tolerates_max_t_r2() {
+        let t = crate::thresholds::byzantine_max_t(2) as usize; // 4
+        let o = Experiment::new(2, ProtocolKind::IndirectSimplified)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t })
+            .with_fault_kind(FaultKind::Silent)
+            .run();
+        assert!(o.all_honest_correct(), "{o}");
+    }
+
+    #[test]
+    fn outcome_display_mentions_counts() {
+        let o = Experiment::new(1, ProtocolKind::Flood).run();
+        let s = o.to_string();
+        assert!(s.contains("correct"));
+        assert!(s.contains("faults: 0"));
+    }
+
+    #[test]
+    fn default_t_follows_protocol() {
+        let e = Experiment::new(3, ProtocolKind::Flood);
+        assert_eq!(e.default_t(), 20);
+        let e = Experiment::new(3, ProtocolKind::Cpa);
+        assert_eq!(e.default_t(), 6);
+        let e = Experiment::new(3, ProtocolKind::IndirectSimplified);
+        assert_eq!(e.default_t(), 10);
+    }
+
+    #[test]
+    fn message_kind_breakdown_is_consistent() {
+        let o = Experiment::new(1, ProtocolKind::IndirectSimplified).run();
+        let total: u64 = o.message_kinds.iter().map(|&(_, v)| v).sum();
+        assert_eq!(total, o.stats.messages_sent);
+        let kinds: Vec<&str> = o.message_kinds.iter().map(|&(k, _)| k).collect();
+        assert!(kinds.contains(&"SOURCE"));
+        assert!(kinds.contains(&"COMMITTED"));
+        assert!(kinds.contains(&"HEARD"));
+    }
+
+    #[test]
+    fn wrong_value_false_also_works() {
+        let o = Experiment::new(1, ProtocolKind::IndirectFull)
+            .with_value(false)
+            .run();
+        assert!(o.all_honest_correct());
+    }
+}

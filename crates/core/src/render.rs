@@ -1,0 +1,123 @@
+//! ASCII rendering of broadcast outcomes — the wavefront maps used by
+//! the examples and handy for debugging experiments.
+
+use rbcast_grid::{Coord, NodeId, Torus};
+use rbcast_sim::{Round, Value};
+use std::collections::HashSet;
+
+/// Renders a torus as a character map: `S` for the source, `X` for
+/// faulty nodes, `!` for wrong commits, `.` for undecided honest nodes,
+/// and the commit round as a hex digit (capped at `f`) otherwise.
+///
+/// `decision(id)` supplies each node's decision; `expected` is the
+/// source's value.
+///
+/// # Example
+///
+/// ```
+/// use rbcast_core::render::commit_map;
+/// use rbcast_grid::{Coord, Torus};
+///
+/// let torus = Torus::new(12, 12);
+/// let source = torus.id(Coord::ORIGIN);
+/// let map = commit_map(&torus, source, &[], true, |_| Some((true, 3)));
+/// assert!(map.starts_with("S 3"));
+/// ```
+pub fn commit_map<F>(
+    torus: &Torus,
+    source: NodeId,
+    faulty: &[NodeId],
+    expected: Value,
+    decision: F,
+) -> String
+where
+    F: Fn(NodeId) -> Option<(Value, Round)>,
+{
+    let fault_set: HashSet<NodeId> = faulty.iter().copied().collect();
+    let mut out = String::with_capacity(torus.len() * 2 + torus.height() as usize);
+    for y in 0..torus.height() {
+        for x in 0..torus.width() {
+            let id = torus.id(Coord::new(i64::from(x), i64::from(y)));
+            let ch = if id == source {
+                'S'
+            } else if fault_set.contains(&id) {
+                'X'
+            } else {
+                match decision(id) {
+                    Some((v, round)) if v == expected => {
+                        char::from_digit(u32::min(round, 15), 16).unwrap_or('?')
+                    }
+                    Some(_) => '!',
+                    None => '.',
+                }
+            };
+            out.push(ch);
+            if x + 1 < torus.width() {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A horizontal bar of `width` cells filled proportionally to
+/// `fraction ∈ [0, 1]` — used by the percolation sweeps.
+#[must_use]
+pub fn bar(fraction: f64, width: usize) -> String {
+    let cells = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(cells), " ".repeat(width - cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_marks_all_roles() {
+        let torus = Torus::new(12, 12);
+        let source = torus.id(Coord::ORIGIN);
+        let fault = torus.id(Coord::new(1, 0));
+        let wrong = torus.id(Coord::new(2, 0));
+        let undecided = torus.id(Coord::new(3, 0));
+        let map = commit_map(&torus, source, &[fault], true, |id| {
+            if id == wrong {
+                Some((false, 2))
+            } else if id == undecided {
+                None
+            } else {
+                Some((true, 11))
+            }
+        });
+        let first_line: &str = map.lines().next().unwrap();
+        assert!(first_line.starts_with("S X ! ."));
+        // round 11 renders as hex 'b'
+        assert!(first_line.contains('b'));
+    }
+
+    #[test]
+    fn rounds_cap_at_hex_f() {
+        let torus = Torus::new(12, 12);
+        let source = torus.id(Coord::ORIGIN);
+        let map = commit_map(&torus, source, &[], true, |_| Some((true, 250)));
+        assert!(map.contains('f'));
+        assert!(!map.contains('?'));
+    }
+
+    #[test]
+    fn map_dimensions_match_torus() {
+        let torus = Torus::new(9, 5);
+        let map = commit_map(&torus, torus.id(Coord::ORIGIN), &[], true, |_| None);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.chars().filter(|c| !c.is_whitespace()).count() == 9));
+    }
+
+    #[test]
+    fn bar_extremes() {
+        assert_eq!(bar(0.0, 10), " ".repeat(10));
+        assert_eq!(bar(1.0, 10), "█".repeat(10));
+        assert_eq!(bar(2.5, 4), "████"); // clamped
+        assert_eq!(bar(0.5, 4).chars().filter(|&c| c == '█').count(), 2);
+    }
+}

@@ -1,0 +1,416 @@
+//! Internally-vertex-disjoint paths in undirected graphs (Menger).
+
+use crate::FlowNetwork;
+
+/// Maximum number of internally-vertex-disjoint paths between `s` and `t`
+/// in an undirected graph given as an adjacency list.
+///
+/// Uses the node-splitting reduction: every vertex other than `s`/`t`
+/// becomes an `in → out` arc of capacity 1, so each unit of flow occupies
+/// a distinct set of intermediate vertices. If `cap` is `Some(k)`, the
+/// computation stops as soon as `k` paths are found (the return value is
+/// then `min(k, true maximum)`).
+///
+/// # Panics
+///
+/// Panics if `s == t`, if either is out of range, or if an adjacency entry
+/// is out of range.
+///
+/// # Example
+///
+/// ```
+/// use rbcast_flow::vertex_disjoint_count;
+///
+/// // K4: three internally-disjoint paths between any two vertices
+/// // (one direct edge + two length-2 paths).
+/// let adj = vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]];
+/// assert_eq!(vertex_disjoint_count(&adj, 0, 3, None), 3);
+/// ```
+#[must_use]
+pub fn vertex_disjoint_count(
+    adj: &[Vec<usize>],
+    s: usize,
+    t: usize,
+    cap: Option<u32>,
+) -> u32 {
+    let (mut net, s_out, t_in) = build_split_network(adj, s, t);
+    net.max_flow_capped(s_out, t_in, cap.unwrap_or(u32::MAX))
+}
+
+/// Computes a maximum set of internally-vertex-disjoint `s–t` paths and
+/// returns them as vertex sequences `s, …, t`.
+///
+/// Same reduction as [`vertex_disjoint_count`], followed by a flow
+/// decomposition. Direct `s–t` edges yield the 2-vertex path `[s, t]`.
+///
+/// # Panics
+///
+/// Same conditions as [`vertex_disjoint_count`].
+#[must_use]
+pub fn vertex_disjoint_paths(
+    adj: &[Vec<usize>],
+    s: usize,
+    t: usize,
+    cap: Option<u32>,
+) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let (mut net, s_out, t_in) = build_split_network(adj, s, t);
+    let flow = net.max_flow_capped(s_out, t_in, cap.unwrap_or(u32::MAX));
+
+    // Rebuild the flow as a successor map over original vertices by
+    // re-running the reduction bookkeeping: we track, for every added
+    // vertex-to-vertex edge, how much flow it carries.
+    // To keep this simple we rebuild the network recording edge ids.
+    let (mut net2, s_out2, t_in2, edge_ids) = build_split_network_with_ids(adj, s, t);
+    let flow2 = net2.max_flow_capped(s_out2, t_in2, cap.unwrap_or(u32::MAX));
+    debug_assert_eq!(flow, flow2);
+
+    // successors[u] = list of v with positive flow on u->v
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v, id) in &edge_ids {
+        if net2.flow_on(id) > 0 {
+            successors[u].push(v);
+        }
+    }
+
+    let mut paths = Vec::with_capacity(flow as usize);
+    for _ in 0..flow {
+        let mut path = vec![s];
+        let mut cur = s;
+        while cur != t {
+            let next = successors[cur]
+                .pop()
+                .expect("flow decomposition: dead end before reaching sink");
+            path.push(next);
+            cur = next;
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+/// Extracts a *minimum vertex cut* separating `s` from `t`: a smallest
+/// set of vertices (excluding the terminals) whose removal disconnects
+/// them. By Menger's theorem its size equals
+/// [`vertex_disjoint_count`]`(adj, s, t, None)` — the impossibility-side
+/// witness dual to the disjoint-path families (a fault placement hitting
+/// every path).
+///
+/// Returns `None` when `s` and `t` are adjacent (no vertex cut exists).
+///
+/// # Panics
+///
+/// Same conditions as [`vertex_disjoint_count`].
+#[must_use]
+pub fn min_vertex_cut(adj: &[Vec<usize>], s: usize, t: usize) -> Option<Vec<usize>> {
+    if adj[s].contains(&t) {
+        return None;
+    }
+    // Build the split network with *unbounded* adjacency arcs so the
+    // minimum cut consists purely of node-internal arcs (the vertex
+    // capacities). The counting variant uses unit adjacency arcs instead
+    // (equivalent for the flow value, not for cut extraction).
+    let n = adj.len();
+    assert!(s < n && t < n, "terminal out of range");
+    let mut net = FlowNetwork::new(2 * n);
+    const INF: u32 = u32::MAX / 2;
+    for v in 0..n {
+        let cap = if v == s || v == t { INF } else { 1 };
+        net.add_edge(2 * v, 2 * v + 1, cap);
+    }
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            assert!(v < n, "adjacency entry out of range");
+            net.add_edge(2 * u + 1, 2 * v, INF);
+        }
+    }
+    let (s_out, t_in) = (2 * s + 1, 2 * t);
+    let _ = net.max_flow(s_out, t_in);
+    // Min cut = vertices whose internal in→out arc crosses the residual
+    // reachability boundary.
+    let reach = net.residual_reachable(s_out);
+    let mut cut = Vec::new();
+    for v in 0..n {
+        if v != s && v != t && reach[2 * v] && !reach[2 * v + 1] {
+            cut.push(v);
+        }
+    }
+    Some(cut)
+}
+
+/// Builds the node-split network. Returns `(network, source, sink)` where
+/// `source` is `s`'s out-copy and `sink` is `t`'s in-copy.
+fn build_split_network(
+    adj: &[Vec<usize>],
+    s: usize,
+    t: usize,
+) -> (FlowNetwork, usize, usize) {
+    let (net, s_out, t_in, _) = build_split_network_with_ids(adj, s, t);
+    (net, s_out, t_in)
+}
+
+fn build_split_network_with_ids(
+    adj: &[Vec<usize>],
+    s: usize,
+    t: usize,
+) -> (FlowNetwork, usize, usize, Vec<(usize, usize, crate::EdgeId)>) {
+    let n = adj.len();
+    assert!(s < n && t < n, "terminal out of range");
+    assert_ne!(s, t, "source and sink must differ");
+
+    // vertex v -> in-copy 2v, out-copy 2v+1
+    let mut net = FlowNetwork::new(2 * n);
+    for v in 0..n {
+        // s and t have unbounded internal capacity; all other vertices 1.
+        let cap = if v == s || v == t { u32::MAX } else { 1 };
+        net.add_edge(2 * v, 2 * v + 1, cap);
+    }
+    let mut ids = Vec::new();
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            assert!(v < n, "adjacency entry out of range");
+            // one direction per listed arc; undirected graphs list both.
+            let id = net.add_edge(2 * u + 1, 2 * v, 1);
+            ids.push((u, v, id));
+        }
+    }
+    (net, 2 * s + 1, 2 * t, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Convenience: build symmetric adjacency from an edge list.
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        adj
+    }
+
+    #[test]
+    fn path_graph_has_one_disjoint_path() {
+        let adj = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(vertex_disjoint_count(&adj, 0, 3, None), 1);
+    }
+
+    #[test]
+    fn cycle_has_two() {
+        let adj = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(vertex_disjoint_count(&adj, 0, 3, None), 2);
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let adj = undirected(5, &edges);
+        // direct edge + 3 two-hop paths
+        assert_eq!(vertex_disjoint_count(&adj, 0, 4, None), 4);
+    }
+
+    #[test]
+    fn cut_vertex_limits_count() {
+        // bowtie: two triangles sharing vertex 2
+        let adj = undirected(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]);
+        assert_eq!(vertex_disjoint_count(&adj, 0, 4, None), 1);
+    }
+
+    #[test]
+    fn cap_limits_result() {
+        let mut edges = Vec::new();
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let adj = undirected(6, &edges);
+        assert_eq!(vertex_disjoint_count(&adj, 0, 5, Some(2)), 2);
+    }
+
+    #[test]
+    fn paths_are_valid_and_disjoint() {
+        let mut edges = Vec::new();
+        for u in 0..7 {
+            for v in (u + 1)..7 {
+                edges.push((u, v));
+            }
+        }
+        let adj = undirected(7, &edges);
+        let paths = vertex_disjoint_paths(&adj, 0, 6, None);
+        assert_eq!(paths.len(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), 6);
+            // edges exist
+            for w in p.windows(2) {
+                assert!(adj[w[0]].contains(&w[1]), "missing edge {w:?}");
+            }
+            // internal disjointness
+            for &v in &p[1..p.len() - 1] {
+                assert!(seen.insert(v), "vertex {v} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_zero_paths() {
+        let adj = undirected(4, &[(0, 1), (2, 3)]);
+        assert_eq!(vertex_disjoint_count(&adj, 0, 3, None), 0);
+        assert!(vertex_disjoint_paths(&adj, 0, 3, None).is_empty());
+    }
+
+    #[test]
+    fn multiple_direct_edges_count_once_each() {
+        // parallel edges in the adjacency list both usable
+        let mut adj = vec![Vec::new(); 2];
+        adj[0].push(1);
+        adj[0].push(1);
+        adj[1].push(0);
+        adj[1].push(0);
+        assert_eq!(vertex_disjoint_count(&adj, 0, 1, None), 2);
+    }
+
+    #[test]
+    fn grid_neighborhood_menger_sanity() {
+        // 3x3 grid graph (rook-adjacent), corner to corner: 2 disjoint paths.
+        let idx = |x: usize, y: usize| y * 3 + x;
+        let mut edges = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                if x + 1 < 3 {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < 3 {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                }
+            }
+        }
+        let adj = undirected(9, &edges);
+        assert_eq!(vertex_disjoint_count(&adj, idx(0, 0), idx(2, 2), None), 2);
+    }
+
+
+    #[test]
+    fn min_cut_of_bowtie_is_the_shared_vertex() {
+        let adj = undirected(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]);
+        assert_eq!(min_vertex_cut(&adj, 0, 4), Some(vec![2]));
+    }
+
+    #[test]
+    fn min_cut_none_for_adjacent_terminals() {
+        let adj = undirected(2, &[(0, 1)]);
+        assert_eq!(min_vertex_cut(&adj, 0, 1), None);
+    }
+
+    #[test]
+    fn min_cut_disconnects_and_matches_menger() {
+        let adj = undirected(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5), (1, 4)]);
+        let cut = min_vertex_cut(&adj, 0, 5).unwrap();
+        assert_eq!(cut.len() as u32, vertex_disjoint_count(&adj, 0, 5, None));
+        // removing the cut disconnects 0 from 5
+        let mut reach = [false; 6];
+        reach[0] = true;
+        let mut queue = vec![0usize];
+        while let Some(v) = queue.pop() {
+            for &w in &adj[v] {
+                if !cut.contains(&w) && !reach[w] {
+                    reach[w] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        assert!(!reach[5], "cut {cut:?} failed to disconnect");
+    }
+
+    proptest! {
+        /// Menger duality: on random graphs with non-adjacent terminals,
+        /// the extracted cut has exactly the disjoint-path count and
+        /// disconnects the terminals.
+        #[test]
+        fn min_cut_duality(seed_edges in proptest::collection::vec((0usize..9, 0usize..9), 0..30)) {
+            let edges: Vec<(usize, usize)> = seed_edges
+                .into_iter()
+                .filter(|&(u, v)| u != v && !(u == 0 && v == 8) && !(u == 8 && v == 0))
+                .collect();
+            let adj = undirected(9, &edges);
+            prop_assume!(!adj[0].contains(&8));
+            let count = vertex_disjoint_count(&adj, 0, 8, None);
+            let cut = min_vertex_cut(&adj, 0, 8).unwrap();
+            prop_assert_eq!(cut.len() as u32, count);
+            // removal disconnects
+            let mut reach = [false; 9];
+            reach[0] = true;
+            let mut queue = vec![0usize];
+            while let Some(v) = queue.pop() {
+                for &w in &adj[v] {
+                    if !cut.contains(&w) && !reach[w] {
+                        reach[w] = true;
+                        queue.push(w);
+                    }
+                }
+            }
+            prop_assert!(!reach[8]);
+        }
+
+        /// On a random graph, count from `vertex_disjoint_count` equals the
+        /// number of paths extracted, and extracted paths verify.
+        #[test]
+        fn extraction_matches_count(seed_edges in proptest::collection::vec((0usize..10, 0usize..10), 0..40)) {
+            let edges: Vec<(usize, usize)> =
+                seed_edges.into_iter().filter(|&(u, v)| u != v).collect();
+            let adj = undirected(10, &edges);
+            let count = vertex_disjoint_count(&adj, 0, 9, None);
+            let paths = vertex_disjoint_paths(&adj, 0, 9, None);
+            prop_assert_eq!(count as usize, paths.len());
+            let mut used = std::collections::HashSet::new();
+            for p in &paths {
+                for w in p.windows(2) {
+                    prop_assert!(adj[w[0]].contains(&w[1]));
+                }
+                for &v in &p[1..p.len().saturating_sub(1)] {
+                    prop_assert!(used.insert(v));
+                }
+            }
+        }
+
+        /// The cap parameter never changes feasibility, only truncates.
+        #[test]
+        fn cap_is_a_pure_truncation(seed_edges in proptest::collection::vec((0usize..8, 0usize..8), 0..24)) {
+            let edges: Vec<(usize, usize)> =
+                seed_edges.into_iter().filter(|&(u, v)| u != v).collect();
+            let adj = undirected(8, &edges);
+            let full = vertex_disjoint_count(&adj, 0, 7, None);
+            for cap in 0..=4u32 {
+                let capped = vertex_disjoint_count(&adj, 0, 7, Some(cap));
+                prop_assert_eq!(capped, full.min(cap));
+            }
+        }
+
+        /// Menger: disjoint path count is at most min(deg(s), deg(t)) in
+        /// simple graphs.
+        #[test]
+        fn bounded_by_terminal_degree(seed_edges in proptest::collection::vec((0usize..8, 0usize..8), 0..28)) {
+            let mut set = std::collections::HashSet::new();
+            for (u, v) in seed_edges {
+                if u != v {
+                    set.insert((u.min(v), u.max(v)));
+                }
+            }
+            let edges: Vec<_> = set.into_iter().collect();
+            let adj = undirected(8, &edges);
+            let count = vertex_disjoint_count(&adj, 0, 7, None);
+            prop_assert!(count as usize <= adj[0].len());
+            prop_assert!(count as usize <= adj[7].len());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Grid geometry substrate for reliable broadcast in a radio network.
+//!
+//! This crate models the network geometry of Bhandari & Vaidya,
+//! *On Reliable Broadcast in a Radio Network* (PODC 2005): nodes sit on a
+//! unit square grid (an infinite grid in the paper's analysis, a finite
+//! torus in any executable experiment — the paper notes the results carry
+//! over verbatim because a torus has no boundary anomalies).
+//!
+//! Provided here:
+//!
+//! * [`Coord`] — signed grid coordinates for infinite-grid geometry.
+//! * [`Metric`] — the two distance metrics the paper analyses,
+//!   [`Metric::Linf`] and [`Metric::L2`].
+//! * [`Torus`] — a finite `width × height` toroidal node arena mapping
+//!   coordinates to dense [`NodeId`]s.
+//! * [`Neighborhood`] helpers — `nbd(c)` and the paper's perturbed
+//!   neighborhood `pnbd(c)` (§IV).
+//! * [`Rect`] — inclusive rectangular lattice regions (used heavily by the
+//!   constructive proofs: regions A, B1/B2, C1/C2, D1/D2/D3, J, K1/K2, …).
+//! * [`TdmaSchedule`] — the pre-determined collision-free transmission
+//!   schedule the model assumes (§II).
+//!
+//! # Example
+//!
+//! ```
+//! use rbcast_grid::{Coord, Metric, Torus};
+//!
+//! let torus = Torus::new(20, 20);
+//! let origin = torus.id(Coord::new(0, 0));
+//! // In the L-infinity metric a radius-2 neighborhood is a 5x5 square:
+//! let nbd: Vec<_> = torus.neighborhood(origin, 2, Metric::Linf).collect();
+//! assert_eq!(nbd.len(), 24); // excludes the center itself
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod metric;
+mod nbd;
+mod region;
+mod tdma;
+mod torus;
+
+pub use coord::Coord;
+pub use metric::Metric;
+pub use nbd::{linf_offsets, metric_offsets, pnbd_centers, Neighborhood};
+pub use region::Rect;
+pub use tdma::{ScheduleError, TdmaSchedule};
+pub use torus::{NodeId, Torus};

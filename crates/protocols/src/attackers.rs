@@ -1,0 +1,273 @@
+//! Byzantine node behaviours.
+//!
+//! Faithful to the model of §II/§V: a Byzantine node may send arbitrary
+//! *content*, but it cannot spoof its identity (every transmission is
+//! attributed to it), cannot send different bits to different neighbors
+//! in one broadcast, and cannot cause collisions. These constraints shape
+//! the attacks:
+//!
+//! * [`silent`] — contributes nothing (subsumes crash behaviour for the
+//!   Byzantine budget).
+//! * [`liar`] — behaves like a committer of the wrong value and corrupts
+//!   every report chain it relays.
+//! * [`forger`] — additionally fabricates `HEARD` chains attributing the
+//!   wrong value to every nearby node, with invented deep relays. Because
+//!   it must affix its own (true) identifier as the last relay, all of
+//!   one forger's fabrications share that relay and count at most once in
+//!   any disjoint-evidence set — the structural reason `t` forgers cannot
+//!   defeat the `t+1` disjoint-chain rule.
+
+use crate::Msg;
+use rbcast_grid::NodeId;
+use rbcast_sim::{Ctx, Process, Value};
+use std::collections::HashSet;
+
+/// A node that exploits the §X *spoofing* relaxation: it announces the
+/// wrong value impersonating every honest neighbor in turn. Against a
+/// channel with spoofing enabled this forges an apparently independent
+/// quorum of committers; against the baseline channel the forged
+/// identities are corrected back and the attack collapses to a liar's.
+#[must_use]
+pub fn spoofer(wrong: Value) -> Box<dyn Process<Msg>> {
+    Box::new(Spoofer { wrong })
+}
+
+struct Spoofer {
+    wrong: Value,
+}
+
+impl Process<Msg> for Spoofer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let torus = ctx.torus().clone();
+        let (me, r, metric) = (ctx.id(), ctx.radius(), ctx.metric());
+        // impersonate every neighbor announcing the wrong value
+        let neighbors: Vec<NodeId> = torus.neighborhood(me, r, metric).collect();
+        for n in neighbors {
+            ctx.broadcast_as(n, Msg::Committed(self.wrong));
+        }
+        ctx.broadcast(Msg::Committed(self.wrong));
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+}
+
+/// A node that never transmits anything.
+#[must_use]
+pub fn silent() -> Box<dyn Process<Msg>> {
+    Box::new(Silent)
+}
+
+struct Silent;
+
+impl Process<Msg> for Silent {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Msg>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+}
+
+/// A node that announces having committed to `wrong` and relays every
+/// report chain with the value flipped to `wrong`.
+#[must_use]
+pub fn liar(wrong: Value) -> Box<dyn Process<Msg>> {
+    Box::new(Liar {
+        wrong,
+        announced: false,
+        relayed: HashSet::new(),
+    })
+}
+
+struct Liar {
+    wrong: Value,
+    announced: bool,
+    relayed: HashSet<(NodeId, Vec<NodeId>)>,
+}
+
+impl Process<Msg> for Liar {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Announce immediately: a liar wants its vote in early.
+        self.announced = true;
+        ctx.broadcast(Msg::Committed(self.wrong));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        match msg {
+            Msg::Source(_) | Msg::Committed(_) => {
+                // Relay a corrupted report: claim `from` committed wrong.
+                if self.relayed.insert((from, vec![])) {
+                    ctx.broadcast(Msg::Heard {
+                        committer: from,
+                        value: self.wrong,
+                        relays: vec![ctx.id()],
+                    });
+                }
+            }
+            Msg::Heard {
+                committer, relays, ..
+            } => {
+                // Forward the chain with the value flipped (the liar must
+                // still affix its true identifier).
+                if relays.len() < 3
+                    && !relays.contains(&ctx.id())
+                    && *committer != ctx.id()
+                    && self.relayed.insert((*committer, relays.clone()))
+                {
+                    let mut extended = relays.clone();
+                    extended.push(ctx.id());
+                    ctx.broadcast(Msg::Heard {
+                        committer: *committer,
+                        value: self.wrong,
+                        relays: extended,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A node that floods fabricated evidence for `wrong`: claims every node
+/// within two hops committed it, inventing one-deep and two-deep relay
+/// chains through every neighbor.
+#[must_use]
+pub fn forger(wrong: Value) -> Box<dyn Process<Msg>> {
+    Box::new(Forger {
+        wrong,
+        fired: false,
+    })
+}
+
+struct Forger {
+    wrong: Value,
+    fired: bool,
+}
+
+impl Process<Msg> for Forger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.fired = true;
+        let me = ctx.id();
+        let torus = ctx.torus().clone();
+        let r = ctx.radius();
+        let metric = ctx.metric();
+        ctx.broadcast(Msg::Committed(self.wrong));
+        // Fabricate: every neighbor "committed" wrong (observed by us).
+        let neighbors: Vec<NodeId> = torus.neighborhood(me, r, metric).collect();
+        for &n in &neighbors {
+            ctx.broadcast(Msg::Heard {
+                committer: n,
+                value: self.wrong,
+                relays: vec![me],
+            });
+        }
+        // Deep fabrications: invent a relay between a committer and us.
+        // (Bounded to keep the message volume proportional to a node's
+        // honest traffic.)
+        for (i, &c) in neighbors.iter().enumerate() {
+            let relay = neighbors[(i + 1) % neighbors.len()];
+            if relay != c {
+                ctx.broadcast(Msg::Heard {
+                    committer: c,
+                    value: self.wrong,
+                    relays: vec![relay, me],
+                });
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        // Also corrupt genuine chains passing by, like the liar.
+        if let Msg::Heard {
+            committer, relays, ..
+        } = msg
+        {
+            if relays.len() < 3 && !relays.contains(&ctx.id()) && *committer != ctx.id() {
+                let mut extended = relays.clone();
+                extended.push(ctx.id());
+                ctx.broadcast(Msg::Heard {
+                    committer: *committer,
+                    value: self.wrong,
+                    relays: extended,
+                });
+            }
+        }
+        let _ = from;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcast_grid::{Coord, Metric, Torus};
+    use rbcast_sim::Network;
+
+    #[test]
+    fn silent_node_sends_nothing() {
+        let torus = Torus::for_radius(1);
+        let mut net = Network::new(torus, 1, Metric::Linf, |_| silent());
+        let stats = net.run(10);
+        assert_eq!(stats.messages_sent, 0);
+        assert!(stats.quiescent);
+    }
+
+    #[test]
+    fn liar_announces_immediately() {
+        let torus = Torus::for_radius(1);
+        let mut net = Network::new(torus.clone(), 1, Metric::Linf, |id| {
+            if id == torus.id(Coord::ORIGIN) {
+                liar(false)
+            } else {
+                silent()
+            }
+        });
+        let stats = net.run(10);
+        assert_eq!(stats.messages_sent, 1);
+    }
+
+    #[test]
+    fn forger_floods_fabrications() {
+        let torus = Torus::for_radius(1);
+        let mut net = Network::new(torus.clone(), 1, Metric::Linf, |id| {
+            if id == torus.id(Coord::ORIGIN) {
+                forger(true)
+            } else {
+                silent()
+            }
+        });
+        let stats = net.run(10);
+        // 1 COMMITTED + 8 shallow + 8 deep fabrications
+        assert_eq!(stats.messages_sent, 17);
+    }
+
+    #[test]
+    fn liar_corrupts_relayed_chains_with_its_own_id() {
+        // A liar relaying a chain must appear as the last relay — honest
+        // receivers can therefore discount anything passing through it
+        // once identified; structurally, all its chains share it.
+        let torus = Torus::for_radius(1);
+        let origin = torus.id(Coord::ORIGIN);
+        let lid = torus.id(Coord::new(1, 0));
+        let mut net = Network::new(torus.clone(), 1, Metric::Linf, |id| {
+            if id == origin {
+                // an honest-ish committer: just announce true once
+                struct Announcer;
+                impl Process<Msg> for Announcer {
+                    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                        ctx.broadcast(Msg::Committed(true));
+                    }
+                    fn on_message(
+                        &mut self,
+                        _: &mut Ctx<'_, Msg>,
+                        _: NodeId,
+                        _: &Msg,
+                    ) {}
+                }
+                Box::new(Announcer)
+            } else if id == lid {
+                liar(false)
+            } else {
+                silent()
+            }
+        });
+        let stats = net.run(10);
+        // announcer's COMMITTED + liar's initial COMMITTED + liar's
+        // corrupted relay of the announcement
+        assert_eq!(stats.messages_sent, 3);
+    }
+}

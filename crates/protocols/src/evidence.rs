@@ -1,0 +1,513 @@
+//! Commit-rule evidence evaluation for the indirect-report protocol.
+//!
+//! A node accumulates *report chains* about committers: hearing
+//! `COMMITTED(i, v)` directly is the empty chain; a
+//! `HEARD(k_m, …, k_1, i, v)` message is the chain `[k_1, …, k_m]`. The
+//! commit rules of §VI / §VI-B evaluate this evidence:
+//!
+//! * [`CommitRule::TwoLevel`] — the paper's §VI rule. First, *reliable
+//!   determination*: committer `i` is determined to have committed `v`
+//!   when heard directly, or when `t+1` pairwise node-disjoint chains
+//!   about `(i, v)` lie inside one neighborhood (at most `t` of them can
+//!   contain a faulty relay, and an all-honest chain is a telescoping
+//!   attestation that `i` really transmitted `COMMITTED(i, v)`). Second,
+//!   *commitment*: commit to `v` once `t+1` determined committers of `v`
+//!   lie inside one neighborhood (at most `t` faulty, and honest commits
+//!   are correct by induction).
+//! * [`CommitRule::OneLevel`] — the §VI-B-style collapsed rule: commit to
+//!   `v` once `t+1` pairwise node-disjoint chains — *including their
+//!   committers* in the disjointness — lie inside one neighborhood, all
+//!   reporting `v`. One of them is then all-honest end to end.
+//!
+//! Both rules are *safe* for any fault placement within the local bound;
+//! they differ in liveness/latency and in evaluation cost (benched in
+//! `rbcast-bench`).
+
+use rbcast_flow::ChainPacker;
+use rbcast_grid::{Coord, Metric, NodeId, Torus};
+use rbcast_sim::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Which commit rule the indirect protocol evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitRule {
+    /// The paper's §VI two-level rule (determine committers, then count
+    /// determined committers per neighborhood).
+    #[default]
+    TwoLevel,
+    /// The collapsed one-level rule (count disjoint chains per
+    /// neighborhood directly), as in the §VI-B simplified protocol.
+    OneLevel,
+}
+
+/// Network geometry needed by the evidence evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometry<'a> {
+    /// The arena.
+    pub torus: &'a Torus,
+    /// Transmission radius.
+    pub r: u32,
+    /// Distance metric.
+    pub metric: Metric,
+    /// The evaluating node's coordinate.
+    pub me: Coord,
+}
+
+impl Geometry<'_> {
+    /// Closed-ball membership: is `node` within `r` of `center`?
+    fn covers(&self, center: Coord, node: Coord) -> bool {
+        self.torus.within(center, node, self.r, self.metric)
+    }
+
+    /// Candidate neighborhood centers within distance `d` of `around`.
+    fn centers_within(&self, around: Coord, d: u32) -> Vec<Coord> {
+        let di = i64::from(d);
+        let mut v = Vec::new();
+        for dy in -di..=di {
+            for dx in -di..=di {
+                let c = around + Coord::new(dx, dy);
+                if self.torus.within(around, c, d, self.metric) {
+                    v.push(self.torus.canonical(c));
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Accumulated report-chain evidence and rule evaluation for one node.
+///
+/// # Example
+///
+/// ```
+/// use rbcast_grid::{Coord, Metric, Torus};
+/// use rbcast_protocols::{CommitRule, EvidenceStore, Geometry};
+///
+/// let torus = Torus::new(24, 24);
+/// let geo = Geometry { torus: &torus, r: 2, metric: Metric::Linf, me: Coord::new(10, 10) };
+/// let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
+/// // two committers in one neighborhood heard directly: t+1 = 2 → commit
+/// ev.record_direct(torus.id(Coord::new(9, 9)), true);
+/// ev.record_direct(torus.id(Coord::new(11, 9)), true);
+/// assert_eq!(ev.evaluate(&geo), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct EvidenceStore {
+    t: usize,
+    rule: CommitRule,
+    /// Per-(committer, value) chains, relays only (two-level rule).
+    packers: HashMap<(NodeId, Value), ChainPacker>,
+    /// Per-value chains with the committer prefixed (one-level rule).
+    combined: [ChainPacker; 2],
+    /// Pairs whose evidence changed since the last evaluation.
+    dirty: HashSet<(NodeId, Value)>,
+    /// Committers reliably determined (first value wins).
+    determined: HashMap<NodeId, Value>,
+    /// Set when a commit re-evaluation is warranted.
+    commit_dirty: bool,
+}
+
+impl EvidenceStore {
+    /// Creates an empty store for fault budget `t` under `rule`.
+    #[must_use]
+    pub fn new(t: usize, rule: CommitRule) -> Self {
+        EvidenceStore {
+            t,
+            rule,
+            ..EvidenceStore::default()
+        }
+    }
+
+    /// Records that the committer was heard announcing `v` directly.
+    pub fn record_direct(&mut self, committer: NodeId, v: Value) {
+        self.record_chain(committer, v, &[]);
+    }
+
+    /// Records a report chain (`relays` committer-side first, excluding
+    /// the committer and the receiving node). Returns `true` if the chain
+    /// was new and undominated (dominated chains can never matter — see
+    /// `ChainPacker::insert`).
+    ///
+    /// Only the structures the configured rule needs are maintained.
+    pub fn record_chain(&mut self, committer: NodeId, v: Value, relays: &[NodeId]) -> bool {
+        match self.rule {
+            CommitRule::TwoLevel => {
+                let relay_keys: Vec<u64> = relays.iter().map(|k| u64::from(k.0)).collect();
+                let new = self
+                    .packers
+                    .entry((committer, v))
+                    .or_default()
+                    .insert(&relay_keys);
+                if new && !self.determined.contains_key(&committer) {
+                    self.dirty.insert((committer, v));
+                }
+                new
+            }
+            CommitRule::OneLevel => {
+                let mut prefixed = Vec::with_capacity(relays.len() + 1);
+                prefixed.push(u64::from(committer.0));
+                prefixed.extend(relays.iter().map(|k| u64::from(k.0)));
+                let new = self.combined[usize::from(v)].insert(&prefixed);
+                if new {
+                    self.commit_dirty = true;
+                }
+                new
+            }
+        }
+    }
+
+    /// Committers reliably determined so far (two-level rule).
+    #[must_use]
+    pub fn determined(&self) -> &HashMap<NodeId, Value> {
+        &self.determined
+    }
+
+    /// Total stored (undominated) chains across all committers and
+    /// values.
+    #[must_use]
+    pub fn chain_count(&self) -> usize {
+        self.packers.values().map(ChainPacker::len).sum::<usize>()
+            + self.combined.iter().map(ChainPacker::len).sum::<usize>()
+    }
+
+    /// Evaluates the commit rule against the current evidence. Returns
+    /// the value to commit to, if the rule fires.
+    ///
+    /// Called at round boundaries; incremental (only dirty evidence is
+    /// re-examined).
+    pub fn evaluate(&mut self, geo: &Geometry<'_>) -> Option<Value> {
+        match self.rule {
+            CommitRule::TwoLevel => self.evaluate_two_level(geo),
+            CommitRule::OneLevel => self.evaluate_one_level(geo),
+        }
+    }
+
+    fn evaluate_two_level(&mut self, geo: &Geometry<'_>) -> Option<Value> {
+        // Level 1: refresh determinations for dirty (committer, value)
+        // pairs. A pair failing now is re-marked dirty by the next chain
+        // arrival for it.
+        let dirty: Vec<(NodeId, Value)> = self.dirty.drain().collect();
+        let mut newly = false;
+        for (committer, v) in dirty {
+            if self.determined.contains_key(&committer) {
+                continue;
+            }
+            if self.is_determined(geo, committer, v) {
+                self.determined.insert(committer, v);
+                newly = true;
+            }
+        }
+        // The commit threshold can only newly pass when a determination
+        // was added.
+        if !newly {
+            return None;
+        }
+
+        // Level 2: a neighborhood holding t+1 determined committers of v.
+        let need = self.t + 1;
+        let commits: Vec<(Coord, Value)> = self
+            .determined
+            .iter()
+            .map(|(&id, &v)| (geo.torus.coord(id), v))
+            .collect();
+        for center in geo.centers_within(geo.me, geo.r + 1) {
+            let mut counts = [0usize; 2];
+            for &(c, v) in &commits {
+                if geo.covers(center, c) {
+                    counts[usize::from(v)] += 1;
+                }
+            }
+            for v in [false, true] {
+                if counts[usize::from(v)] >= need {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Level-1 determination: direct observation, or `t+1` disjoint
+    /// chains inside a single neighborhood covering the committer.
+    fn is_determined(&self, geo: &Geometry<'_>, committer: NodeId, v: Value) -> bool {
+        let Some(packer) = self.packers.get(&(committer, v)) else {
+            return false;
+        };
+        if packer.has_direct() {
+            return true;
+        }
+        let need = (self.t + 1) as u32;
+        if packer.len() < need as usize {
+            return false;
+        }
+        let committer_coord = geo.torus.coord(committer);
+        for center in geo.centers_within(committer_coord, geo.r) {
+            let admit = |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
+            if packer.max_disjoint(admit, need) >= need {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn evaluate_one_level(&mut self, geo: &Geometry<'_>) -> Option<Value> {
+        if !self.commit_dirty {
+            return None;
+        }
+        self.commit_dirty = false;
+        self.dirty.clear();
+        let need = (self.t + 1) as u32;
+        for center in geo.centers_within(geo.me, geo.r + 1) {
+            for v in [true, false] {
+                let packer = &self.combined[usize::from(v)];
+                if packer.len() < need as usize {
+                    continue;
+                }
+                let admit =
+                    |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
+                if packer.max_disjoint(admit, need) >= need {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry(torus: &Torus) -> Geometry<'_> {
+        Geometry {
+            torus,
+            r: 2,
+            metric: Metric::Linf,
+            me: Coord::new(10, 10),
+        }
+    }
+
+    fn id(torus: &Torus, x: i64, y: i64) -> NodeId {
+        torus.id(Coord::new(x, y))
+    }
+
+    #[test]
+    fn direct_observations_determine_immediately() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(2, CommitRule::TwoLevel);
+        ev.record_direct(id(&torus, 9, 9), true);
+        let _ = ev.evaluate(&geo);
+        assert_eq!(ev.determined().len(), 1);
+    }
+
+    #[test]
+    fn two_level_commits_on_t_plus_1_determined_neighbors() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let t = 2;
+        let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
+        // three committers inside one neighborhood of `me`, all heard
+        // directly
+        for x in 0..3 {
+            ev.record_direct(id(&torus, 9 + x, 9), true);
+        }
+        assert_eq!(ev.evaluate(&geo), Some(true));
+    }
+
+    #[test]
+    fn two_level_needs_strictly_more_than_t() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(2, CommitRule::TwoLevel);
+        ev.record_direct(id(&torus, 9, 9), true);
+        ev.record_direct(id(&torus, 10, 9), true);
+        assert_eq!(ev.evaluate(&geo), None);
+    }
+
+    #[test]
+    fn determination_via_disjoint_chains() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let t = 1;
+        let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
+        let committer = id(&torus, 12, 12); // not a direct neighbor of me
+        // two disjoint chains through distinct relays near the committer
+        ev.record_chain(committer, true, &[id(&torus, 11, 12)]);
+        ev.record_chain(committer, true, &[id(&torus, 12, 11)]);
+        let _ = ev.evaluate(&geo);
+        assert_eq!(ev.determined().get(&committer), Some(&true));
+    }
+
+    #[test]
+    fn conflicting_chains_do_not_determine() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
+        let committer = id(&torus, 12, 12);
+        let shared_relay = id(&torus, 11, 12);
+        ev.record_chain(committer, true, &[shared_relay]);
+        ev.record_chain(committer, true, &[shared_relay, id(&torus, 11, 11)]);
+        let _ = ev.evaluate(&geo);
+        assert!(ev.determined().is_empty());
+    }
+
+    #[test]
+    fn chains_outside_any_single_neighborhood_do_not_count() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
+        let committer = id(&torus, 12, 12);
+        // relays too far apart to share a ball with the committer
+        ev.record_chain(committer, true, &[id(&torus, 10, 12)]);
+        ev.record_chain(committer, true, &[id(&torus, 14, 18)]);
+        let _ = ev.evaluate(&geo);
+        assert!(ev.determined().is_empty());
+    }
+
+    #[test]
+    fn one_level_commits_on_disjoint_committer_chains() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let t = 1;
+        let mut ev = EvidenceStore::new(t, CommitRule::OneLevel);
+        // two chains with distinct committers and distinct relays, all
+        // within the ball centered at (10, 10)
+        ev.record_chain(id(&torus, 9, 9), true, &[id(&torus, 10, 9)]);
+        ev.record_chain(id(&torus, 11, 11), true, &[id(&torus, 11, 10)]);
+        assert_eq!(ev.evaluate(&geo), Some(true));
+    }
+
+    #[test]
+    fn one_level_shared_committer_counts_once() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(1, CommitRule::OneLevel);
+        let committer = id(&torus, 9, 9);
+        ev.record_chain(committer, true, &[id(&torus, 10, 9)]);
+        ev.record_chain(committer, true, &[id(&torus, 9, 10)]);
+        assert_eq!(ev.evaluate(&geo), None);
+    }
+
+    #[test]
+    fn duplicate_chains_are_ignored() {
+        let torus = Torus::new(24, 24);
+        let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
+        let committer = id(&torus, 12, 12);
+        assert!(ev.record_chain(committer, true, &[id(&torus, 11, 12)]));
+        assert!(!ev.record_chain(committer, true, &[id(&torus, 11, 12)]));
+        assert_eq!(ev.chain_count(), 1);
+    }
+
+    #[test]
+    fn evaluation_is_idempotent_when_clean() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(0, CommitRule::TwoLevel);
+        ev.record_direct(id(&torus, 9, 9), false);
+        assert_eq!(ev.evaluate(&geo), Some(false));
+        // no new evidence: second call must be cheap and return None
+        assert_eq!(ev.evaluate(&geo), None);
+    }
+
+    #[test]
+    fn values_kept_separate() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
+        ev.record_direct(id(&torus, 9, 9), true);
+        ev.record_direct(id(&torus, 10, 9), false);
+        // one vote each: neither reaches t+1 = 2
+        assert_eq!(ev.evaluate(&geo), None);
+        ev.record_direct(id(&torus, 11, 9), true);
+        assert_eq!(ev.evaluate(&geo), Some(true));
+    }
+
+    #[test]
+    fn coalition_of_t_forgers_cannot_fabricate_a_determination() {
+        // t faulty nodes inside one neighborhood each fabricate one
+        // report chain claiming an honest committer committed `false`.
+        // Chains from distinct forgers are disjoint (each ends at its
+        // own forger), but there are only t of them — one short of the
+        // t+1 the rule demands.
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let t = 3;
+        let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
+        let victim = id(&torus, 12, 12);
+        for k in 0..t {
+            let forger = id(&torus, 11, 11 + k as i64 - 1);
+            ev.record_chain(victim, false, &[forger]);
+        }
+        let _ = ev.evaluate(&geo);
+        assert!(ev.determined().is_empty());
+    }
+
+    #[test]
+    fn forged_deep_chains_share_their_forger_and_collapse() {
+        // One forger fabricating many deep chains gains nothing: all its
+        // chains end with its own (unforgeable) identifier, so any
+        // disjoint family contains at most one of them.
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
+        let victim = id(&torus, 12, 12);
+        let forger = id(&torus, 11, 12);
+        for k in 0..6i64 {
+            ev.record_chain(victim, false, &[id(&torus, 12, 11 + (k % 2)), forger]);
+        }
+        let _ = ev.evaluate(&geo);
+        assert!(ev.determined().is_empty());
+    }
+
+    #[test]
+    fn one_honest_chain_tips_the_balance_for_the_truth() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let t = 2;
+        let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
+        let committer = id(&torus, 12, 12);
+        // t disjoint chains (possibly faulty relays) plus one more —
+        // t+1 disjoint chains within one ball determine the value.
+        for k in 0..=t {
+            ev.record_chain(committer, true, &[id(&torus, 11, 11 + k as i64)]);
+        }
+        let _ = ev.evaluate(&geo);
+        assert_eq!(ev.determined().get(&committer), Some(&true));
+    }
+
+    #[test]
+    fn level2_centers_reach_the_frontier_distance() {
+        // A frontier node sits r+1 from the neighborhood center whose
+        // committers it counts; the level-2 scan must find that center.
+        let torus = Torus::new(24, 24);
+        let t = 1;
+        let r = 2u32;
+        // me at (10, 10); committers clustered in the ball centered at
+        // (10, 13) — distance r+1 = 3 from me.
+        let geo = Geometry {
+            torus: &torus,
+            r,
+            metric: Metric::Linf,
+            me: Coord::new(10, 10),
+        };
+        let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
+        ev.record_direct(id(&torus, 10, 12), true);
+        ev.record_direct(id(&torus, 9, 12), true);
+        assert_eq!(ev.evaluate(&geo), Some(true));
+    }
+
+    #[test]
+    fn first_determination_wins_per_committer() {
+        let torus = Torus::new(24, 24);
+        let geo = geometry(&torus);
+        let mut ev = EvidenceStore::new(0, CommitRule::TwoLevel);
+        let committer = id(&torus, 12, 12);
+        ev.record_chain(committer, true, &[id(&torus, 11, 12)]);
+        let _ = ev.evaluate(&geo);
+        assert_eq!(ev.determined().get(&committer), Some(&true));
+        // later contradictory evidence cannot flip it
+        ev.record_chain(committer, false, &[id(&torus, 12, 11)]);
+        let _ = ev.evaluate(&geo);
+        assert_eq!(ev.determined().get(&committer), Some(&true));
+    }
+}

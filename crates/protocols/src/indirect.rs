@@ -1,0 +1,637 @@
+//! The Bhandari–Vaidya indirect-report protocol (§VI) and its simplified
+//! two-hop variant (§VI-B).
+//!
+//! Message flow:
+//!
+//! 1. the source locally broadcasts its value;
+//! 2. source neighbors commit immediately and broadcast
+//!    `COMMITTED(i, v)` once;
+//! 3. every node relays commit reports as `HEARD(…)` chains, each relay
+//!    affixing its identifier, up to `max_relays` hops (3 in the full
+//!    protocol — reports travel four hops from the committer; 1 in the
+//!    simplified protocol);
+//! 4. nodes evaluate the commit rule ([`CommitRule`]) at round
+//!    boundaries; on committing they broadcast `COMMITTED` once and keep
+//!    relaying for the benefit of others.
+//!
+//! Relay hygiene (all checkable locally, faithful to the model):
+//! a `HEARD` whose last affixed relay differs from the true transmitter
+//! is proof of fault and is dropped; chains with repeated nodes are
+//! degenerate and dropped; chains that no longer fit inside any single
+//! neighborhood can never serve as evidence and are pruned ("earmarking
+//! exact messages that a node should look out for", §VI).
+
+use crate::evidence::{CommitRule, EvidenceStore, Geometry};
+use crate::{Msg, ProtocolParams};
+use rbcast_grid::{Coord, Metric, NodeId};
+use rbcast_sim::{Ctx, Process, Value};
+use std::collections::HashMap;
+
+/// Configuration of the indirect-report protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndirectConfig {
+    /// Maximum relays a report chain may accumulate (3 = full §VI
+    /// protocol, 1 = simplified §VI-B protocol).
+    pub max_relays: usize,
+    /// The commit rule to evaluate.
+    pub rule: CommitRule,
+}
+
+impl IndirectConfig {
+    /// The full §VI protocol: four-hop reports, two-level rule.
+    #[must_use]
+    pub fn full() -> Self {
+        IndirectConfig {
+            max_relays: 3,
+            rule: CommitRule::TwoLevel,
+        }
+    }
+
+    /// The simplified §VI-B protocol: two-hop reports, one-level rule.
+    #[must_use]
+    pub fn simplified() -> Self {
+        IndirectConfig {
+            max_relays: 1,
+            rule: CommitRule::OneLevel,
+        }
+    }
+}
+
+impl Default for IndirectConfig {
+    fn default() -> Self {
+        IndirectConfig::full()
+    }
+}
+
+/// A node running the indirect-report protocol.
+///
+/// # Example
+///
+/// ```
+/// use rbcast_grid::{Coord, Metric, Torus};
+/// use rbcast_protocols::{Indirect, IndirectConfig, Msg, ProtocolParams};
+/// use rbcast_sim::{Network, Process};
+///
+/// let torus = Torus::for_radius(1);
+/// let params = ProtocolParams {
+///     source: torus.id(Coord::ORIGIN),
+///     value: true,
+///     t: 1, // the exact maximum for r = 1 (Theorem 1)
+/// };
+/// let mut net = Network::new(torus.clone(), 1, Metric::Linf, |_| {
+///     Box::new(Indirect::new(params, IndirectConfig::simplified()))
+///         as Box<dyn Process<Msg>>
+/// });
+/// net.run(10_000);
+/// assert!(torus
+///     .node_ids()
+///     .all(|id| net.decision(id).map(|(v, _)| v) == Some(true)));
+/// ```
+#[derive(Debug)]
+pub struct Indirect {
+    params: ProtocolParams,
+    config: IndirectConfig,
+    evidence: EvidenceStore,
+    /// First `COMMITTED` value heard per neighbor (§V: on contradiction,
+    /// accept only the first).
+    first_commit: HashMap<NodeId, Value>,
+    committed: bool,
+}
+
+impl Indirect {
+    /// Creates the process.
+    #[must_use]
+    pub fn new(params: ProtocolParams, config: IndirectConfig) -> Self {
+        Indirect {
+            params,
+            config,
+            evidence: EvidenceStore::new(params.t, config.rule),
+            first_commit: HashMap::new(),
+            committed: false,
+        }
+    }
+
+    /// Read-only access to the evidence store (for experiments).
+    #[must_use]
+    pub fn evidence(&self) -> &EvidenceStore {
+        &self.evidence
+    }
+
+    /// Whether this node has committed.
+    #[must_use]
+    pub fn committed(&self) -> bool {
+        self.committed
+    }
+
+    fn commit(&mut self, ctx: &mut Ctx<'_, Msg>, v: Value) {
+        if !self.committed {
+            self.committed = true;
+            ctx.decide(v);
+            ctx.broadcast(Msg::Committed(v));
+        }
+    }
+
+    /// Handles an observed commit announcement by `committer` (either a
+    /// direct `COMMITTED`, or the source's initial broadcast which
+    /// doubles as its commit announcement).
+    fn observe_commit(&mut self, ctx: &mut Ctx<'_, Msg>, committer: NodeId, v: Value) {
+        // First announcement per neighbor only (duplicity is detectable
+        // on a broadcast channel; everyone keeps the first).
+        if self.first_commit.contains_key(&committer) {
+            return;
+        }
+        self.first_commit.insert(committer, v);
+        self.evidence.record_direct(committer, v);
+        // Relay the report one hop, affixing our identifier.
+        if self.config.max_relays >= 1 {
+            ctx.broadcast(Msg::Heard {
+                committer,
+                value: v,
+                relays: vec![ctx.id()],
+            });
+        }
+    }
+
+    /// Whether the chain (committer + relays + optionally us) can still
+    /// fit inside a single neighborhood — if not, it can never be
+    /// evidence and is not worth relaying or storing.
+    fn fits_single_neighborhood(
+        ctx: &Ctx<'_, Msg>,
+        committer: Coord,
+        relays: &[NodeId],
+        include_self: bool,
+    ) -> bool {
+        let torus = ctx.torus();
+        let r = ctx.radius();
+        let metric = ctx.metric();
+        // Work in displacement space relative to the committer (chain
+        // members are always within a few hops, far from the wrap seam).
+        let mut members: Vec<Coord> = Vec::with_capacity(relays.len() + 2);
+        members.push(Coord::ORIGIN);
+        members.extend(
+            relays
+                .iter()
+                .map(|&k| torus.displacement(committer, torus.coord(k))),
+        );
+        if include_self {
+            members.push(torus.displacement(committer, ctx.coord()));
+        }
+        match metric {
+            Metric::Linf => {
+                // A lattice center within r of every member exists iff the
+                // bounding box spans at most 2r per axis.
+                let (mut min_x, mut max_x, mut min_y, mut max_y) = (0i64, 0i64, 0i64, 0i64);
+                for m in &members {
+                    min_x = min_x.min(m.x);
+                    max_x = max_x.max(m.x);
+                    min_y = min_y.min(m.y);
+                    max_y = max_y.max(m.y);
+                }
+                let span = 2 * i64::from(r);
+                max_x - min_x <= span && max_y - min_y <= span
+            }
+            Metric::L2 => {
+                // Scan candidate centers within r of the committer.
+                let ri = i64::from(r);
+                for dy in -ri..=ri {
+                    for dx in -ri..=ri {
+                        let c = Coord::new(dx, dy);
+                        if !metric.within(Coord::ORIGIN, c, r) {
+                            continue;
+                        }
+                        if members.iter().all(|&m| metric.within(c, m, r)) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+impl Process<Msg> for Indirect {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if ctx.id() == self.params.source {
+            self.committed = true;
+            ctx.decide(self.params.value);
+            // The source's initial broadcast doubles as its commit
+            // announcement; neighbors treat it as COMMITTED(source, v).
+            ctx.broadcast(Msg::Source(self.params.value));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        match msg {
+            Msg::Source(v) => {
+                if from != self.params.source {
+                    return; // only the designated source originates
+                }
+                // Source neighbors commit immediately (base case).
+                self.commit(ctx, *v);
+                self.observe_commit(ctx, from, *v);
+            }
+            Msg::Committed(v) => {
+                self.observe_commit(ctx, from, *v);
+            }
+            Msg::Heard {
+                committer,
+                value,
+                relays,
+            } => {
+                // Validate: the last affixed relay must be the true
+                // transmitter (mismatch = detectable forgery), the chain
+                // must be sane, and we must not appear in it.
+                if relays.last() != Some(&from) {
+                    return;
+                }
+                if relays.len() > self.config.max_relays {
+                    return;
+                }
+                let me = ctx.id();
+                if *committer == me || relays.contains(&me) || relays.contains(committer) {
+                    return;
+                }
+                let mut sorted = relays.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() != relays.len() {
+                    return; // repeated relay: degenerate
+                }
+                let committer_coord = ctx.torus().coord(*committer);
+                if !Self::fits_single_neighborhood(ctx, committer_coord, relays, false) {
+                    return; // can never be evidence for anyone
+                }
+                let new = self.evidence.record_chain(*committer, *value, relays);
+                // Forward with our identifier affixed while the extended
+                // chain remains potentially useful. If we heard the
+                // committer's own COMMITTED, our one-relay report
+                // `[me]` dominates every extension `[…, me]` at every
+                // receiver, so deeper chains need not be forwarded —
+                // the paper's "earmarking" state reduction.
+                if new
+                    && !self.first_commit.contains_key(committer)
+                    && relays.len() < self.config.max_relays
+                    && Self::fits_single_neighborhood(ctx, committer_coord, relays, true)
+                {
+                    let mut extended = relays.clone();
+                    extended.push(me);
+                    ctx.broadcast(Msg::Heard {
+                        committer: *committer,
+                        value: *value,
+                        relays: extended,
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_round_end(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.committed {
+            return;
+        }
+        let geo = Geometry {
+            torus: ctx.torus(),
+            r: ctx.radius(),
+            metric: ctx.metric(),
+            me: ctx.coord(),
+        };
+        if let Some(v) = self.evidence.evaluate(&geo) {
+            self.commit(ctx, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcast_grid::{Metric, Torus};
+    use rbcast_sim::Network;
+
+    fn honest_net(
+        r: u32,
+        t: usize,
+        config: IndirectConfig,
+        faulty: Vec<NodeId>,
+        attacker: fn() -> Box<dyn Process<Msg>>,
+    ) -> (Network<Msg>, Torus) {
+        let torus = Torus::for_radius(r);
+        let params = ProtocolParams {
+            source: torus.id(Coord::ORIGIN),
+            value: true,
+            t,
+        };
+        let f = faulty.clone();
+        let net = Network::new(torus.clone(), r, Metric::Linf, move |id| {
+            if f.contains(&id) {
+                attacker()
+            } else {
+                Box::new(Indirect::new(params, config)) as Box<dyn Process<Msg>>
+            }
+        });
+        (net, torus)
+    }
+
+    #[test]
+    fn fault_free_full_protocol_r1() {
+        let (mut net, torus) = honest_net(1, 1, IndirectConfig::full(), vec![], || {
+            unreachable!()
+        });
+        net.run(10_000);
+        for id in torus.node_ids() {
+            assert_eq!(net.decision(id).map(|(v, _)| v), Some(true), "{id}");
+        }
+    }
+
+    #[test]
+    fn fault_free_simplified_protocol_r2() {
+        let (mut net, torus) =
+            honest_net(2, 4, IndirectConfig::simplified(), vec![], || unreachable!());
+        net.run(10_000);
+        for id in torus.node_ids() {
+            assert_eq!(net.decision(id).map(|(v, _)| v), Some(true), "{id}");
+        }
+    }
+
+    #[test]
+    fn tolerates_max_t_silent_cluster_r1_full() {
+        // r = 1: threshold t < 1.5, so t_max = 1.
+        let torus = Torus::for_radius(1);
+        let faulty = vec![torus.id(Coord::new(2, 0))];
+        let (mut net, torus) =
+            honest_net(1, 1, IndirectConfig::full(), faulty.clone(), crate::attackers::silent);
+        net.run(10_000);
+        for id in torus.node_ids() {
+            if !faulty.contains(&id) {
+                assert_eq!(net.decision(id).map(|(v, _)| v), Some(true), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_max_t_liar_cluster_r1_simplified() {
+        let torus = Torus::for_radius(1);
+        let faulty = vec![torus.id(Coord::new(2, 0))];
+        let (mut net, torus) = honest_net(
+            1,
+            1,
+            IndirectConfig::simplified(),
+            faulty.clone(),
+            || crate::attackers::liar(false),
+        );
+        net.run(10_000);
+        for id in torus.node_ids() {
+            if !faulty.contains(&id) {
+                assert_eq!(net.decision(id).map(|(v, _)| v), Some(true), "{id}");
+            }
+        }
+    }
+
+    /// Harness-driven validation tests: feed crafted HEARD messages and
+    /// inspect exactly what is recorded and forwarded.
+    mod validation {
+        use super::*;
+        use rbcast_sim::Harness;
+
+        fn setup() -> (Harness<Msg>, Indirect, Torus) {
+            let torus = Torus::for_radius(2);
+            let me = torus.id(Coord::new(10, 10));
+            let params = ProtocolParams {
+                source: torus.id(Coord::ORIGIN),
+                value: true,
+                t: 1,
+            };
+            let proc = Indirect::new(params, IndirectConfig::full());
+            (
+                Harness::new(torus.clone(), 2, Metric::Linf, me),
+                proc,
+                torus,
+            )
+        }
+
+        fn id(torus: &Torus, x: i64, y: i64) -> rbcast_grid::NodeId {
+            torus.id(Coord::new(x, y))
+        }
+
+        #[test]
+        fn valid_chain_is_recorded_and_forwarded() {
+            let (mut h, mut p, torus) = setup();
+            let committer = id(&torus, 13, 10);
+            let relay = id(&torus, 11, 10);
+            h.deliver(
+                &mut p,
+                relay,
+                &Msg::Heard {
+                    committer,
+                    value: true,
+                    relays: vec![relay],
+                },
+            );
+            assert_eq!(p.evidence().chain_count(), 1);
+            let out = h.drain_outbox();
+            assert_eq!(out.len(), 1);
+            let me = id(&torus, 10, 10);
+            match &out[0] {
+                Msg::Heard {
+                    committer: c,
+                    value,
+                    relays: fwd,
+                } => {
+                    assert_eq!(*c, committer);
+                    assert!(*value);
+                    assert_eq!(fwd, &vec![relay, me], "must affix own id last");
+                }
+                other => panic!("expected forwarded HEARD, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn wrong_last_relay_is_proof_of_fault_and_dropped() {
+            let (mut h, mut p, torus) = setup();
+            let committer = id(&torus, 13, 10);
+            h.deliver(
+                &mut p,
+                id(&torus, 11, 10), // true transmitter
+                &Msg::Heard {
+                    committer,
+                    value: true,
+                    relays: vec![id(&torus, 12, 10)], // claims someone else
+                },
+            );
+            assert_eq!(p.evidence().chain_count(), 0);
+            assert!(h.drain_outbox().is_empty());
+        }
+
+        #[test]
+        fn chain_containing_me_is_dropped() {
+            let (mut h, mut p, torus) = setup();
+            let me = id(&torus, 10, 10);
+            let relay = id(&torus, 11, 10);
+            h.deliver(
+                &mut p,
+                relay,
+                &Msg::Heard {
+                    committer: id(&torus, 13, 10),
+                    value: true,
+                    relays: vec![me, relay], // I never sent that
+                },
+            );
+            assert_eq!(p.evidence().chain_count(), 0);
+        }
+
+        #[test]
+        fn chain_with_committer_as_relay_is_degenerate() {
+            let (mut h, mut p, torus) = setup();
+            let committer = id(&torus, 12, 10);
+            let relay = id(&torus, 11, 10);
+            h.deliver(
+                &mut p,
+                relay,
+                &Msg::Heard {
+                    committer,
+                    value: true,
+                    relays: vec![committer, relay],
+                },
+            );
+            assert_eq!(p.evidence().chain_count(), 0);
+        }
+
+        #[test]
+        fn repeated_relays_are_dropped() {
+            let (mut h, mut p, torus) = setup();
+            let relay = id(&torus, 11, 10);
+            h.deliver(
+                &mut p,
+                relay,
+                &Msg::Heard {
+                    committer: id(&torus, 13, 10),
+                    value: true,
+                    relays: vec![relay, relay],
+                },
+            );
+            assert_eq!(p.evidence().chain_count(), 0);
+        }
+
+        #[test]
+        fn over_length_chains_are_dropped() {
+            let (mut h, mut p, torus) = setup();
+            let last = id(&torus, 11, 10);
+            h.deliver(
+                &mut p,
+                last,
+                &Msg::Heard {
+                    committer: id(&torus, 13, 13),
+                    value: true,
+                    relays: vec![
+                        id(&torus, 13, 12),
+                        id(&torus, 12, 11),
+                        id(&torus, 12, 10),
+                        last,
+                    ], // 4 relays > max 3
+                },
+            );
+            assert_eq!(p.evidence().chain_count(), 0);
+        }
+
+        #[test]
+        fn chains_that_fit_no_neighborhood_are_pruned() {
+            let (mut h, mut p, torus) = setup();
+            let last = id(&torus, 11, 10);
+            // committer at (15, 15) is L∞ 5 from relay (11, 10): no ball
+            // of radius 2 covers both
+            h.deliver(
+                &mut p,
+                last,
+                &Msg::Heard {
+                    committer: id(&torus, 15, 15),
+                    value: true,
+                    relays: vec![last],
+                },
+            );
+            assert_eq!(p.evidence().chain_count(), 0);
+        }
+
+        #[test]
+        fn duplicate_chain_not_reforwarded() {
+            let (mut h, mut p, torus) = setup();
+            let relay = id(&torus, 11, 10);
+            let msg = Msg::Heard {
+                committer: id(&torus, 13, 10),
+                value: true,
+                relays: vec![relay],
+            };
+            h.deliver(&mut p, relay, &msg);
+            let first = h.drain_outbox().len();
+            h.deliver(&mut p, relay, &msg);
+            assert_eq!(first, 1);
+            assert!(h.drain_outbox().is_empty(), "duplicate was re-forwarded");
+        }
+
+        #[test]
+        fn equivocating_committer_first_value_wins() {
+            let (mut h, mut p, torus) = setup();
+            let committer = id(&torus, 11, 10);
+            h.deliver(&mut p, committer, &Msg::Committed(true));
+            h.deliver(&mut p, committer, &Msg::Committed(false));
+            // only the first announcement is recorded/relayed
+            let outs = h.drain_outbox();
+            assert_eq!(outs.len(), 1);
+            match &outs[0] {
+                Msg::Heard { value, .. } => assert!(*value),
+                other => panic!("expected HEARD, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn direct_observation_suppresses_deeper_forwarding() {
+            let (mut h, mut p, torus) = setup();
+            let committer = id(&torus, 11, 10);
+            h.deliver(&mut p, committer, &Msg::Committed(true));
+            let _ = h.drain_outbox();
+            // a 1-relay chain about the same committer arrives: recorded
+            // or dominated, but NOT forwarded (our [me] report dominates)
+            let relay = id(&torus, 10, 11);
+            h.deliver(
+                &mut p,
+                relay,
+                &Msg::Heard {
+                    committer,
+                    value: true,
+                    relays: vec![relay],
+                },
+            );
+            assert!(h.drain_outbox().is_empty());
+        }
+
+        #[test]
+        fn source_message_from_non_source_ignored() {
+            let (mut h, mut p, torus) = setup();
+            h.deliver(&mut p, id(&torus, 11, 10), &Msg::Source(false));
+            assert_eq!(h.decision(), None);
+            assert!(h.drain_outbox().is_empty());
+        }
+    }
+
+    #[test]
+    fn safety_under_forgers_at_max_t_r1() {
+        // Forgers fabricate chains for the wrong value; no honest node
+        // may ever commit `false`.
+        let torus = Torus::for_radius(1);
+        let faulty = vec![torus.id(Coord::new(2, 2))];
+        let (mut net, torus) = honest_net(
+            1,
+            1,
+            IndirectConfig::full(),
+            faulty.clone(),
+            || crate::attackers::forger(false),
+        );
+        net.run(10_000);
+        for id in torus.node_ids() {
+            if !faulty.contains(&id) {
+                if let Some((v, _)) = net.decision(id) {
+                    assert!(v, "{id} committed the forged value");
+                }
+            }
+        }
+    }
+}

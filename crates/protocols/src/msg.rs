@@ -1,0 +1,86 @@
+//! The wire message vocabulary.
+
+use rbcast_grid::NodeId;
+use rbcast_sim::Value;
+
+/// Messages exchanged by the broadcast protocols.
+///
+/// The sender identity is supplied by the channel (no spoofing), so
+/// messages do not carry a separate sender field — except inside
+/// [`Msg::Heard`] relay chains, where each forwarding node affixes its
+/// identifier exactly as in §VI ("each forwarding node affixes its
+/// identifier to the message"). Receivers verify that the last affixed
+/// relay matches the true transmitter and discard mismatches as proof of
+/// fault.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Msg {
+    /// The source's initial local broadcast of its value.
+    Source(Value),
+    /// `COMMITTED(i, v)` — the transmitter announces it has committed to
+    /// `v` (transmitted exactly once by honest nodes).
+    Committed(Value),
+    /// `HEARD(k_m, …, k_1, i, v)` — an indirect report that `committer`
+    /// committed `value`, relayed along `relays` (committer-side first;
+    /// the last entry is the transmitter itself).
+    Heard {
+        /// The node whose commit is being reported.
+        committer: NodeId,
+        /// The reported committed value.
+        value: Value,
+        /// The relay chain, committer-side first, transmitter last.
+        relays: Vec<NodeId>,
+    },
+}
+
+impl Msg {
+    /// The value carried by this message.
+    #[must_use]
+    pub fn value(&self) -> Value {
+        match self {
+            Msg::Source(v) | Msg::Committed(v) => *v,
+            Msg::Heard { value, .. } => *value,
+        }
+    }
+
+    /// Short message-kind label for statistics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Source(_) => "SOURCE",
+            Msg::Committed(_) => "COMMITTED",
+            Msg::Heard { .. } => "HEARD",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_extraction() {
+        assert!(Msg::Source(true).value());
+        assert!(!Msg::Committed(false).value());
+        let h = Msg::Heard {
+            committer: NodeId(3),
+            value: true,
+            relays: vec![NodeId(1)],
+        };
+        assert!(h.value());
+    }
+
+    #[test]
+    fn kinds_are_paper_names() {
+        assert_eq!(Msg::Source(true).kind(), "SOURCE");
+        assert_eq!(Msg::Committed(true).kind(), "COMMITTED");
+        assert_eq!(
+            Msg::Heard {
+                committer: NodeId(0),
+                value: false,
+                relays: vec![]
+            }
+            .kind(),
+            "HEARD"
+        );
+    }
+}

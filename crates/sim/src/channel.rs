@@ -1,0 +1,239 @@
+//! Channel imperfection models (§X of the paper, and the §II remark on
+//! probabilistic local broadcast).
+//!
+//! The baseline model assumes *reliable local broadcast*: every
+//! transmission reaches every neighbor, senders cannot be spoofed, and a
+//! TDMA schedule rules out collisions. §X discusses what breaks when
+//! these assumptions are relaxed; [`ChannelConfig`] makes each relaxation
+//! available to experiments:
+//!
+//! * **Loss** — each delivery independently fails with probability
+//!   `loss`; `redundancy` models the probabilistic local broadcast
+//!   primitive built from `redundancy` link-layer retransmissions
+//!   (delivery succeeds unless all attempts are lost, i.e. with
+//!   probability `1 − loss^redundancy`).
+//! * **Spoofing** — when enabled, a transmission may carry a forged
+//!   sender identity (honest protocols never use this; Byzantine
+//!   processes may, via [`crate::Ctx::broadcast_as`]).
+//! * **Jamming** — each faulty node may destroy up to `jam_budget`
+//!   transmissions *in total* by deliberate collision (§X considers the
+//!   bounded-collisions regime; with an unbounded budget broadcast is
+//!   impossible outright). A jammed transmission is lost at exactly the
+//!   receivers within the jammer's range (receivers out of range still
+//!   hear it).
+
+use crate::Round;
+use rbcast_grid::NodeId;
+
+/// Configuration of the (possibly imperfect) broadcast channel.
+///
+/// [`ChannelConfig::default`] is the paper's baseline: perfectly
+/// reliable, unspoofable, collision-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelConfig {
+    /// Per-attempt, per-receiver independent loss probability.
+    pub loss: f64,
+    /// Link-layer retransmissions backing each local broadcast (≥ 1).
+    /// A delivery is lost only if all `redundancy` attempts are lost.
+    pub redundancy: u32,
+    /// Whether forged sender identities are honoured by the channel.
+    pub spoofing: bool,
+    /// Total deliberate collisions each faulty node may cause over the
+    /// whole run (its collision "battery").
+    pub jam_budget: u32,
+    /// Nodes acting as jammers (normally the Byzantine placement).
+    pub jammers: Vec<NodeId>,
+    /// RNG seed for loss draws.
+    pub seed: u64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            loss: 0.0,
+            redundancy: 1,
+            spoofing: false,
+            jam_budget: 0,
+            jammers: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// The paper's baseline reliable channel.
+    #[must_use]
+    pub fn reliable() -> Self {
+        ChannelConfig::default()
+    }
+
+    /// A lossy channel with the probabilistic local broadcast primitive:
+    /// per-receiver loss probability `loss`, masked by `redundancy`
+    /// link-layer retransmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss < 1` and `redundancy ≥ 1`.
+    #[must_use]
+    pub fn lossy(loss: f64, redundancy: u32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        assert!(redundancy >= 1, "redundancy must be at least 1");
+        ChannelConfig {
+            loss,
+            redundancy,
+            seed,
+            ..ChannelConfig::default()
+        }
+    }
+
+    /// Enables forged sender identities (the §X spoofing relaxation).
+    #[must_use]
+    pub fn with_spoofing(mut self) -> Self {
+        self.spoofing = true;
+        self
+    }
+
+    /// Arms `jammers` with a lifetime battery of `budget` deliberate
+    /// collisions each.
+    #[must_use]
+    pub fn with_jammers(mut self, jammers: Vec<NodeId>, budget: u32) -> Self {
+        self.jammers = jammers;
+        self.jam_budget = budget;
+        self
+    }
+
+    /// Effective delivery probability of one local broadcast to one
+    /// neighbor under this configuration (ignoring jamming).
+    #[must_use]
+    pub fn delivery_probability(&self) -> f64 {
+        1.0 - self.loss.powi(self.redundancy as i32)
+    }
+
+    /// True iff this is the baseline reliable channel (used to skip the
+    /// RNG on the hot path).
+    #[must_use]
+    pub fn is_reliable(&self) -> bool {
+        self.loss == 0.0 && self.jam_budget == 0
+    }
+}
+
+/// Deterministic per-delivery loss decision.
+///
+/// Derives an independent pseudo-random draw from
+/// `(seed, round, transmission index, receiver)` with a splitmix-style
+/// mix, so runs are reproducible without storing RNG state per edge.
+#[must_use]
+pub(crate) fn delivery_lost(
+    cfg: &ChannelConfig,
+    round: Round,
+    tx_index: usize,
+    receiver: NodeId,
+) -> bool {
+    if cfg.loss == 0.0 {
+        return false;
+    }
+    let mut lost = true;
+    for attempt in 0..cfg.redundancy {
+        let mut x = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(round))
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(tx_index as u64)
+            .wrapping_mul(0x94D0_49BB_1331_11EB)
+            .wrapping_add(u64::from(receiver.0))
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(u64::from(attempt));
+        // splitmix64 finalizer
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let draw = (x >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= cfg.loss {
+            lost = false;
+            break;
+        }
+    }
+    lost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reliable() {
+        let cfg = ChannelConfig::default();
+        assert!(cfg.is_reliable());
+        assert_eq!(cfg.delivery_probability(), 1.0);
+        assert!(!delivery_lost(&cfg, 0, 0, NodeId(0)));
+    }
+
+    #[test]
+    fn lossy_rates_are_plausible() {
+        let cfg = ChannelConfig::lossy(0.3, 1, 42);
+        let n = 20_000;
+        let lost = (0..n)
+            .filter(|&i| delivery_lost(&cfg, 1, i, NodeId(7)))
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn redundancy_masks_losses() {
+        let cfg = ChannelConfig::lossy(0.5, 4, 42);
+        assert!((cfg.delivery_probability() - 0.9375).abs() < 1e-12);
+        let n = 20_000;
+        let lost = (0..n)
+            .filter(|&i| delivery_lost(&cfg, 1, i, NodeId(7)))
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.0625).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let cfg = ChannelConfig::lossy(0.4, 2, 9);
+        for i in 0..100 {
+            assert_eq!(
+                delivery_lost(&cfg, 3, i, NodeId(11)),
+                delivery_lost(&cfg, 3, i, NodeId(11))
+            );
+        }
+    }
+
+    #[test]
+    fn draws_vary_across_receivers_and_rounds() {
+        let cfg = ChannelConfig::lossy(0.5, 1, 1);
+        let a: Vec<bool> = (0..64).map(|i| delivery_lost(&cfg, 1, i, NodeId(1))).collect();
+        let b: Vec<bool> = (0..64).map(|i| delivery_lost(&cfg, 1, i, NodeId(2))).collect();
+        let c: Vec<bool> = (0..64).map(|i| delivery_lost(&cfg, 2, i, NodeId(1))).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in")]
+    fn rejects_certain_loss() {
+        let _ = ChannelConfig::lossy(1.0, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "redundancy")]
+    fn rejects_zero_redundancy() {
+        let _ = ChannelConfig::lossy(0.1, 0, 0);
+    }
+
+    #[test]
+    fn builder_composes() {
+        let cfg = ChannelConfig::lossy(0.1, 2, 5)
+            .with_spoofing()
+            .with_jammers(vec![NodeId(3)], 2);
+        assert!(cfg.spoofing);
+        assert_eq!(cfg.jam_budget, 2);
+        assert!(!cfg.is_reliable());
+    }
+}

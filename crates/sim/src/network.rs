@@ -1,0 +1,763 @@
+//! The synchronous round-based network engine.
+
+use crate::channel::delivery_lost;
+use crate::process::NodeState;
+use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, Value};
+use rbcast_grid::{Metric, NodeId, TdmaSchedule, Torus};
+
+/// One transmission on the air: the true sender, the identity the
+/// channel reports to receivers (differs only under the §X spoofing
+/// relaxation), and the payload.
+#[derive(Debug, Clone)]
+struct Transmission<M> {
+    sender: NodeId,
+    claimed: NodeId,
+    msg: M,
+}
+
+/// A finite toroidal radio network executing one [`Process`] per node.
+///
+/// Execution proceeds in synchronous rounds:
+///
+/// 1. messages queued in round `k` are *on the air* and delivered at the
+///    start of round `k+1`, in TDMA slot order across senders and FIFO
+///    order per sender — every receiver observes the same order,
+///    reproducing the broadcast-channel ordering guarantee of §II;
+/// 2. each alive node's [`Process::on_message`] runs per delivery, then
+///    [`Process::on_round_end`] runs once;
+/// 3. outboxes are collected for the next round; nodes crashed at or
+///    before the current round transmit nothing.
+///
+/// The run ends at quiescence (nothing on the air) or after `max_rounds`.
+pub struct Network<M> {
+    torus: Torus,
+    radius: u32,
+    metric: Metric,
+    neighbors: Vec<Vec<NodeId>>,
+    order: Vec<NodeId>,
+    processes: Vec<Option<Box<dyn Process<M>>>>,
+    states: Vec<NodeState<M>>,
+    crashed_at: Vec<Option<Round>>,
+    channel: ChannelConfig,
+    /// Remaining collision battery per jammer (parallel to
+    /// `channel.jammers`).
+    jam_remaining: Vec<u32>,
+    history: Vec<RoundReport>,
+    classifier: Option<fn(&M) -> &'static str>,
+    kind_counts: std::collections::BTreeMap<&'static str, u64>,
+    messages_sent: u64,
+    deliveries: u64,
+    lost_deliveries: u64,
+    jammed_deliveries: u64,
+}
+
+impl<M: Clone> Network<M> {
+    /// Builds a network over `torus` with transmission radius `radius`
+    /// under `metric`, instantiating each node's process with `make`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus is too small to emulate the infinite grid at
+    /// this radius (see [`Torus::supports_radius`]).
+    pub fn new<F>(torus: Torus, radius: u32, metric: Metric, make: F) -> Self
+    where
+        F: FnMut(NodeId) -> Box<dyn Process<M>>,
+    {
+        Network::new_with_channel(torus, radius, metric, ChannelConfig::reliable(), make)
+    }
+
+    /// [`Network::new`] with an explicit (possibly imperfect) channel
+    /// configuration — the §X relaxations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus is too small for the radius.
+    pub fn new_with_channel<F>(
+        torus: Torus,
+        radius: u32,
+        metric: Metric,
+        channel: ChannelConfig,
+        mut make: F,
+    ) -> Self
+    where
+        F: FnMut(NodeId) -> Box<dyn Process<M>>,
+    {
+        assert!(
+            torus.supports_radius(radius),
+            "{torus} cannot faithfully host radius {radius} (needs side > {})",
+            2 * (2 * radius + 1),
+        );
+        let n = torus.len();
+        let neighbors: Vec<Vec<NodeId>> = torus
+            .node_ids()
+            .map(|id| torus.neighborhood(id, radius, metric).collect())
+            .collect();
+        // Transmission order: TDMA slot order when a periodic schedule
+        // fits this torus, id order otherwise (the model guarantees
+        // collision-freedom either way).
+        let mut order: Vec<NodeId> = torus.node_ids().collect();
+        if let Ok(tdma) = TdmaSchedule::new(&torus, radius) {
+            order.sort_by_key(|&id| (tdma.slot_of(torus.coord(id)), id));
+        }
+        let processes = torus.node_ids().map(|id| Some(make(id))).collect();
+        let states = (0..n).map(|_| NodeState::default()).collect();
+        Network {
+            torus,
+            radius,
+            metric,
+            neighbors,
+            order,
+            processes,
+            states,
+            crashed_at: vec![None; n],
+            jam_remaining: vec![channel.jam_budget; channel.jammers.len()],
+            channel,
+            history: Vec::new(),
+            classifier: None,
+            kind_counts: std::collections::BTreeMap::new(),
+            messages_sent: 0,
+            deliveries: 0,
+            lost_deliveries: 0,
+            jammed_deliveries: 0,
+        }
+    }
+
+    /// The arena.
+    #[must_use]
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The transmission radius.
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// The metric in force.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Precomputed neighborhood of `id`.
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// Schedules a crash-stop fault: the node performs no actions (no
+    /// callbacks, no transmissions) from round `round` onward. `round 0`
+    /// means the node never participates.
+    pub fn crash_at(&mut self, id: NodeId, round: Round) {
+        let slot = &mut self.crashed_at[id.index()];
+        *slot = Some(slot.map_or(round, |prev| prev.min(round)));
+    }
+
+    /// Whether `id` is crashed as of round `round`.
+    #[must_use]
+    pub fn is_crashed(&self, id: NodeId, round: Round) -> bool {
+        self.crashed_at[id.index()].is_some_and(|c| c <= round)
+    }
+
+    /// Runs the simulation until quiescence or `max_rounds`, returning
+    /// run statistics.
+    pub fn run(&mut self, max_rounds: Round) -> RunStats {
+        // Round 0: starts.
+        let start_order = self.order.clone();
+        for &id in &start_order {
+            if !self.is_crashed(id, 0) {
+                self.with_ctx(id, 0, |proc, ctx| proc.on_start(ctx));
+            }
+        }
+        for &id in &start_order {
+            if !self.is_crashed(id, 0) {
+                self.with_ctx(id, 0, |proc, ctx| proc.on_round_end(ctx));
+            }
+        }
+        let mut on_air = self.collect_transmissions(0);
+
+        let mut round: Round = 0;
+        while !on_air.is_empty() && round < max_rounds {
+            round += 1;
+            let deliveries_before = self.deliveries;
+            let decided_before = self
+                .states
+                .iter()
+                .filter(|st| st.decision.is_some())
+                .count() as u64;
+            // Deliberate collisions (§X): each jammer destroys up to its
+            // budget of this round's transmissions, greedily in order; a
+            // jammed transmission is lost exactly at receivers within the
+            // jammer's range.
+            let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&on_air, round);
+            // Deliver everything on the air, in global transmission order.
+            for (tx_index, tx) in on_air.iter().enumerate() {
+                let receivers = self.neighbors[tx.sender.index()].clone();
+                for rid in receivers {
+                    if self.is_crashed(rid, round) {
+                        continue;
+                    }
+                    if let Some(jammer) = jam_of[tx_index] {
+                        if self.torus.within(
+                            self.torus.coord(jammer),
+                            self.torus.coord(rid),
+                            self.radius,
+                            self.metric,
+                        ) {
+                            self.jammed_deliveries += 1;
+                            continue;
+                        }
+                    }
+                    if delivery_lost(&self.channel, round, tx_index, rid) {
+                        self.lost_deliveries += 1;
+                        continue;
+                    }
+                    self.deliveries += 1;
+                    let claimed = tx.claimed;
+                    let msg = tx.msg.clone();
+                    self.with_ctx(rid, round, |proc, ctx| {
+                        proc.on_message(ctx, claimed, &msg);
+                    });
+                }
+            }
+            for &id in &start_order {
+                if !self.is_crashed(id, round) {
+                    self.with_ctx(id, round, |proc, ctx| proc.on_round_end(ctx));
+                }
+            }
+            let decided_after = self
+                .states
+                .iter()
+                .filter(|st| st.decision.is_some())
+                .count() as u64;
+            self.history.push(RoundReport {
+                round,
+                transmissions: on_air.len() as u64,
+                deliveries: self.deliveries - deliveries_before,
+                decisions: decided_after - decided_before,
+            });
+            on_air = self.collect_transmissions(round);
+        }
+
+        RunStats {
+            rounds: round,
+            quiescent: on_air.is_empty(),
+            messages_sent: self.messages_sent,
+            deliveries: self.deliveries,
+            lost_deliveries: self.lost_deliveries,
+            jammed_deliveries: self.jammed_deliveries,
+        }
+    }
+
+    /// Greedy jammer assignment for one round: each jammer, in listed
+    /// order, spends its remaining lifetime battery on not-yet-jammed
+    /// transmissions it can disrupt (any transmission with at least one
+    /// receiver in its range), earliest first.
+    fn assign_jammers(&mut self, on_air: &[Transmission<M>], round: Round) -> Vec<Option<NodeId>> {
+        let mut jam_of = vec![None; on_air.len()];
+        if self.channel.jam_budget == 0 || self.channel.jammers.is_empty() {
+            return jam_of;
+        }
+        for (j, &jammer) in self.channel.jammers.iter().enumerate() {
+            if self.is_crashed(jammer, round) {
+                continue;
+            }
+            let jc = self.torus.coord(jammer);
+            for (i, tx) in on_air.iter().enumerate() {
+                if self.jam_remaining[j] == 0 {
+                    break;
+                }
+                if jam_of[i].is_some() || tx.sender == jammer {
+                    continue;
+                }
+                let reachable = self.neighbors[tx.sender.index()].iter().any(|&rid| {
+                    self.torus.within(
+                        jc,
+                        self.torus.coord(rid),
+                        self.radius,
+                        self.metric,
+                    )
+                });
+                if reachable {
+                    jam_of[i] = Some(jammer);
+                    self.jam_remaining[j] -= 1;
+                }
+            }
+        }
+        jam_of
+    }
+
+    /// Per-round aggregate history of the last [`Network::run`] — the
+    /// wavefront's raw data.
+    #[must_use]
+    pub fn history(&self) -> &[RoundReport] {
+        &self.history
+    }
+
+    /// Installs a message classifier; transmissions are tallied per
+    /// returned label (see [`Network::kind_counts`]).
+    pub fn set_classifier(&mut self, classify: fn(&M) -> &'static str) {
+        self.classifier = Some(classify);
+    }
+
+    /// Transmission counts per classifier label (empty without a
+    /// classifier installed).
+    #[must_use]
+    pub fn kind_counts(&self) -> &std::collections::BTreeMap<&'static str, u64> {
+        &self.kind_counts
+    }
+
+    /// The decisions of every node, indexed by node id.
+    #[must_use]
+    pub fn decisions(&self) -> Vec<Option<(Value, Round)>> {
+        self.states.iter().map(|s| s.decision).collect()
+    }
+
+    /// One node's decision.
+    #[must_use]
+    pub fn decision(&self, id: NodeId) -> Option<(Value, Round)> {
+        self.states[id.index()].decision
+    }
+
+    /// Immutable access to a node's process (e.g. to inspect protocol
+    /// state after a run).
+    #[must_use]
+    pub fn process(&self, id: NodeId) -> &dyn Process<M> {
+        self.processes[id.index()]
+            .as_deref()
+            .expect("process present outside callback")
+    }
+
+    fn with_ctx<F>(&mut self, id: NodeId, round: Round, f: F)
+    where
+        F: FnOnce(&mut dyn Process<M>, &mut Ctx<'_, M>),
+    {
+        let mut proc = self.processes[id.index()]
+            .take()
+            .expect("re-entrant process callback");
+        {
+            let mut ctx = Ctx {
+                id,
+                coord: self.torus.coord(id),
+                torus: &self.torus,
+                radius: self.radius,
+                metric: self.metric,
+                round,
+                state: &mut self.states[id.index()],
+                messages_sent: &mut self.messages_sent,
+            };
+            f(proc.as_mut(), &mut ctx);
+        }
+        self.processes[id.index()] = Some(proc);
+    }
+
+    /// Drains outboxes in transmission order; crashed nodes stay silent.
+    /// Forged identities are honoured only when the channel allows
+    /// spoofing.
+    fn collect_transmissions(&mut self, round: Round) -> Vec<Transmission<M>> {
+        let mut out = Vec::new();
+        for &id in &self.order {
+            if self.is_crashed(id, round) {
+                self.states[id.index()].outbox.clear();
+                continue;
+            }
+            for (claimed, msg) in self.states[id.index()].outbox.drain(..) {
+                let claimed = if self.channel.spoofing { claimed } else { id };
+                if let Some(classify) = self.classifier {
+                    *self.kind_counts.entry(classify(&msg)).or_insert(0) += 1;
+                }
+                out.push(Transmission {
+                    sender: id,
+                    claimed,
+                    msg,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl<M> std::fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("torus", &self.torus)
+            .field("radius", &self.radius)
+            .field("metric", &self.metric)
+            .field("messages_sent", &self.messages_sent)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcast_grid::Coord;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+
+    /// Shared log of deliveries: (receiver, sender, payload), in order.
+    type Log = Rc<RefCell<Vec<(NodeId, NodeId, u32)>>>;
+
+    /// Test process: records everything heard into a shared log,
+    /// optionally echoes once.
+    struct Recorder {
+        echo: bool,
+        start_value: Option<u32>,
+        log: Log,
+        echoed: bool,
+    }
+
+    impl Process<u32> for Recorder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if let Some(v) = self.start_value {
+                ctx.broadcast(v);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: &u32) {
+            self.log.borrow_mut().push((ctx.id(), from, *msg));
+            if self.echo && !self.echoed {
+                self.echoed = true;
+                ctx.broadcast(msg + 1);
+            }
+        }
+    }
+
+    fn recorder_net(start: &[(Coord, u32)], echo: bool) -> (Network<u32>, Torus, Log) {
+        let torus = Torus::new(12, 12);
+        let starts: HashMap<NodeId, u32> =
+            start.iter().map(|&(c, v)| (torus.id(c), v)).collect();
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        let net = Network::new(torus.clone(), 2, Metric::Linf, move |id| {
+            Box::new(Recorder {
+                echo,
+                start_value: starts.get(&id).copied(),
+                log: log2.clone(),
+                echoed: false,
+            }) as Box<dyn Process<u32>>
+        });
+        (net, torus, log)
+    }
+
+    #[test]
+    fn broadcast_reaches_exactly_the_neighborhood() {
+        let (mut net, torus, log) = recorder_net(&[(Coord::new(5, 5), 7)], false);
+        let stats = net.run(10);
+        assert!(stats.quiescent);
+        assert_eq!(stats.messages_sent, 1);
+        // (2r+1)² − 1 = 24 receivers
+        assert_eq!(stats.deliveries, 24);
+        // exactly the L∞ neighborhood heard it
+        let heard: std::collections::HashSet<NodeId> =
+            log.borrow().iter().map(|&(rx, _, _)| rx).collect();
+        let expect: std::collections::HashSet<NodeId> = torus
+            .neighborhood(torus.id(Coord::new(5, 5)), 2, Metric::Linf)
+            .collect();
+        assert_eq!(heard, expect);
+    }
+
+    #[test]
+    fn echo_cascade_counts() {
+        let (mut net, _torus, _log) = recorder_net(&[(Coord::new(5, 5), 0)], true);
+        let stats = net.run(30);
+        assert!(stats.quiescent);
+        // the echo wave washes over the whole torus: the initial
+        // broadcast plus one echo from every node (the initiator echoes
+        // too, once it hears its neighbors' echoes)
+        assert_eq!(stats.messages_sent, 1 + 144);
+    }
+
+    #[test]
+    fn crashed_node_is_silent_and_deaf() {
+        let (mut net, torus, _log) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+        let victim = torus.id(Coord::new(6, 5));
+        net.crash_at(victim, 0);
+        let stats = net.run(30);
+        // the victim never echoes; everyone else still does
+        assert_eq!(stats.messages_sent, 1 + 143);
+        assert!(stats.quiescent);
+    }
+
+    #[test]
+    fn crash_at_later_round_allows_early_action() {
+        let (mut net, torus, _log) = recorder_net(&[(Coord::new(5, 5), 7)], false);
+        let victim = torus.id(Coord::new(6, 5));
+        net.crash_at(victim, 2); // after delivery round 1
+        let stats = net.run(10);
+        assert_eq!(stats.deliveries, 24); // still heard it in round 1
+        assert!(stats.quiescent);
+    }
+
+    #[test]
+    fn crash_takes_minimum_round() {
+        let torus = Torus::new(12, 12);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(torus.clone(), 2, Metric::Linf, |_| {
+            Box::new(Recorder {
+                echo: false,
+                start_value: None,
+                log: log.clone(),
+                echoed: false,
+            }) as Box<dyn Process<u32>>
+        });
+        let id = torus.id(Coord::new(3, 3));
+        net.crash_at(id, 5);
+        net.crash_at(id, 2);
+        net.crash_at(id, 9);
+        assert!(net.is_crashed(id, 2));
+        assert!(!net.is_crashed(id, 1));
+    }
+
+    #[test]
+    fn quiescence_with_no_messages() {
+        let (mut net, _, _) = recorder_net(&[], false);
+        let stats = net.run(10);
+        assert_eq!(stats.rounds, 0);
+        assert!(stats.quiescent);
+        assert_eq!(stats.messages_sent, 0);
+    }
+
+    #[test]
+    fn max_rounds_caps_runaway() {
+        /// A babbler that rebroadcasts forever.
+        struct Babbler;
+        impl Process<u32> for Babbler {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, m: &u32) {
+                ctx.broadcast(m + 1);
+            }
+        }
+        let torus = Torus::new(12, 12);
+        let mut net =
+            Network::new(torus, 1, Metric::Linf, |_| Box::new(Babbler) as Box<dyn Process<u32>>);
+        let stats = net.run(5);
+        assert_eq!(stats.rounds, 5);
+        assert!(!stats.quiescent);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot faithfully host")]
+    fn rejects_undersized_torus() {
+        let torus = Torus::new(8, 8);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let _ = Network::new(torus, 2, Metric::Linf, |_| {
+            Box::new(Recorder {
+                echo: false,
+                start_value: None,
+                log: log.clone(),
+                echoed: false,
+            }) as Box<dyn Process<u32>>
+        });
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_sender_and_identical_across_receivers() {
+        // Two talkers each send a numbered burst; every receiver must see
+        // each sender's burst in order, and any two receivers hearing the
+        // same pair of transmissions must agree on their relative order.
+        let torus = Torus::new(12, 12);
+        let t1 = torus.id(Coord::new(5, 5));
+        let t2 = torus.id(Coord::new(6, 5));
+        let bursts: HashMap<NodeId, Vec<u32>> =
+            [(t1, vec![1, 2, 3]), (t2, vec![10, 20, 30])].into();
+        struct Burst {
+            values: Vec<u32>,
+            log: Log,
+        }
+        impl Process<u32> for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                for &v in &self.values {
+                    ctx.broadcast(v);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, m: &u32) {
+                self.log.borrow_mut().push((ctx.id(), from, *m));
+            }
+        }
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let log3 = log.clone();
+        let mut net = Network::new(torus.clone(), 2, Metric::Linf, move |id| {
+            Box::new(Burst {
+                values: bursts.get(&id).cloned().unwrap_or_default(),
+                log: log3.clone(),
+            }) as Box<dyn Process<u32>>
+        });
+        net.run(10);
+        // group deliveries per receiver, in arrival order
+        let mut per_rx: HashMap<NodeId, Vec<(NodeId, u32)>> = HashMap::new();
+        for &(rx, tx, v) in log.borrow().iter() {
+            per_rx.entry(rx).or_default().push((tx, v));
+        }
+        for (rx, seq) in &per_rx {
+            // per-sender FIFO
+            for sender in [t1, t2] {
+                let vals: Vec<u32> = seq
+                    .iter()
+                    .filter(|&&(tx, _)| tx == sender)
+                    .map(|&(_, v)| v)
+                    .collect();
+                let mut sorted = vals.clone();
+                sorted.sort_unstable();
+                assert_eq!(vals, sorted, "receiver {rx} saw out-of-order burst");
+            }
+        }
+        // identical interleaving across receivers that heard both talkers
+        let both: Vec<&Vec<(NodeId, u32)>> = per_rx
+            .values()
+            .filter(|seq| {
+                seq.iter().any(|&(tx, _)| tx == t1) && seq.iter().any(|&(tx, _)| tx == t2)
+            })
+            .collect();
+        assert!(both.len() > 1);
+        for w in both.windows(2) {
+            assert_eq!(w[0], w[1], "receivers disagree on broadcast order");
+        }
+    }
+
+    #[test]
+    fn history_records_every_round() {
+        let (mut net, _torus, _log) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+        let stats = net.run(30);
+        let history = net.history();
+        assert_eq!(history.len() as u32, stats.rounds);
+        assert_eq!(
+            history.iter().map(|h| h.deliveries).sum::<u64>(),
+            stats.deliveries
+        );
+        // rounds are numbered 1.. in order
+        for (i, h) in history.iter().enumerate() {
+            assert_eq!(h.round as usize, i + 1);
+        }
+        // the first round carries exactly the initial transmission
+        assert_eq!(history[0].transmissions, 1);
+    }
+
+    #[test]
+    fn spoofed_identities_corrected_unless_channel_allows() {
+        struct Spoof;
+        impl Process<u32> for Spoof {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                let fake = NodeId(0);
+                ctx.broadcast_as(fake, 99);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32) {}
+        }
+        let run = |spoofing: bool| -> Vec<(NodeId, NodeId, u32)> {
+            let torus = Torus::new(12, 12);
+            let spoofer = torus.id(Coord::new(5, 5));
+            let log: Log = Rc::new(RefCell::new(Vec::new()));
+            let log2 = log.clone();
+            let channel = if spoofing {
+                crate::ChannelConfig::reliable().with_spoofing()
+            } else {
+                crate::ChannelConfig::reliable()
+            };
+            let mut net =
+                Network::new_with_channel(torus.clone(), 2, Metric::Linf, channel, move |id| {
+                    if id == spoofer {
+                        Box::new(Spoof) as Box<dyn Process<u32>>
+                    } else {
+                        Box::new(Recorder {
+                            echo: false,
+                            start_value: None,
+                            log: log2.clone(),
+                            echoed: false,
+                        })
+                    }
+                });
+            net.run(5);
+            let out = log.borrow().clone();
+            out
+        };
+        let torus = Torus::new(12, 12);
+        let true_sender = torus.id(Coord::new(5, 5));
+        // baseline: receivers see the TRUE sender
+        assert!(run(false).iter().all(|&(_, from, _)| from == true_sender));
+        // spoofing-enabled: receivers see the forged identity
+        assert!(run(true).iter().all(|&(_, from, _)| from == NodeId(0)));
+    }
+
+    #[test]
+    fn lossy_channel_drops_expected_fraction() {
+        let torus = Torus::new(12, 12);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        let talker = torus.id(Coord::new(5, 5));
+        let mut net = Network::new_with_channel(
+            torus.clone(),
+            2,
+            Metric::Linf,
+            crate::ChannelConfig::lossy(0.5, 1, 99),
+            move |id| {
+                Box::new(Recorder {
+                    echo: false,
+                    start_value: (id == talker).then_some(1),
+                    log: log2.clone(),
+                    echoed: false,
+                })
+            },
+        );
+        let stats = net.run(5);
+        assert_eq!(stats.deliveries + stats.lost_deliveries, 24);
+        assert!(stats.lost_deliveries > 0, "no losses at 50%");
+        assert!(stats.deliveries > 0, "everything lost at 50%");
+    }
+
+    #[test]
+    fn classifier_tallies_kinds() {
+        let (mut net, _torus, _log) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+        net.set_classifier(|&m| if m == 7 { "seed" } else { "echo" });
+        let stats = net.run(30);
+        let counts = net.kind_counts();
+        assert_eq!(counts.get("seed").copied(), Some(1));
+        assert_eq!(
+            counts.get("echo").copied().unwrap_or(0) + 1,
+            stats.messages_sent
+        );
+    }
+
+    #[test]
+    fn decisions_are_recorded_once() {
+        struct DecideTwice;
+        impl Process<u32> for DecideTwice {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.decide(true);
+                ctx.decide(false); // ignored
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32) {}
+        }
+        let torus = Torus::new(12, 12);
+        let mut net =
+            Network::new(torus.clone(), 2, Metric::Linf, |_| Box::new(DecideTwice) as _);
+        net.run(5);
+        let id = torus.id(Coord::new(0, 0));
+        assert_eq!(net.decision(id), Some((true, 0)));
+    }
+
+    #[test]
+    fn tdma_order_is_used_when_divisible() {
+        // 15x15 torus with r=2 (period 5): transmissions must come out in
+        // slot order, not id order.
+        let torus = Torus::new(15, 15);
+        let a = torus.id(Coord::new(0, 0)); // slot 0
+        let b = torus.id(Coord::new(1, 0)); // slot 1
+        struct Talker(bool);
+        impl Process<u32> for Talker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if self.0 {
+                    ctx.broadcast(ctx.id().0);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32) {}
+        }
+        let mut net = Network::new(torus.clone(), 2, Metric::Linf, |id| {
+            Box::new(Talker(id == a || id == b)) as Box<dyn Process<u32>>
+        });
+        let stats = net.run(3);
+        assert_eq!(stats.messages_sent, 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! The protocol-facing node abstraction.
+
+use crate::{Round, Value};
+use rbcast_grid::{Coord, Metric, NodeId, Torus};
+
+/// A node's protocol logic.
+///
+/// One `Process` instance drives one node. Honest nodes run the protocol
+/// under test; Byzantine nodes run adversarial implementations. All state
+/// lives inside the implementation — the simulator only routes messages.
+pub trait Process<M> {
+    /// Invoked once at round 0, before any message exchange.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
+
+    /// Invoked for every message heard. `from` is the true transmitter
+    /// identity (the model rules out spoofing).
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: &M);
+
+    /// Invoked after all of a round's deliveries, once per round in which
+    /// this node was alive. Protocols with expensive commit rules batch
+    /// their evaluation here.
+    fn on_round_end(&mut self, _ctx: &mut Ctx<'_, M>) {}
+}
+
+/// Per-node simulator state exposed to [`Process`] callbacks.
+#[derive(Debug)]
+pub(crate) struct NodeState<M> {
+    /// Queued transmissions as `(claimed sender, payload)`; the claimed
+    /// identity only matters under the §X spoofing relaxation.
+    pub outbox: Vec<(NodeId, M)>,
+    pub decision: Option<(Value, Round)>,
+}
+
+impl<M> Default for NodeState<M> {
+    fn default() -> Self {
+        NodeState {
+            outbox: Vec::new(),
+            decision: None,
+        }
+    }
+}
+
+/// The execution context handed to [`Process`] callbacks: node identity,
+/// network geometry, and the two effects a node can have — broadcasting a
+/// message and deciding a value.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    pub(crate) id: NodeId,
+    pub(crate) coord: Coord,
+    pub(crate) torus: &'a Torus,
+    pub(crate) radius: u32,
+    pub(crate) metric: Metric,
+    pub(crate) round: Round,
+    pub(crate) state: &'a mut NodeState<M>,
+    pub(crate) messages_sent: &'a mut u64,
+}
+
+impl<M> Ctx<'_, M> {
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's grid coordinate (canonical torus representative).
+    #[must_use]
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// The network arena.
+    #[must_use]
+    pub fn torus(&self) -> &Torus {
+        self.torus
+    }
+
+    /// The transmission radius `r`.
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// The distance metric in force.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The current round number.
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Queues `msg` for local broadcast. It is heard by every node within
+    /// distance `r` at the start of the next round, in per-sender FIFO
+    /// order.
+    pub fn broadcast(&mut self, msg: M) {
+        *self.messages_sent += 1;
+        let id = self.id;
+        self.state.outbox.push((id, msg));
+    }
+
+    /// Queues `msg` for local broadcast under a *forged* sender identity
+    /// (§X). Honest protocols never call this; Byzantine processes may —
+    /// the forgery is honoured only when the channel was configured with
+    /// spoofing enabled, and is silently corrected to the true identity
+    /// otherwise.
+    pub fn broadcast_as(&mut self, claimed: NodeId, msg: M) {
+        *self.messages_sent += 1;
+        self.state.outbox.push((claimed, msg));
+    }
+
+    /// Records this node's irrevocable decision (the paper's *commit*).
+    /// Later calls are ignored — a node commits at most once.
+    pub fn decide(&mut self, v: Value) {
+        if self.state.decision.is_none() {
+            self.state.decision = Some((v, self.round));
+        }
+    }
+
+    /// The value this node has decided, if any.
+    #[must_use]
+    pub fn decision(&self) -> Option<Value> {
+        self.state.decision.map(|(v, _)| v)
+    }
+
+    /// True once [`Ctx::decide`] has been called.
+    #[must_use]
+    pub fn has_decided(&self) -> bool {
+        self.state.decision.is_some()
+    }
+}

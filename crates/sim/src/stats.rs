@@ -1,0 +1,81 @@
+//! Run statistics and per-round history.
+
+use crate::Round;
+
+/// Per-round aggregate record, collected for every executed round.
+///
+/// The sequence of reports is the broadcast's *wavefront history* — the
+/// raw data behind the stage diagrams of Figs. 9–10 and 14–19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundReport {
+    /// Round number (1-based; round 0 start-ups are folded into the
+    /// stats' totals but emit no report).
+    pub round: Round,
+    /// Transmissions on the air this round.
+    pub transmissions: u64,
+    /// Successful deliveries this round.
+    pub deliveries: u64,
+    /// Nodes that decided this round.
+    pub decisions: u64,
+}
+
+/// Statistics of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Rounds executed (a round exists only when messages were on the
+    /// air).
+    pub rounds: Round,
+    /// True when the run ended because nothing remained on the air;
+    /// false when it hit the round cap.
+    pub quiescent: bool,
+    /// Total local broadcasts performed.
+    pub messages_sent: u64,
+    /// Total message deliveries (one per broadcast per alive receiver).
+    pub deliveries: u64,
+    /// Deliveries destroyed by channel loss (lossy channels only).
+    pub lost_deliveries: u64,
+    /// Deliveries destroyed by deliberate collisions (§X jamming).
+    pub jammed_deliveries: u64,
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} broadcasts, {} deliveries{}",
+            self.rounds,
+            self.messages_sent,
+            self.deliveries,
+            if self.quiescent { "" } else { " (round cap hit)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cap_when_not_quiescent() {
+        let s = RunStats {
+            rounds: 5,
+            quiescent: false,
+            messages_sent: 10,
+            deliveries: 40,
+            ..RunStats::default()
+        };
+        assert!(s.to_string().contains("round cap hit"));
+        let q = RunStats {
+            quiescent: true,
+            ..s
+        };
+        assert!(!q.to_string().contains("round cap hit"));
+    }
+
+    #[test]
+    fn default_is_empty_run() {
+        let s = RunStats::default();
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.messages_sent, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Random node failures and the percolation transition (§XI).
+//!
+//! Sweeps the independent fault probability and draws the coverage curve
+//! for two radii — the site-percolation connection the paper's
+//! conclusion points to: richer neighborhoods (larger `r`) keep the
+//! broadcast alive to much higher failure rates.
+//!
+//! ```sh
+//! cargo run --release --example percolation_sweep
+//! ```
+
+use rbcast::core::percolation;
+use rbcast::grid::Torus;
+
+use rbcast::core::render::bar;
+
+fn main() {
+    let ps: Vec<f64> = (0..=19).map(|i| f64::from(i) * 0.05).collect();
+    for r in [1u32, 2] {
+        let torus = Torus::for_radius(r);
+        println!("\nflooding coverage vs node-failure probability (r = {r}, {torus}, 8 trials)\n");
+        for row in percolation::sweep(r, &torus, &ps, 8) {
+            println!(
+                "p = {:>4.2} |{}| {:>6.1}%",
+                row.p,
+                bar(row.mean_reached, 40),
+                100.0 * row.mean_reached
+            );
+        }
+    }
+    println!("\nthe transition sharpens and moves right with r — the site-percolation");
+    println!("threshold of the r-ball lattice graph (§XI / Grimmett).");
+}

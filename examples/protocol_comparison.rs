@@ -1,0 +1,56 @@
+//! Compare the paper's protocols under identical fault pressure.
+//!
+//! At each `t` a cluster of `t` silent Byzantine nodes sits on the
+//! wavefront; CPA (the simple protocol), the simplified indirect
+//! protocol, and the full four-hop indirect protocol run side by side.
+//! The table shows who completes and at what message cost — the paper's
+//! central trade-off: indirect reports buy a higher threshold
+//! (`t < ½·r(2r+1)` instead of `t ≤ ⅔·r²`) at higher traffic.
+//!
+//! ```sh
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use rbcast::adversary::Placement;
+use rbcast::core::{thresholds, Experiment, FaultKind, ProtocolKind};
+
+fn main() {
+    let r = 2u32;
+    println!("r = {r}: Theorem 6 CPA guarantee t ≤ {}, exact threshold t ≤ {}\n",
+        thresholds::cpa_guaranteed_t(r),
+        thresholds::byzantine_max_t(r),
+    );
+    println!(
+        "{:>3} {:<22} {:>9} {:>7} {:>10} {:>12} {:>8}",
+        "t", "protocol", "correct", "wrong", "undecided", "broadcasts", "rounds"
+    );
+    println!("{}", "-".repeat(78));
+
+    for t in 0..=(thresholds::byzantine_max_t(r) as usize) {
+        for kind in [
+            ProtocolKind::Cpa,
+            ProtocolKind::IndirectSimplified,
+            ProtocolKind::IndirectFull,
+        ] {
+            let o = Experiment::new(r, kind)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(FaultKind::Silent)
+                .run();
+            println!(
+                "{:>3} {:<22} {:>9} {:>7} {:>10} {:>12} {:>8}",
+                t,
+                kind.name(),
+                o.committed_correct,
+                o.committed_wrong,
+                o.undecided,
+                o.stats.messages_sent,
+                o.stats.rounds
+            );
+        }
+        println!();
+    }
+    println!("CPA stalls first; the indirect protocols pay report traffic for the");
+    println!("exact threshold; the simplified variant gets it at a fraction of the");
+    println!("full protocol's four-hop HEARD volume.");
+}

@@ -1,0 +1,488 @@
+//! Command-line interface of the `rbcast` binary.
+//!
+//! Subcommands:
+//!
+//! * `thresholds [--r-max N]` — print the paper's bound curves;
+//! * `run …` — run one broadcast experiment and print the outcome;
+//! * `sweep …` — sweep `t` from 0 to `--t-max` and report completion;
+//! * `audit …` — materialise a placement and audit its local bound.
+//!
+//! Parsing is deliberately dependency-free; see [`parse`] for the
+//! grammar and `rbcast help` for usage.
+
+use crate::adversary::{local_fault_bound, Placement};
+use crate::core::{thresholds, Experiment, FaultKind, ProtocolKind};
+use crate::grid::{Metric, Torus};
+use crate::sim::ChannelConfig;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Print the bound curves up to `r_max`.
+    Thresholds {
+        /// Largest radius tabulated.
+        r_max: u32,
+    },
+    /// Run one experiment.
+    Run(RunSpec),
+    /// Sweep the fault budget.
+    Sweep {
+        /// The experiment template (its `t` is the sweep's start).
+        spec: RunSpec,
+        /// Inclusive sweep end.
+        t_max: usize,
+    },
+    /// Audit a placement's local fault bound.
+    Audit {
+        /// Radius.
+        r: u32,
+        /// The placement to audit.
+        placement: Placement,
+        /// Metric.
+        metric: Metric,
+    },
+}
+
+/// Everything needed to run one experiment from the CLI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Transmission radius.
+    pub r: u32,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Fault budget (`None` = the protocol's proven maximum).
+    pub t: Option<usize>,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Fault placement (`None` = fault-free).
+    pub placement: Option<Placement>,
+    /// Faulty-node behaviour.
+    pub behavior: FaultKind,
+    /// Channel model.
+    pub channel: ChannelConfig,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rbcast — reliable broadcast in a grid radio network (Bhandari & Vaidya, PODC 2005)
+
+USAGE:
+  rbcast thresholds [--r-max N]
+  rbcast run   [--protocol P] [--r N] [--t N] [--metric M] [--placement PL]
+               [--behavior B] [--seed N] [--prob F] [--repeats N]
+               [--loss F] [--redundancy N] [--spoofing] [--jam N]
+  rbcast sweep --t-max N [run options]
+  rbcast audit --placement PL [--r N] [--t N] [--seed N] [--metric M]
+  rbcast help
+
+  P  = flood | persistent-flood | cpa | indirect-full | indirect-simplified
+  M  = linf | l2
+  PL = cluster | random | double-strip | checker-strips | column-strips | bernoulli
+  B  = crash | silent | liar | forger | spoofer | mixed
+";
+
+/// Parses a command line (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown subcommands, unknown
+/// flags, or malformed values.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "thresholds" => {
+            let mut r_max = 8u32;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--r-max" => r_max = parse_value(&mut it, flag)?,
+                    other => return Err(format!("unknown flag for thresholds: {other}")),
+                }
+            }
+            Ok(Command::Thresholds { r_max })
+        }
+        "run" => Ok(Command::Run(parse_run(rest)?.0)),
+        "sweep" => {
+            let (spec, t_max) = parse_run(rest)?;
+            let t_max = t_max.ok_or("sweep requires --t-max")?;
+            Ok(Command::Sweep { spec, t_max })
+        }
+        "audit" => {
+            let (spec, _) = parse_run(rest)?;
+            let placement = spec.placement.ok_or("audit requires --placement")?;
+            Ok(Command::Audit {
+                r: spec.r,
+                placement,
+                metric: spec.metric,
+            })
+        }
+        other => Err(format!("unknown subcommand: {other}")),
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = it.next().ok_or(format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value for {flag}: {raw}"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>), String> {
+    let mut r = 2u32;
+    let mut protocol = "indirect-simplified".to_string();
+    let mut t: Option<usize> = None;
+    let mut t_max: Option<usize> = None;
+    let mut metric = Metric::Linf;
+    let mut placement_name: Option<String> = None;
+    let mut behavior_name = "silent".to_string();
+    let mut seed = 0u64;
+    let mut prob = 0.1f64;
+    let mut repeats = 3u32;
+    let mut loss = 0.0f64;
+    let mut redundancy = 1u32;
+    let mut spoofing = false;
+    let mut jam = 0u32;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--r" => r = parse_value(&mut it, flag)?,
+            "--protocol" => protocol = parse_value(&mut it, flag)?,
+            "--t" => t = Some(parse_value(&mut it, flag)?),
+            "--t-max" => t_max = Some(parse_value(&mut it, flag)?),
+            "--metric" => {
+                let m: String = parse_value(&mut it, flag)?;
+                metric = match m.as_str() {
+                    "linf" => Metric::Linf,
+                    "l2" => Metric::L2,
+                    other => return Err(format!("unknown metric: {other}")),
+                };
+            }
+            "--placement" => placement_name = Some(parse_value(&mut it, flag)?),
+            "--behavior" => behavior_name = parse_value(&mut it, flag)?,
+            "--seed" => seed = parse_value(&mut it, flag)?,
+            "--prob" => prob = parse_value(&mut it, flag)?,
+            "--repeats" => repeats = parse_value(&mut it, flag)?,
+            "--loss" => loss = parse_value(&mut it, flag)?,
+            "--redundancy" => redundancy = parse_value(&mut it, flag)?,
+            "--spoofing" => spoofing = true,
+            "--jam" => jam = parse_value(&mut it, flag)?,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+
+    // behaviour resolved after the loop so `--seed` order is irrelevant
+    let behavior = match behavior_name.as_str() {
+        "crash" => FaultKind::CrashStop,
+        "silent" => FaultKind::Silent,
+        "liar" => FaultKind::Liar,
+        "forger" => FaultKind::Forger,
+        "spoofer" => FaultKind::Spoofer,
+        "mixed" => FaultKind::Mixed { seed },
+        other => return Err(format!("unknown behavior: {other}")),
+    };
+
+    let protocol = match protocol.as_str() {
+        "flood" => ProtocolKind::Flood,
+        "persistent-flood" => ProtocolKind::PersistentFlood { repeats },
+        "cpa" => ProtocolKind::Cpa,
+        "indirect-full" => ProtocolKind::IndirectFull,
+        "indirect-simplified" => ProtocolKind::IndirectSimplified,
+        other => return Err(format!("unknown protocol: {other}")),
+    };
+
+    // The effective budget for placements that need one now.
+    let effective_t = t.unwrap_or_else(|| default_t(protocol, r));
+    let placement = match placement_name.as_deref() {
+        None | Some("none") => None,
+        Some("cluster") => Some(Placement::FrontierCluster { t: effective_t }),
+        Some("random") => Some(Placement::RandomLocal {
+            t: effective_t,
+            seed,
+            attempts: 60,
+        }),
+        Some("double-strip") => Some(Placement::DoubleStrip),
+        Some("checker-strips") => Some(Placement::CheckerStrips),
+        Some("column-strips") => Some(Placement::ColumnStrips),
+        Some("bernoulli") => Some(Placement::Bernoulli { p: prob, seed }),
+        Some(other) => return Err(format!("unknown placement: {other}")),
+    };
+
+    let mut channel = if loss > 0.0 {
+        ChannelConfig::lossy(loss, redundancy, seed)
+    } else {
+        ChannelConfig::reliable()
+    };
+    if spoofing {
+        channel = channel.with_spoofing();
+    }
+    if jam > 0 {
+        channel = channel.with_jammers(Vec::new(), jam);
+    }
+
+    Ok((
+        RunSpec {
+            r,
+            protocol,
+            t,
+            metric,
+            placement,
+            behavior,
+            channel,
+        },
+        t_max,
+    ))
+}
+
+fn default_t(protocol: ProtocolKind, r: u32) -> usize {
+    (match protocol {
+        ProtocolKind::Flood | ProtocolKind::PersistentFlood { .. } => thresholds::crash_max_t(r),
+        ProtocolKind::Cpa => thresholds::cpa_guaranteed_t(r),
+        _ => thresholds::byzantine_max_t(r),
+    }) as usize
+}
+
+fn build(spec: &RunSpec, t_override: Option<usize>) -> Experiment {
+    let mut e = Experiment::new(spec.r, spec.protocol)
+        .with_metric(spec.metric)
+        .with_fault_kind(spec.behavior)
+        .with_channel(spec.channel.clone());
+    if let Some(t) = t_override.or(spec.t) {
+        e = e.with_t(t);
+    }
+    if let Some(p) = &spec.placement {
+        e = e.with_placement(p.clone());
+    }
+    e
+}
+
+/// Executes a parsed command, printing results to stdout. Returns the
+/// process exit code.
+#[must_use]
+pub fn execute(cmd: &Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::Thresholds { r_max } => {
+            println!(
+                "{:>4} {:>12} {:>12} {:>12} {:>14}",
+                "r", "byz t_max", "crash t_max", "cpa ⌊⅔r²⌋", "Koo CPA bound"
+            );
+            for r in 1..=*r_max {
+                println!(
+                    "{:>4} {:>12} {:>12} {:>12} {:>14.2}",
+                    r,
+                    thresholds::byzantine_max_t(r),
+                    thresholds::crash_max_t(r),
+                    thresholds::cpa_guaranteed_t(r),
+                    thresholds::koo_cpa_bound(r),
+                );
+            }
+            0
+        }
+        Command::Run(spec) => {
+            let outcome = build(spec, None).run();
+            println!("{outcome}");
+            i32::from(!outcome.all_honest_correct())
+        }
+        Command::Sweep { spec, t_max } => {
+            println!(
+                "{:>4} {:>9} {:>7} {:>10} {:>12}",
+                "t", "correct", "wrong", "undecided", "broadcasts"
+            );
+            let mut worst = 0;
+            for t in spec.t.unwrap_or(0)..=*t_max {
+                // re-derive the placement at this t for budgeted kinds
+                let mut spec_t = spec.clone();
+                if let Some(Placement::FrontierCluster { .. }) = spec_t.placement {
+                    spec_t.placement = Some(Placement::FrontierCluster { t });
+                }
+                if let Some(Placement::RandomLocal { seed, attempts, .. }) = spec_t.placement {
+                    spec_t.placement = Some(Placement::RandomLocal { t, seed, attempts });
+                }
+                let o = build(&spec_t, Some(t)).run();
+                println!(
+                    "{:>4} {:>9} {:>7} {:>10} {:>12}",
+                    t,
+                    o.committed_correct,
+                    o.committed_wrong,
+                    o.undecided,
+                    o.stats.messages_sent
+                );
+                if !o.all_honest_correct() {
+                    worst = 1;
+                }
+            }
+            worst
+        }
+        Command::Audit {
+            r,
+            placement,
+            metric,
+        } => {
+            let torus = Torus::for_radius(*r);
+            let faults = placement.place(&torus, *r, *metric);
+            let bound = local_fault_bound(&torus, *r, *metric, &faults);
+            println!(
+                "{}: {} faults on {torus}, local bound = {bound}",
+                placement.name(),
+                faults.len()
+            );
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&argv("help")), Ok(Command::Help));
+    }
+
+    #[test]
+    fn thresholds_default_and_custom() {
+        assert_eq!(
+            parse(&argv("thresholds")),
+            Ok(Command::Thresholds { r_max: 8 })
+        );
+        assert_eq!(
+            parse(&argv("thresholds --r-max 3")),
+            Ok(Command::Thresholds { r_max: 3 })
+        );
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(spec) = parse(&argv("run")).unwrap() else {
+            panic!("not a run");
+        };
+        assert_eq!(spec.r, 2);
+        assert_eq!(spec.protocol, ProtocolKind::IndirectSimplified);
+        assert_eq!(spec.placement, None);
+        assert_eq!(spec.metric, Metric::Linf);
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let Command::Run(spec) = parse(&argv(
+            "run --protocol cpa --r 3 --t 5 --metric l2 --placement cluster --behavior liar",
+        ))
+        .unwrap() else {
+            panic!("not a run");
+        };
+        assert_eq!(spec.protocol, ProtocolKind::Cpa);
+        assert_eq!(spec.r, 3);
+        assert_eq!(spec.t, Some(5));
+        assert_eq!(spec.metric, Metric::L2);
+        assert_eq!(spec.placement, Some(Placement::FrontierCluster { t: 5 }));
+        assert_eq!(spec.behavior, FaultKind::Liar);
+    }
+
+    #[test]
+    fn channel_flags() {
+        let Command::Run(spec) = parse(&argv(
+            "run --loss 0.3 --redundancy 4 --spoofing --jam 7 --seed 9",
+        ))
+        .unwrap() else {
+            panic!("not a run");
+        };
+        assert!((spec.channel.loss - 0.3).abs() < 1e-12);
+        assert_eq!(spec.channel.redundancy, 4);
+        assert!(spec.channel.spoofing);
+        assert_eq!(spec.channel.jam_budget, 7);
+        assert_eq!(spec.channel.seed, 9);
+    }
+
+    #[test]
+    fn sweep_requires_t_max() {
+        assert!(parse(&argv("sweep")).is_err());
+        let Command::Sweep { t_max, .. } =
+            parse(&argv("sweep --t-max 4 --placement cluster")).unwrap()
+        else {
+            panic!("not a sweep");
+        };
+        assert_eq!(t_max, 4);
+    }
+
+    #[test]
+    fn audit_requires_placement() {
+        assert!(parse(&argv("audit")).is_err());
+        let Command::Audit { placement, .. } =
+            parse(&argv("audit --placement double-strip --r 2")).unwrap()
+        else {
+            panic!("not an audit");
+        };
+        assert_eq!(placement, Placement::DoubleStrip);
+    }
+
+    #[test]
+    fn unknown_inputs_error() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --protocol warp")).is_err());
+        assert!(parse(&argv("run --metric l7")).is_err());
+        assert!(parse(&argv("run --behavior angelic")).is_err());
+        assert!(parse(&argv("run --placement lattice")).is_err());
+        assert!(parse(&argv("run --r")).is_err());
+        assert!(parse(&argv("run --r NaN")).is_err());
+    }
+
+    #[test]
+    fn execute_help_and_thresholds() {
+        assert_eq!(execute(&Command::Help), 0);
+        assert_eq!(execute(&Command::Thresholds { r_max: 2 }), 0);
+    }
+
+    #[test]
+    fn execute_small_run() {
+        let Command::Run(spec) =
+            parse(&argv("run --protocol flood --r 1 --t 0")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(execute(&Command::Run(spec)), 0);
+    }
+
+    #[test]
+    fn execute_sweep_over_flood() {
+        let cmd = parse(&argv(
+            "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster --behavior crash",
+        ))
+        .unwrap();
+        // all t ≤ crash_max are coverable by the cluster: exit 0
+        assert_eq!(execute(&cmd), 0);
+    }
+
+    #[test]
+    fn execute_run_reports_failure_exit_code() {
+        // double strips at the crash bound strand nodes: nonzero exit
+        let cmd = parse(&argv(
+            "run --protocol flood --r 1 --placement double-strip --behavior crash",
+        ))
+        .unwrap();
+        assert_eq!(execute(&cmd), 1);
+    }
+
+    #[test]
+    fn execute_audit() {
+        let cmd = parse(&argv("audit --placement checker-strips --r 1")).unwrap();
+        assert_eq!(execute(&cmd), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! `rbcast` — reliable broadcast in a grid radio network under locally
+//! bounded Byzantine and crash-stop faults.
+//!
+//! A from-scratch Rust reproduction of Bhandari & Vaidya, *On Reliable
+//! Broadcast in a Radio Network* (PODC 2005). This root crate re-exports
+//! the workspace's public surface; the substrates are usable directly:
+//!
+//! * [`grid`] — coordinates, metrics, toroidal arenas, neighborhoods,
+//!   TDMA schedules;
+//! * [`flow`] — Dinic max-flow, vertex-disjoint paths, chain packing;
+//! * [`construct`] — the paper's geometric constructions (Table I,
+//!   Figs. 1–19), computationally verified;
+//! * [`sim`] — the synchronous radio-network simulator;
+//! * [`adversary`] — locally bounded fault placements and auditing;
+//! * [`protocols`] — flooding, CPA, and the indirect-report protocols,
+//!   plus Byzantine attacker behaviours;
+//! * [`core`] — thresholds, the experiment harness, percolation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rbcast::core::{Experiment, FaultKind, ProtocolKind};
+//! use rbcast::adversary::Placement;
+//!
+//! let t = rbcast::core::thresholds::byzantine_max_t(2) as usize; // 4
+//! let outcome = Experiment::new(2, ProtocolKind::IndirectSimplified)
+//!     .with_t(t)
+//!     .with_placement(Placement::FrontierCluster { t })
+//!     .with_fault_kind(FaultKind::Liar)
+//!     .run();
+//! assert!(outcome.all_honest_correct());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use rbcast_adversary as adversary;
+pub use rbcast_construct as construct;
+pub use rbcast_core as core;
+pub use rbcast_flow as flow;
+pub use rbcast_grid as grid;
+pub use rbcast_protocols as protocols;
+pub use rbcast_sim as sim;

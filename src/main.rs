@@ -1,0 +1,14 @@
+//! The `rbcast` command-line tool: run broadcast experiments, sweep
+//! budgets, audit placements, print the paper's bound curves.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rbcast::cli::parse(&args) {
+        Ok(cmd) => std::process::exit(rbcast::cli::execute(&cmd)),
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", rbcast::cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

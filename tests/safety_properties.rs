@@ -1,0 +1,115 @@
+//! Property-based safety tests: Theorem 2 ("no node shall commit to a
+//! wrong value") under randomized locally-bounded placements and every
+//! Byzantine behaviour, across protocols and metrics.
+
+use proptest::prelude::*;
+use rbcast::adversary::Placement;
+use rbcast::core::{thresholds, Experiment, FaultKind, ProtocolKind};
+use rbcast::grid::Metric;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full protocol at r = 1, t = t_max: safety AND completeness
+    /// under random locally-bounded placements, any behaviour.
+    #[test]
+    fn indirect_full_r1_random_placements(seed in 0u64..1_000, behave in 0usize..3) {
+        let t = thresholds::byzantine_max_t(1) as usize;
+        let kind = [FaultKind::Silent, FaultKind::Liar, FaultKind::Forger][behave];
+        let o = Experiment::new(1, ProtocolKind::IndirectFull)
+            .with_t(t)
+            .with_placement(Placement::RandomLocal { t, seed, attempts: 40 })
+            .with_fault_kind(kind)
+            .run();
+        prop_assert!(o.audited_bound <= t);
+        prop_assert!(o.all_honest_correct(), "{} ({:?})", o, kind);
+    }
+
+    /// The simplified protocol at r = 2: same properties.
+    #[test]
+    fn indirect_simplified_r2_random_placements(seed in 0u64..1_000, behave in 0usize..3) {
+        let t = thresholds::byzantine_max_t(2) as usize;
+        let kind = [FaultKind::Silent, FaultKind::Liar, FaultKind::Forger][behave];
+        let o = Experiment::new(2, ProtocolKind::IndirectSimplified)
+            .with_t(t)
+            .with_placement(Placement::RandomLocal { t, seed, attempts: 40 })
+            .with_fault_kind(kind)
+            .run();
+        prop_assert!(o.audited_bound <= t);
+        prop_assert!(o.all_honest_correct(), "{} ({:?})", o, kind);
+    }
+
+    /// CPA stays safe (never commits wrong) at ANY t' ≤ its budget, even
+    /// when completion is not guaranteed.
+    #[test]
+    fn cpa_safety_r2(seed in 0u64..1_000, t in 0usize..3) {
+        let o = Experiment::new(2, ProtocolKind::Cpa)
+            .with_t(t)
+            .with_placement(Placement::RandomLocal { t, seed, attempts: 40 })
+            .with_fault_kind(FaultKind::Liar)
+            .run();
+        prop_assert!(o.safe(), "{}", o);
+    }
+
+    /// Crash-stop flooding: whatever the placement within budget, nobody
+    /// ever receives a wrong value (trivial safety) and the audited bound
+    /// respects t.
+    #[test]
+    fn flood_safety_and_audit(seed in 0u64..1_000, t in 0usize..6) {
+        let o = Experiment::new(1, ProtocolKind::Flood)
+            .with_t(t)
+            .with_placement(Placement::RandomLocal { t, seed, attempts: 40 })
+            .with_fault_kind(FaultKind::CrashStop)
+            .run();
+        prop_assert!(o.safe());
+        prop_assert!(o.audited_bound <= t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Heterogeneous adversaries (per-node silent/liar/forger mix) at
+    /// t_max: still safe and complete.
+    #[test]
+    fn mixed_adversaries_r2_simplified(seed in 0u64..1_000, mix in 0u64..1_000) {
+        let t = thresholds::byzantine_max_t(2) as usize;
+        let o = Experiment::new(2, ProtocolKind::IndirectSimplified)
+            .with_t(t)
+            .with_placement(Placement::RandomLocal { t, seed, attempts: 40 })
+            .with_fault_kind(FaultKind::Mixed { seed: mix })
+            .run();
+        prop_assert!(o.all_honest_correct(), "{}", o);
+    }
+}
+
+/// The L2 metric end to end: fault-free completion for every protocol.
+#[test]
+fn l2_metric_fault_free_protocols() {
+    for kind in [
+        ProtocolKind::Flood,
+        ProtocolKind::Cpa,
+        ProtocolKind::IndirectSimplified,
+    ] {
+        let o = Experiment::new(2, kind)
+            .with_metric(Metric::L2)
+            .with_t(2)
+            .run();
+        assert!(o.all_honest_correct(), "{}: {o}", kind.name());
+    }
+}
+
+/// The L2 metric with a Byzantine cluster at the §VIII estimate
+/// `t = ⌊0.23πr²⌋` (r = 2 ⇒ t = 2): the simplified protocol completes.
+#[test]
+fn l2_metric_byzantine_cluster() {
+    let t = thresholds::l2_byzantine_estimate(2).floor() as usize; // 2
+    let o = Experiment::new(2, ProtocolKind::IndirectSimplified)
+        .with_metric(Metric::L2)
+        .with_t(t)
+        .with_placement(Placement::FrontierCluster { t })
+        .with_fault_kind(FaultKind::Liar)
+        .run();
+    assert!(o.safe(), "{o}");
+    assert!(o.all_honest_correct(), "{o}");
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the paper's thresholds exercised end to end
+//! (adversary placement → simulator → protocol → outcome), at sizes that
+//! stay fast in debug builds.
+
+use rbcast::adversary::Placement;
+use rbcast::core::{thresholds, Experiment, FaultKind, ProtocolKind};
+
+#[test]
+fn byzantine_exact_threshold_r1_full_protocol() {
+    // r = 1: t_max = 1. The full §VI protocol tolerates one Byzantine
+    // fault per neighborhood under every behaviour.
+    let t = thresholds::byzantine_max_t(1) as usize;
+    for kind in [FaultKind::Silent, FaultKind::Liar, FaultKind::Forger] {
+        let o = Experiment::new(1, ProtocolKind::IndirectFull)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t })
+            .with_fault_kind(kind)
+            .run();
+        assert!(o.all_honest_correct(), "{kind:?}: {o}");
+    }
+}
+
+#[test]
+fn byzantine_exact_threshold_r1_simplified_protocol() {
+    let t = thresholds::byzantine_max_t(1) as usize;
+    for kind in [FaultKind::Silent, FaultKind::Liar, FaultKind::Forger] {
+        let o = Experiment::new(1, ProtocolKind::IndirectSimplified)
+            .with_t(t)
+            .with_placement(Placement::FrontierCluster { t })
+            .with_fault_kind(kind)
+            .run();
+        assert!(o.all_honest_correct(), "{kind:?}: {o}");
+    }
+}
+
+#[test]
+fn byzantine_beyond_threshold_r1_breaks() {
+    // t_max + 1 = 2 liars per neighborhood defeat reliable broadcast
+    // (deceived or starved honest nodes) — Koo's impossibility bound.
+    let t = thresholds::byzantine_max_t(1) as usize;
+    let o = Experiment::new(1, ProtocolKind::IndirectSimplified)
+        .with_t(t)
+        .with_placement(Placement::CheckerStrips)
+        .with_fault_kind(FaultKind::Liar)
+        .run();
+    assert_eq!(o.audited_bound as u64, thresholds::byzantine_impossible_t(1));
+    assert!(!o.all_honest_correct(), "{o}");
+}
+
+#[test]
+fn crash_exact_threshold_r1() {
+    // achievable at t = r(2r+1) − 1 = 2 …
+    let t = thresholds::crash_max_t(1) as usize;
+    let o = Experiment::new(1, ProtocolKind::Flood)
+        .with_t(t)
+        .with_placement(Placement::FrontierCluster { t })
+        .with_fault_kind(FaultKind::CrashStop)
+        .run();
+    assert!(o.all_honest_correct(), "{o}");
+    // … impossible at t = r(2r+1) = 3 with the strip construction.
+    let o = Experiment::new(1, ProtocolKind::Flood)
+        .with_t(t + 1)
+        .with_placement(Placement::DoubleStrip)
+        .with_fault_kind(FaultKind::CrashStop)
+        .run();
+    assert!(o.undecided > 0, "{o}");
+    assert!(o.safe());
+}
+
+#[test]
+fn cpa_guarantee_r2() {
+    let t = thresholds::cpa_guaranteed_t(2) as usize;
+    let o = Experiment::new(2, ProtocolKind::Cpa)
+        .with_t(t)
+        .with_placement(Placement::FrontierCluster { t })
+        .with_fault_kind(FaultKind::Liar)
+        .run();
+    assert!(o.all_honest_correct(), "{o}");
+}
+
+#[test]
+fn indirect_matches_exact_threshold_where_cpa_has_no_guarantee() {
+    // At the exact Byzantine threshold t = 4 (r = 2) the simplified
+    // indirect protocol PROVABLY completes (Theorem 1); CPA's guarantee
+    // stops at ⌊⅔r²⌋ = 2 (Theorem 6). Empirically CPA often survives
+    // beyond its guarantee on the torus (its worst-case placements are
+    // not simple clusters — see the thresh_cpa sweep); the provable
+    // separation is in the bounds, which we check both ways here.
+    let t = thresholds::byzantine_max_t(2) as usize;
+    assert!(t > thresholds::cpa_guaranteed_t(2) as usize);
+    let indirect = Experiment::new(2, ProtocolKind::IndirectSimplified)
+        .with_t(t)
+        .with_placement(Placement::FrontierCluster { t })
+        .with_fault_kind(FaultKind::Silent)
+        .run();
+    assert!(indirect.all_honest_correct(), "{indirect}");
+    // CPA configured at the same t must at least stay safe.
+    let cpa = Experiment::new(2, ProtocolKind::Cpa)
+        .with_t(t)
+        .with_placement(Placement::FrontierCluster { t })
+        .with_fault_kind(FaultKind::Liar)
+        .run();
+    assert!(cpa.safe(), "{cpa}");
+}
+
+#[test]
+fn audited_bounds_match_constructions() {
+    use rbcast::adversary::local_fault_bound;
+    use rbcast::grid::{Metric, Torus};
+    for r in 1..=2u32 {
+        let torus = Torus::for_radius(r);
+        let strips = Placement::DoubleStrip.place(&torus, r, Metric::Linf);
+        assert_eq!(
+            local_fault_bound(&torus, r, Metric::Linf, &strips) as u64,
+            thresholds::crash_impossible_t(r)
+        );
+        let checker = Placement::CheckerStrips.place(&torus, r, Metric::Linf);
+        assert_eq!(
+            local_fault_bound(&torus, r, Metric::Linf, &checker) as u64,
+            thresholds::byzantine_impossible_t(r)
+        );
+    }
+}
