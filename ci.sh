@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Local mirror of the CI pipeline (.github/workflows/ci.yml).
+# Runs every gate in order and stops at the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (debug-invariants) -- -D warnings"
+cargo clippy --workspace --all-targets --features rbcast/debug-invariants -- -D warnings
+
+echo "==> cargo xtask audit"
+cargo xtask audit
+
+echo "==> cargo xtask audit --self-test"
+cargo xtask audit --self-test
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test --features debug-invariants"
+cargo test -q --features debug-invariants
+
+echo "CI: all gates passed"

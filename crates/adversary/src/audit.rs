@@ -20,12 +20,7 @@ use std::collections::HashSet;
 /// assert_eq!(local_fault_bound(&torus, 2, Metric::Linf, &faults), 2);
 /// ```
 #[must_use]
-pub fn local_fault_bound(
-    torus: &Torus,
-    r: u32,
-    metric: Metric,
-    faulty: &[NodeId],
-) -> usize {
+pub fn local_fault_bound(torus: &Torus, r: u32, metric: Metric, faulty: &[NodeId]) -> usize {
     let fault_set: HashSet<NodeId> = faulty.iter().copied().collect();
     let mut best = 0;
     for center in torus.node_ids() {
@@ -42,13 +37,7 @@ pub fn local_fault_bound(
 
 /// Whether `faulty` satisfies the locally bounded constraint for `t`.
 #[must_use]
-pub fn respects_bound(
-    torus: &Torus,
-    r: u32,
-    metric: Metric,
-    faulty: &[NodeId],
-    t: usize,
-) -> bool {
+pub fn respects_bound(torus: &Torus, r: u32, metric: Metric, faulty: &[NodeId], t: usize) -> bool {
     local_fault_bound(torus, r, metric, faulty) <= t
 }
 
@@ -84,10 +73,7 @@ mod tests {
     #[test]
     fn far_apart_faults_do_not_accumulate() {
         let torus = Torus::new(30, 30);
-        let faults = vec![
-            torus.id(Coord::new(0, 0)),
-            torus.id(Coord::new(15, 15)),
-        ];
+        let faults = vec![torus.id(Coord::new(0, 0)), torus.id(Coord::new(15, 15))];
         assert_eq!(local_fault_bound(&torus, 3, Metric::Linf, &faults), 1);
     }
 
@@ -95,19 +81,14 @@ mod tests {
     fn wraparound_is_counted() {
         // Two faults straddling the seam are one neighborhood's worth.
         let torus = Torus::new(20, 20);
-        let faults = vec![
-            torus.id(Coord::new(0, 0)),
-            torus.id(Coord::new(19, 19)),
-        ];
+        let faults = vec![torus.id(Coord::new(0, 0)), torus.id(Coord::new(19, 19))];
         assert_eq!(local_fault_bound(&torus, 2, Metric::Linf, &faults), 2);
     }
 
     #[test]
     fn respects_bound_boundary() {
         let torus = Torus::new(20, 20);
-        let faults: Vec<_> = (0..3)
-            .map(|i| torus.id(Coord::new(5 + i, 5)))
-            .collect();
+        let faults: Vec<_> = (0..3).map(|i| torus.id(Coord::new(5 + i, 5))).collect();
         assert!(respects_bound(&torus, 2, Metric::Linf, &faults, 3));
         assert!(!respects_bound(&torus, 2, Metric::Linf, &faults, 2));
     }
@@ -116,10 +97,7 @@ mod tests {
     fn l2_ball_is_tighter_than_linf() {
         // Faults on a square corner pattern: the L2 ball sees fewer.
         let torus = Torus::new(20, 20);
-        let faults = vec![
-            torus.id(Coord::new(8, 8)),
-            torus.id(Coord::new(12, 12)),
-        ];
+        let faults = vec![torus.id(Coord::new(8, 8)), torus.id(Coord::new(12, 12))];
         let linf = local_fault_bound(&torus, 2, Metric::Linf, &faults);
         let l2 = local_fault_bound(&torus, 2, Metric::L2, &faults);
         assert_eq!(linf, 2); // center (10,10) covers both corners

@@ -72,9 +72,7 @@ impl Placement {
         let source = torus.id(Coord::ORIGIN);
         let mut faults = match self {
             Placement::DoubleStrip => strip_faults(torus, r, |_c| true),
-            Placement::CheckerStrips => {
-                strip_faults(torus, r, |c| (c.x + c.y).rem_euclid(2) == 0)
-            }
+            Placement::CheckerStrips => strip_faults(torus, r, |c| (c.x + c.y).rem_euclid(2) == 0),
             Placement::ColumnStrips => strip_faults(torus, r, |c| c.x.rem_euclid(2) == 0),
             Placement::FrontierCluster { t } => frontier_cluster(torus, r, metric, *t),
             Placement::RandomLocal { t, seed, attempts } => {
@@ -114,9 +112,7 @@ fn strip_faults(torus: &Torus, r: u32, keep: impl Fn(Coord) -> bool) -> Vec<Node
     let starts = [w / 4, 3 * w / 4];
     let mut out = Vec::new();
     for c in torus.coords() {
-        let in_strip = starts
-            .iter()
-            .any(|&s| c.x >= s && c.x < s + i64::from(r));
+        let in_strip = starts.iter().any(|&s| c.x >= s && c.x < s + i64::from(r));
         if in_strip && keep(c) {
             out.push(torus.id(c));
         }
@@ -272,7 +268,10 @@ mod tests {
                 attempts: 50,
             }
             .place(&torus, 2, Metric::Linf);
-            assert!(respects_bound(&torus, 2, Metric::Linf, &f, 4), "seed={seed}");
+            assert!(
+                respects_bound(&torus, 2, Metric::Linf, &f, 4),
+                "seed={seed}"
+            );
             assert!(!f.is_empty());
         }
     }

@@ -11,13 +11,9 @@ fn bench_neighborhood(c: &mut Criterion) {
     let mut group = c.benchmark_group("neighborhood_iteration");
     for r in [1u32, 2, 4] {
         for metric in [Metric::Linf, Metric::L2] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{metric}"), r),
-                &r,
-                |b, &r| {
-                    b.iter(|| torus.neighborhood(center, r, metric).count());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{metric}"), r), &r, |b, &r| {
+                b.iter(|| torus.neighborhood(center, r, metric).count());
+            });
         }
     }
     group.finish();

@@ -67,8 +67,14 @@ fn main() {
             .find(|(m, k, _)| *m == mr && *k == rk)
             .is_some_and(|(_, _, o)| o.all_honest_correct())
     };
-    v.check("§VI (3 relays, two-level) completes", complete(3, CommitRule::TwoLevel));
-    v.check("§VI-B (1 relay, one-level) completes", complete(1, CommitRule::OneLevel));
+    v.check(
+        "§VI (3 relays, two-level) completes",
+        complete(3, CommitRule::TwoLevel),
+    );
+    v.check(
+        "§VI-B (1 relay, one-level) completes",
+        complete(1, CommitRule::OneLevel),
+    );
     // One-level with deep reports is at least as live as two-level.
     v.check(
         "one-level with 3 relays completes (strictly more evidence admitted)",
@@ -97,7 +103,11 @@ fn main() {
     println!();
     println!(
         "finding: the 1-relay/two-level hybrid {} at t_max on this arena",
-        if hybrid { "completes" } else { "does NOT complete" }
+        if hybrid {
+            "completes"
+        } else {
+            "does NOT complete"
+        }
     );
     v.finish()
 }

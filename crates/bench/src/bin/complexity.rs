@@ -11,10 +11,7 @@ fn main() {
     let mut v = Verdicts::new();
 
     header("Fault-free message complexity, r = 1 (torus 12x12, n = 144)");
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "protocol", "predicted", "measured"
-    );
+    println!("{:<22} {:>12} {:>12}", "protocol", "predicted", "measured");
     rule(48);
     let rows = complexity::table(1);
     for row in &rows {
@@ -33,7 +30,10 @@ fn main() {
     );
 
     header("Simplified-protocol volume n·(2r+1)² across radii (L∞, fault-free)");
-    println!("{:>3} {:>8} {:>12} {:>12}", "r", "n", "predicted", "measured");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12}",
+        "r", "n", "predicted", "measured"
+    );
     rule(40);
     let mut exact = true;
     for r in 1..=3u32 {

@@ -90,7 +90,10 @@ fn main() {
         families_ok,
     );
     v.check("half-disk population ≈ 0.5πr² for large r", half_ok);
-    v.check("P-Q disjoint paths ≈ 1.47r² (paper's area estimate)", paths_ok);
+    v.check(
+        "P-Q disjoint paths ≈ 1.47r² (paper's area estimate)",
+        paths_ok,
+    );
     v.check(
         "paths ≥ 2t+1 for t = ⌊0.23πr²⌋ — the §VIII induction premise",
         threshold_ok,

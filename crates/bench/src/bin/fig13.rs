@@ -49,7 +49,10 @@ fn main() {
     println!("L2 flood against the strip (r={r}): {o}");
 
     let mut v = Verdicts::new();
-    v.check("strip ≈ 0.6πr² and half-strip ≈ 0.3πr² per neighborhood", counts_ok);
+    v.check(
+        "strip ≈ 0.6πr² and half-strip ≈ 0.3πr² per neighborhood",
+        counts_ok,
+    );
     v.check(
         "the width-r strip partitions the L2 network (flood strands nodes)",
         o.undecided > 0 && o.committed_correct > 0,

@@ -88,6 +88,9 @@ fn main() {
             }
         }
     }
-    v.check("max-flow on the ball graph confirms ≥ r(2r+1) paths, r = 2..4", flow_ok);
+    v.check(
+        "max-flow on the ball graph confirms ≥ r(2r+1) paths, r = 2..4",
+        flow_ok,
+    );
     v.finish()
 }

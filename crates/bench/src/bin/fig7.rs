@@ -34,7 +34,10 @@ fn main() {
             ok &= row.determinable >= row.required;
         }
         v.check(
-            &format!("every frontier node determines ≥ r(2r+1) = {} committers (r={r})", r_2r_plus_1(r)),
+            &format!(
+                "every frontier node determines ≥ r(2r+1) = {} committers (r={r})",
+                r_2r_plus_1(r)
+            ),
             ok,
         );
     }
@@ -46,6 +49,9 @@ fn main() {
             formula_ok &= direct_count(r, p) == (r as usize) * (r + l + 1) as usize;
         }
     }
-    v.check("§VI-A direct-range count |R_l| = r(r+l+1), r = 1..8", formula_ok);
+    v.check(
+        "§VI-A direct-range count |R_l| = r(r+l+1), r = 1..8",
+        formula_ok,
+    );
     v.finish()
 }

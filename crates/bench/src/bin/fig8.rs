@@ -39,7 +39,10 @@ fn main() {
             o.undecided
         );
     }
-    v.check("strip places exactly r(2r+1) faults per neighborhood, r = 1..3", bound_ok);
+    v.check(
+        "strip places exactly r(2r+1) faults per neighborhood, r = 1..3",
+        bound_ok,
+    );
     v.check(
         "flooding reaches the source side but strands the far side, r = 1..3",
         stall_ok,

@@ -34,7 +34,10 @@ fn main() {
     net.run(1_000);
 
     header("Figs. 9-10 — wavefront stages (flood, r=2, t = r(2r+1)−1 cluster)");
-    println!("{:>6} {:>16} {:>18}", "round", "newly committed", "cumulative");
+    println!(
+        "{:>6} {:>16} {:>18}",
+        "round", "newly committed", "cumulative"
+    );
     rule(44);
     let decisions = net.decisions();
     let max_round = decisions

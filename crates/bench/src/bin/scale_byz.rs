@@ -20,7 +20,8 @@ fn main() {
     let mut v = Verdicts::new();
     for r in 1..=4u32 {
         let t = thresholds::byzantine_max_t(r) as usize;
-        let start = Instant::now();
+        // Measurement-only: timing the run, never feeding back into it.
+        let start = Instant::now(); // audit:allow(wall-clock)
         let o = Experiment::new(r, ProtocolKind::IndirectSimplified)
             .with_t(t)
             .with_placement(Placement::FrontierCluster { t })

@@ -22,11 +22,8 @@ fn main() {
     for r in 1..=6u32 {
         let target = r_2r_plus_1(r);
         let witness = simplified::verify_witness(r);
-        let flow = simplified::max_disjoint_paths(
-            r,
-            worst_case_p(r),
-            Coord::new(0, i64::from(r) + 1),
-        );
+        let flow =
+            simplified::max_disjoint_paths(r, worst_case_p(r), Coord::new(0, i64::from(r) + 1));
         println!(
             "{:>4} {:>10} {:>14} {:>14}",
             r,
@@ -41,7 +38,10 @@ fn main() {
         "translation witness yields exactly r(2r+1) disjoint ≤1-relay paths, r = 1..6",
         witness_ok,
     );
-    v.check("max-flow confirms the witness at the corner, r = 1..6", flow_ok);
+    v.check(
+        "max-flow confirms the witness at the corner, r = 1..6",
+        flow_ok,
+    );
 
     for r in 1..=3u32 {
         v.check(

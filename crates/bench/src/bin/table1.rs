@@ -5,8 +5,8 @@
 //! `|J|+|K1| = r(2r+1)`) over every valid `(r, p, q)` up to `r = 12`.
 
 use rbcast_bench::{header, rule, Verdicts};
-use rbcast_construct::regions::{table_one, S1Params, UParams};
 use rbcast_construct::r_2r_plus_1;
+use rbcast_construct::regions::{table_one, S1Params, UParams};
 
 fn main() {
     let (r, p, q, p_s1) = (4u32, 2u32, 3u32, 1u32);
@@ -16,7 +16,12 @@ fn main() {
     println!("{:<8} {:<24} {:>6}", "region", "extent", "nodes");
     rule(42);
     for row in table_one(r, p, q, p_s1) {
-        println!("{:<8} {:<24} {:>6}", row.region, row.rect.to_string(), row.count);
+        println!(
+            "{:<8} {:<24} {:>6}",
+            row.region,
+            row.rect.to_string(),
+            row.count
+        );
     }
 
     let mut v = Verdicts::new();
@@ -32,7 +37,13 @@ fn main() {
             all_s1 &= S1Params::new(r, p).total_paths() == r_2r_plus_1(r);
         }
     }
-    v.check("U-region identity |A|+|B1|+|C1|+|D1| = r(2r+1), all (r,p,q) r<=12", all_u);
-    v.check("S1-region identity |J|+|K1| = r(2r+1), all (r,p) r<=12", all_s1);
+    v.check(
+        "U-region identity |A|+|B1|+|C1|+|D1| = r(2r+1), all (r,p,q) r<=12",
+        all_u,
+    );
+    v.check(
+        "S1-region identity |J|+|K1| = r(2r+1), all (r,p) r<=12",
+        all_s1,
+    );
     v.finish()
 }

@@ -78,7 +78,10 @@ fn main() {
     // deceived and/or starved: reliable broadcast fails, exactly as the
     // impossibility bound demands.
     header("At the impossibility bound t = ⌈½·r(2r+1)⌉ (checkerboard strips)");
-    for &(r, kind) in &[(1u32, ProtocolKind::IndirectSimplified), (2, ProtocolKind::IndirectSimplified)] {
+    for &(r, kind) in &[
+        (1u32, ProtocolKind::IndirectSimplified),
+        (2, ProtocolKind::IndirectSimplified),
+    ] {
         let t_imp = thresholds::byzantine_impossible_t(r) as usize;
         // protocol still configured for its own t_max; the adversary has
         // t_imp faults per neighborhood
@@ -88,10 +91,7 @@ fn main() {
             .with_placement(Placement::CheckerStrips)
             .with_fault_kind(FaultKind::Liar)
             .run();
-        println!(
-            "r={r} {} vs t={t_imp} strips: {o}",
-            kind.name()
-        );
+        println!("r={r} {} vs t={t_imp} strips: {o}", kind.name());
         v.check(
             &format!("reliable broadcast fails at t = {t_imp} (r={r}): deceived or starved nodes"),
             o.committed_wrong > 0 || o.undecided > 0,

@@ -39,7 +39,10 @@ fn main() {
                 .run();
             ok &= o.all_honest_correct();
         }
-        v.check(&format!("CPA succeeds at Theorem 6 budget t = {t} (r={r})"), ok);
+        v.check(
+            &format!("CPA succeeds at Theorem 6 budget t = {t} (r={r})"),
+            ok,
+        );
     }
 
     // Empirical frontier: sweep t upward under the cluster adversary and

@@ -52,10 +52,7 @@ fn main() {
                 .with_placement(placement.clone())
                 .with_fault_kind(kind)
                 .run();
-            println!(
-                "r={r} t={t} {}/{kind:?}: {o}",
-                placement.name()
-            );
+            println!("r={r} t={t} {}/{kind:?}: {o}", placement.name());
             ok &= o.all_honest_correct() && o.audited_bound <= t;
         }
         v.check(

@@ -90,8 +90,7 @@ pub fn determinable_count(r: u32, p: Coord) -> usize {
         .into_iter()
         .filter(|&x| {
             x != p
-                && (Metric::Linf.within(p, x, r)
-                    || connected_via_single_neighborhood(r, p, x, k))
+                && (Metric::Linf.within(p, x, r) || connected_via_single_neighborhood(r, p, x, k))
         })
         .count()
 }

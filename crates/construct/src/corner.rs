@@ -168,8 +168,7 @@ mod tests {
         // every node of nbd(0,0) within direct range of P is in R.
         for r in 1..=6u32 {
             let p = worst_case_p(r);
-            let rset: std::collections::BTreeSet<Coord> =
-                region_r(r).into_iter().collect();
+            let rset: std::collections::BTreeSet<Coord> = region_r(r).into_iter().collect();
             let ri = i64::from(r);
             for x in -ri..=ri {
                 for y in -ri..=ri {

@@ -50,7 +50,10 @@ pub fn koo_cpa_bound(r: u32) -> f64 {
 #[must_use]
 pub fn seed_committed_neighbors(r: u32, x: i64) -> u64 {
     let ri = i64::from(r);
-    assert!(x.unsigned_abs() <= u64::from(half_up(r)), "seed out of range");
+    assert!(
+        x.unsigned_abs() <= u64::from(half_up(r)),
+        "seed out of range"
+    );
     // rows y ∈ [1, r] fully visible; columns [x−r, x+r] ∩ [−r, r].
     let cols = (x + ri).min(ri) - (x - ri).max(-ri) + 1;
     (ri as u64) * (cols as u64)

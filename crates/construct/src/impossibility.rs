@@ -86,11 +86,7 @@ mod tests {
     #[test]
     fn crash_strip_local_bound_is_r_2r_plus_1() {
         for r in 1..=8u32 {
-            assert_eq!(
-                max_crash_faults_per_ball(r),
-                crate::r_2r_plus_1(r),
-                "r={r}"
-            );
+            assert_eq!(max_crash_faults_per_ball(r), crate::r_2r_plus_1(r), "r={r}");
         }
     }
 

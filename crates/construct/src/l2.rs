@@ -130,8 +130,7 @@ pub fn fig12(r: u32) -> Fig12Result {
             }
         }
     }
-    let index: HashMap<Coord, usize> =
-        nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let index: HashMap<Coord, usize> = nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     assert!(index.contains_key(&p) && index.contains_key(&q));
 
     let adj: Vec<Vec<usize>> = nodes
@@ -148,9 +147,7 @@ pub fn fig12(r: u32) -> Fig12Result {
 
     let common = nodes
         .iter()
-        .filter(|&&c| {
-            c != p && c != q && Metric::L2.within(p, c, r) && Metric::L2.within(q, c, r)
-        })
+        .filter(|&&c| c != p && c != q && Metric::L2.within(p, c, r) && Metric::L2.within(q, c, r))
         .count();
 
     let disjoint = vertex_disjoint_count(&adj, index[&p], index[&q], None);
@@ -163,7 +160,6 @@ pub fn fig12(r: u32) -> Fig12Result {
         disjoint_paths: disjoint,
     }
 }
-
 
 /// Counts of the explicit Fig. 12 path families, lattice-rounded.
 ///
@@ -452,7 +448,6 @@ mod tests {
         }
     }
 
-
     #[test]
     fn fig12_regions_are_valid_disjoint_paths() {
         // the greedy family total is a genuine disjoint-path count:
@@ -510,8 +505,7 @@ mod tests {
             "strip ratio {strip_ratio}"
         );
         // half-strip ≈ half of the strip
-        let half_ratio =
-            res.max_half_strip_per_disk as f64 / res.max_strip_per_disk as f64;
+        let half_ratio = res.max_half_strip_per_disk as f64 / res.max_strip_per_disk as f64;
         assert!((half_ratio - 0.5).abs() < 0.05, "half ratio {half_ratio}");
     }
 

@@ -79,11 +79,7 @@ mod tests {
         for r in 2..=9u32 {
             for p in 1..r {
                 for q in (p + 1)..=r {
-                    assert_eq!(
-                        build(r, p, q).len(),
-                        r_2r_plus_1(r),
-                        "r={r} p={p} q={q}"
-                    );
+                    assert_eq!(build(r, p, q).len(), r_2r_plus_1(r), "r={r} p={p} q={q}");
                 }
             }
         }

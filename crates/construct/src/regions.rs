@@ -72,12 +72,7 @@ impl UParams {
     /// Region `C2 ⊂ nbd(P)`: `C1` translated by `(−r, +r)`.
     #[must_use]
     pub fn region_c2(&self) -> Rect {
-        Rect::new(
-            self.p + 1 - self.r,
-            0,
-            self.q + 1 + self.r,
-            1 + 2 * self.r,
-        )
+        Rect::new(self.p + 1 - self.r, 0, self.q + 1 + self.r, 1 + 2 * self.r)
     }
 
     /// Region `D1 ⊂ nbd(N)`:
@@ -192,18 +187,62 @@ pub fn table_one(r: u32, p: u32, q: u32, p_s1: u32) -> Vec<TableRow> {
     let u = UParams::new(r, p, q);
     let s = S1Params::new(r, p_s1);
     let mut rows = vec![
-        TableRow { region: "A", rect: u.region_a(), count: u.region_a().len() },
-        TableRow { region: "B1", rect: u.region_b1(), count: u.region_b1().len() },
-        TableRow { region: "B2", rect: u.region_b2(), count: u.region_b2().len() },
-        TableRow { region: "C1", rect: u.region_c1(), count: u.region_c1().len() },
-        TableRow { region: "C2", rect: u.region_c2(), count: u.region_c2().len() },
-        TableRow { region: "D1", rect: u.region_d1(), count: u.region_d1().len() },
-        TableRow { region: "D2", rect: u.region_d2(), count: u.region_d2().len() },
-        TableRow { region: "D3", rect: u.region_d3(), count: u.region_d3().len() },
+        TableRow {
+            region: "A",
+            rect: u.region_a(),
+            count: u.region_a().len(),
+        },
+        TableRow {
+            region: "B1",
+            rect: u.region_b1(),
+            count: u.region_b1().len(),
+        },
+        TableRow {
+            region: "B2",
+            rect: u.region_b2(),
+            count: u.region_b2().len(),
+        },
+        TableRow {
+            region: "C1",
+            rect: u.region_c1(),
+            count: u.region_c1().len(),
+        },
+        TableRow {
+            region: "C2",
+            rect: u.region_c2(),
+            count: u.region_c2().len(),
+        },
+        TableRow {
+            region: "D1",
+            rect: u.region_d1(),
+            count: u.region_d1().len(),
+        },
+        TableRow {
+            region: "D2",
+            rect: u.region_d2(),
+            count: u.region_d2().len(),
+        },
+        TableRow {
+            region: "D3",
+            rect: u.region_d3(),
+            count: u.region_d3().len(),
+        },
     ];
-    rows.push(TableRow { region: "J", rect: s.region_j(), count: s.region_j().len() });
-    rows.push(TableRow { region: "K1", rect: s.region_k1(), count: s.region_k1().len() });
-    rows.push(TableRow { region: "K2", rect: s.region_k2(), count: s.region_k2().len() });
+    rows.push(TableRow {
+        region: "J",
+        rect: s.region_j(),
+        count: s.region_j().len(),
+    });
+    rows.push(TableRow {
+        region: "K1",
+        rect: s.region_k1(),
+        count: s.region_k1().len(),
+    });
+    rows.push(TableRow {
+        region: "K2",
+        rect: s.region_k2(),
+        count: s.region_k2().len(),
+    });
     rows
 }
 
@@ -239,11 +278,7 @@ mod tests {
             for p in 1..r {
                 for q in (p + 1)..=r {
                     let u = UParams::new(r, p, q);
-                    assert_eq!(
-                        u.total_paths(),
-                        crate::r_2r_plus_1(r),
-                        "r={r} p={p} q={q}"
-                    );
+                    assert_eq!(u.total_paths(), crate::r_2r_plus_1(r), "r={r} p={p} q={q}");
                 }
             }
         }

@@ -107,8 +107,7 @@ pub fn max_disjoint_paths(r: u32, p: Coord, center: Coord) -> u32 {
             }
         }
     }
-    let index: HashMap<Coord, usize> =
-        ball.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let index: HashMap<Coord, usize> = ball.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let n = ball.len();
     // layout: node v has in = 2v, out = 2v+1; source = 2n, sink = 2n+1
     let mut net = FlowNetwork::new(2 * n + 2);

@@ -81,8 +81,7 @@ mod tests {
                 .into_iter()
                 .map(reflect)
                 .collect();
-            let s2: std::collections::BTreeSet<Coord> =
-                region_s2(r).into_iter().collect();
+            let s2: std::collections::BTreeSet<Coord> = region_s2(r).into_iter().collect();
             assert_eq!(mapped, s2, "r={r}");
         }
     }

@@ -25,7 +25,12 @@ use rbcast_grid::{Metric, Torus};
 /// `kind` on `torus` (L∞ or L2), or `None` when the volume is
 /// data-dependent (the full indirect protocol).
 #[must_use]
-pub fn predicted_broadcasts(kind: ProtocolKind, torus: &Torus, r: u32, metric: Metric) -> Option<u64> {
+pub fn predicted_broadcasts(
+    kind: ProtocolKind,
+    torus: &Torus,
+    r: u32,
+    metric: Metric,
+) -> Option<u64> {
     let n = torus.len() as u64;
     let d = metric.neighborhood_size(r) as u64;
     match kind {
@@ -137,8 +142,7 @@ mod tests {
     #[test]
     fn l2_neighborhoods_shrink_the_simplified_volume() {
         let torus = Torus::for_radius(2);
-        let linf =
-            predicted_broadcasts(ProtocolKind::IndirectSimplified, &torus, 2, Metric::Linf);
+        let linf = predicted_broadcasts(ProtocolKind::IndirectSimplified, &torus, 2, Metric::Linf);
         let l2 = predicted_broadcasts(ProtocolKind::IndirectSimplified, &torus, 2, Metric::L2);
         assert!(l2 < linf);
     }

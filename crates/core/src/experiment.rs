@@ -234,12 +234,64 @@ impl Experiment {
 
     /// Runs the experiment.
     ///
+    /// Under the `debug-invariants` feature the run executes twice and
+    /// asserts both replicas produce the identical delivery-trace hash
+    /// and outcome — the determinism half of the audit gates; the T2
+    /// safety oracle (no honest node commits a wrong value) is asserted
+    /// every round inside the simulator whenever the configuration is
+    /// within the protocol's proven tolerance.
+    ///
     /// # Panics
     ///
     /// Panics if the arena cannot host the radius (see
-    /// [`Torus::supports_radius`]).
+    /// [`Torus::supports_radius`]), or — under `debug-invariants` — if a
+    /// runtime invariant is violated.
     #[must_use]
     pub fn run(&self) -> Outcome {
+        let (outcome, hash) = self.run_once();
+        #[cfg(feature = "debug-invariants")]
+        {
+            let (replay, replay_hash) = self.run_once();
+            assert_eq!(
+                hash, replay_hash,
+                "same-seed trace-hash determinism violated: two runs of one \
+                 experiment diverged ({hash:#018x} vs {replay_hash:#018x})"
+            );
+            assert_eq!(
+                outcome, replay,
+                "same-seed determinism violated: identical trace hashes but \
+                 diverging outcomes"
+            );
+        }
+        let _ = hash;
+        outcome
+    }
+
+    /// Whether Theorem 2's safety guarantee is provably in force, i.e.
+    /// whether the safety oracle may assert without false alarms: the
+    /// channel delivers authentic identities, the placement's audited
+    /// local bound is within the budget, and the protocol carries a
+    /// Byzantine safety proof for the configured fault behaviour.
+    /// `IndirectCustom` ablations may deliberately weaken the commit
+    /// rule, so they are never audited.
+    fn t2_oracle_applies(&self, audited_bound: usize, t: usize) -> bool {
+        if self.channel.spoofing || audited_bound > t {
+            return false;
+        }
+        match self.protocol {
+            ProtocolKind::Cpa | ProtocolKind::IndirectFull | ProtocolKind::IndirectSimplified => {
+                true
+            }
+            ProtocolKind::Flood | ProtocolKind::PersistentFlood { .. } => {
+                matches!(self.fault_kind, FaultKind::CrashStop | FaultKind::Silent)
+            }
+            ProtocolKind::IndirectCustom(_) => false,
+        }
+    }
+
+    /// One full simulation, returning the outcome and the simulator's
+    /// delivery-trace hash.
+    fn run_once(&self) -> (Outcome, u64) {
         let torus = self
             .torus
             .clone()
@@ -267,51 +319,53 @@ impl Experiment {
         if channel.jam_budget > 0 && channel.jammers.is_empty() {
             channel.jammers = faults.clone();
         }
-        let mut net = Network::new_with_channel(torus.clone(), self.r, self.metric, channel, move |id| {
-            if fs.contains(&id) {
-                match fault_kind {
-                    // crash is applied post-construction; give them a
-                    // silent process either way
-                    FaultKind::CrashStop | FaultKind::Silent => attackers::silent(),
-                    FaultKind::Liar => attackers::liar(wrong),
-                    FaultKind::Forger => attackers::forger(wrong),
-                    FaultKind::Spoofer => attackers::spoofer(wrong),
-                    FaultKind::Mixed { seed } => {
-                        // cheap deterministic per-node draw
-                        let mut x = seed
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            .wrapping_add(u64::from(id.0));
-                        x ^= x >> 33;
-                        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-                        match x % 3 {
-                            0 => attackers::silent(),
-                            1 => attackers::liar(wrong),
-                            _ => attackers::forger(wrong),
+        let mut net =
+            Network::new_with_channel(torus.clone(), self.r, self.metric, channel, move |id| {
+                if fs.contains(&id) {
+                    match fault_kind {
+                        // crash is applied post-construction; give them a
+                        // silent process either way
+                        FaultKind::CrashStop | FaultKind::Silent => attackers::silent(),
+                        FaultKind::Liar => attackers::liar(wrong),
+                        FaultKind::Forger => attackers::forger(wrong),
+                        FaultKind::Spoofer => attackers::spoofer(wrong),
+                        FaultKind::Mixed { seed } => {
+                            // cheap deterministic per-node draw
+                            let mut x = seed
+                                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                .wrapping_add(u64::from(id.0));
+                            x ^= x >> 33;
+                            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                            match x % 3 {
+                                0 => attackers::silent(),
+                                1 => attackers::liar(wrong),
+                                _ => attackers::forger(wrong),
+                            }
                         }
                     }
-                }
-            } else {
-                match protocol {
-                    ProtocolKind::Flood => {
-                        Box::new(Flood::new(params)) as Box<dyn Process<Msg>>
-                    }
-                    ProtocolKind::PersistentFlood { repeats } => {
-                        Box::new(PersistentFlood::new(params, repeats))
-                    }
-                    ProtocolKind::Cpa => Box::new(Cpa::new(params)),
-                    ProtocolKind::IndirectFull => {
-                        Box::new(Indirect::new(params, IndirectConfig::full()))
-                    }
-                    ProtocolKind::IndirectSimplified => {
-                        Box::new(Indirect::new(params, IndirectConfig::simplified()))
-                    }
-                    ProtocolKind::IndirectCustom(cfg) => {
-                        Box::new(Indirect::new(params, cfg))
+                } else {
+                    match protocol {
+                        ProtocolKind::Flood => {
+                            Box::new(Flood::new(params)) as Box<dyn Process<Msg>>
+                        }
+                        ProtocolKind::PersistentFlood { repeats } => {
+                            Box::new(PersistentFlood::new(params, repeats))
+                        }
+                        ProtocolKind::Cpa => Box::new(Cpa::new(params)),
+                        ProtocolKind::IndirectFull => {
+                            Box::new(Indirect::new(params, IndirectConfig::full()))
+                        }
+                        ProtocolKind::IndirectSimplified => {
+                            Box::new(Indirect::new(params, IndirectConfig::simplified()))
+                        }
+                        ProtocolKind::IndirectCustom(cfg) => Box::new(Indirect::new(params, cfg)),
                     }
                 }
-            }
-        });
+            });
         net.set_classifier(Msg::kind);
+        if self.t2_oracle_applies(audited_bound, t) {
+            net.set_safety_oracle(self.value, &faults);
+        }
         if matches!(self.fault_kind, FaultKind::CrashStop) {
             for &f in &faults {
                 net.crash_at(f, 0);
@@ -336,7 +390,7 @@ impl Experiment {
                 None => undecided += 1,
             }
         }
-        Outcome {
+        let outcome = Outcome {
             honest,
             committed_correct,
             committed_wrong,
@@ -345,7 +399,8 @@ impl Experiment {
             audited_bound,
             stats,
             message_kinds,
-        }
+        };
+        (outcome, net.trace_hash())
     }
 }
 

@@ -212,8 +212,8 @@ mod tests {
     fn generic_cpa_cross_validates_the_radio_simulator() {
         // Two independent implementations of CPA must agree on WHO
         // commits under silent faults (rounds may differ by scheduling).
-        use rbcast_adversary::Placement;
         use crate::{Experiment, FaultKind, ProtocolKind};
+        use rbcast_adversary::Placement;
 
         let r = 2u32;
         let t = 2usize;

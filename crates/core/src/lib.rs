@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod complexity;
-pub mod graphs;
 mod experiment;
+pub mod graphs;
 pub mod percolation;
 pub mod render;
 pub mod thresholds;

@@ -87,6 +87,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::float_cmp)] // reaching every node is exactly fraction 1.0
     fn zero_probability_reaches_everyone() {
         let torus = Torus::for_radius(2);
         let s = sample(2, &torus, 0.0, 1);

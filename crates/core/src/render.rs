@@ -110,7 +110,9 @@ mod tests {
         let map = commit_map(&torus, torus.id(Coord::ORIGIN), &[], true, |_| None);
         let lines: Vec<&str> = map.lines().collect();
         assert_eq!(lines.len(), 5);
-        assert!(lines.iter().all(|l| l.chars().filter(|c| !c.is_whitespace()).count() == 9));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().filter(|c| !c.is_whitespace()).count() == 9));
     }
 
     #[test]

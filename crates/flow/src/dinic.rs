@@ -73,7 +73,10 @@ impl FlowNetwork {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u32) -> EdgeId {
-        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        assert!(
+            from < self.len() && to < self.len(),
+            "edge endpoint out of range"
+        );
         let fwd = self.edges.len();
         let rev = fwd + 1;
         self.edges.push(Edge { to, cap, rev });

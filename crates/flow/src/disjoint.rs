@@ -1,6 +1,77 @@
 //! Internally-vertex-disjoint paths in undirected graphs (Menger).
 
+use std::fmt;
+
 use crate::FlowNetwork;
+
+/// Precondition violations of the disjoint-path API.
+///
+/// Every variant names the invariant the caller broke, so a failure
+/// surfaced through [`Result`] (or an `expect` on one) identifies the
+/// offending input rather than a bare index panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisjointError {
+    /// `s` or `t` is not a vertex of the graph (`terminal >= n`).
+    TerminalOutOfRange {
+        /// The offending terminal index.
+        terminal: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// `s == t`: internal disjointness is undefined for a single vertex.
+    IdenticalTerminals {
+        /// The coincident terminal index.
+        terminal: usize,
+    },
+    /// An adjacency list references a vertex outside the graph.
+    AdjacencyOutOfRange {
+        /// Vertex whose adjacency list is malformed.
+        from: usize,
+        /// The out-of-range entry.
+        entry: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+}
+
+impl fmt::Display for DisjointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DisjointError::TerminalOutOfRange { terminal, n } => {
+                write!(f, "terminal {terminal} out of range for {n}-vertex graph")
+            }
+            DisjointError::IdenticalTerminals { terminal } => {
+                write!(f, "source and sink are both vertex {terminal}")
+            }
+            DisjointError::AdjacencyOutOfRange { from, entry, n } => write!(
+                f,
+                "adjacency list of vertex {from} references {entry}, out of range \
+                 for {n}-vertex graph"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DisjointError {}
+
+/// Validates the shared preconditions of the disjoint-path API.
+fn validate(adj: &[Vec<usize>], s: usize, t: usize) -> Result<(), DisjointError> {
+    let n = adj.len();
+    for terminal in [s, t] {
+        if terminal >= n {
+            return Err(DisjointError::TerminalOutOfRange { terminal, n });
+        }
+    }
+    if s == t {
+        return Err(DisjointError::IdenticalTerminals { terminal: s });
+    }
+    for (from, nbrs) in adj.iter().enumerate() {
+        if let Some(&entry) = nbrs.iter().find(|&&v| v >= n) {
+            return Err(DisjointError::AdjacencyOutOfRange { from, entry, n });
+        }
+    }
+    Ok(())
+}
 
 /// Maximum number of internally-vertex-disjoint paths between `s` and `t`
 /// in an undirected graph given as an adjacency list.
@@ -14,7 +85,8 @@ use crate::FlowNetwork;
 /// # Panics
 ///
 /// Panics if `s == t`, if either is out of range, or if an adjacency entry
-/// is out of range.
+/// is out of range. [`try_vertex_disjoint_count`] is the non-panicking
+/// form.
 ///
 /// # Example
 ///
@@ -27,14 +99,23 @@ use crate::FlowNetwork;
 /// assert_eq!(vertex_disjoint_count(&adj, 0, 3, None), 3);
 /// ```
 #[must_use]
-pub fn vertex_disjoint_count(
+pub fn vertex_disjoint_count(adj: &[Vec<usize>], s: usize, t: usize, cap: Option<u32>) -> u32 {
+    try_vertex_disjoint_count(adj, s, t, cap)
+        .expect("caller guarantees distinct in-range terminals and a closed adjacency list")
+}
+
+/// Non-panicking form of [`vertex_disjoint_count`]: precondition
+/// violations come back as a [`DisjointError`] naming the broken
+/// invariant.
+pub fn try_vertex_disjoint_count(
     adj: &[Vec<usize>],
     s: usize,
     t: usize,
     cap: Option<u32>,
-) -> u32 {
+) -> Result<u32, DisjointError> {
+    validate(adj, s, t)?;
     let (mut net, s_out, t_in) = build_split_network(adj, s, t);
-    net.max_flow_capped(s_out, t_in, cap.unwrap_or(u32::MAX))
+    Ok(net.max_flow_capped(s_out, t_in, cap.unwrap_or(u32::MAX)))
 }
 
 /// Computes a maximum set of internally-vertex-disjoint `s–t` paths and
@@ -45,7 +126,8 @@ pub fn vertex_disjoint_count(
 ///
 /// # Panics
 ///
-/// Same conditions as [`vertex_disjoint_count`].
+/// Same conditions as [`vertex_disjoint_count`];
+/// [`try_vertex_disjoint_paths`] is the non-panicking form.
 #[must_use]
 pub fn vertex_disjoint_paths(
     adj: &[Vec<usize>],
@@ -53,6 +135,18 @@ pub fn vertex_disjoint_paths(
     t: usize,
     cap: Option<u32>,
 ) -> Vec<Vec<usize>> {
+    try_vertex_disjoint_paths(adj, s, t, cap)
+        .expect("caller guarantees distinct in-range terminals and a closed adjacency list")
+}
+
+/// Non-panicking form of [`vertex_disjoint_paths`].
+pub fn try_vertex_disjoint_paths(
+    adj: &[Vec<usize>],
+    s: usize,
+    t: usize,
+    cap: Option<u32>,
+) -> Result<Vec<Vec<usize>>, DisjointError> {
+    validate(adj, s, t)?;
     let n = adj.len();
     let (mut net, s_out, t_in) = build_split_network(adj, s, t);
     let flow = net.max_flow_capped(s_out, t_in, cap.unwrap_or(u32::MAX));
@@ -86,7 +180,7 @@ pub fn vertex_disjoint_paths(
         }
         paths.push(path);
     }
-    paths
+    Ok(paths)
 }
 
 /// Extracts a *minimum vertex cut* separating `s` from `t`: a smallest
@@ -100,18 +194,31 @@ pub fn vertex_disjoint_paths(
 ///
 /// # Panics
 ///
-/// Same conditions as [`vertex_disjoint_count`].
+/// Same conditions as [`vertex_disjoint_count`]; [`try_min_vertex_cut`]
+/// is the non-panicking form.
 #[must_use]
 pub fn min_vertex_cut(adj: &[Vec<usize>], s: usize, t: usize) -> Option<Vec<usize>> {
+    try_min_vertex_cut(adj, s, t)
+        .expect("caller guarantees distinct in-range terminals and a closed adjacency list")
+}
+
+/// Non-panicking form of [`min_vertex_cut`]: the outer `Result` reports
+/// precondition violations, the inner `Option` stays `None` for adjacent
+/// terminals.
+pub fn try_min_vertex_cut(
+    adj: &[Vec<usize>],
+    s: usize,
+    t: usize,
+) -> Result<Option<Vec<usize>>, DisjointError> {
+    validate(adj, s, t)?;
     if adj[s].contains(&t) {
-        return None;
+        return Ok(None);
     }
     // Build the split network with *unbounded* adjacency arcs so the
     // minimum cut consists purely of node-internal arcs (the vertex
     // capacities). The counting variant uses unit adjacency arcs instead
     // (equivalent for the flow value, not for cut extraction).
     let n = adj.len();
-    assert!(s < n && t < n, "terminal out of range");
     let mut net = FlowNetwork::new(2 * n);
     const INF: u32 = u32::MAX / 2;
     for v in 0..n {
@@ -120,7 +227,6 @@ pub fn min_vertex_cut(adj: &[Vec<usize>], s: usize, t: usize) -> Option<Vec<usiz
     }
     for (u, nbrs) in adj.iter().enumerate() {
         for &v in nbrs {
-            assert!(v < n, "adjacency entry out of range");
             net.add_edge(2 * u + 1, 2 * v, INF);
         }
     }
@@ -135,16 +241,12 @@ pub fn min_vertex_cut(adj: &[Vec<usize>], s: usize, t: usize) -> Option<Vec<usiz
             cut.push(v);
         }
     }
-    Some(cut)
+    Ok(Some(cut))
 }
 
 /// Builds the node-split network. Returns `(network, source, sink)` where
 /// `source` is `s`'s out-copy and `sink` is `t`'s in-copy.
-fn build_split_network(
-    adj: &[Vec<usize>],
-    s: usize,
-    t: usize,
-) -> (FlowNetwork, usize, usize) {
+fn build_split_network(adj: &[Vec<usize>], s: usize, t: usize) -> (FlowNetwork, usize, usize) {
     let (net, s_out, t_in, _) = build_split_network_with_ids(adj, s, t);
     (net, s_out, t_in)
 }
@@ -153,10 +255,14 @@ fn build_split_network_with_ids(
     adj: &[Vec<usize>],
     s: usize,
     t: usize,
-) -> (FlowNetwork, usize, usize, Vec<(usize, usize, crate::EdgeId)>) {
+) -> (
+    FlowNetwork,
+    usize,
+    usize,
+    Vec<(usize, usize, crate::EdgeId)>,
+) {
+    // Preconditions hold here: every caller has gone through validate().
     let n = adj.len();
-    assert!(s < n && t < n, "terminal out of range");
-    assert_ne!(s, t, "source and sink must differ");
 
     // vertex v -> in-copy 2v, out-copy 2v+1
     let mut net = FlowNetwork::new(2 * n);
@@ -168,7 +274,6 @@ fn build_split_network_with_ids(
     let mut ids = Vec::new();
     for (u, nbrs) in adj.iter().enumerate() {
         for &v in nbrs {
-            assert!(v < n, "adjacency entry out of range");
             // one direction per listed arc; undirected graphs list both.
             let id = net.add_edge(2 * u + 1, 2 * v, 1);
             ids.push((u, v, id));
@@ -299,6 +404,48 @@ mod tests {
         assert_eq!(vertex_disjoint_count(&adj, idx(0, 0), idx(2, 2), None), 2);
     }
 
+    #[test]
+    fn try_variants_report_broken_preconditions() {
+        let adj = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(
+            try_vertex_disjoint_count(&adj, 0, 9, None),
+            Err(DisjointError::TerminalOutOfRange { terminal: 9, n: 4 })
+        );
+        assert_eq!(
+            try_vertex_disjoint_paths(&adj, 2, 2, None),
+            Err(DisjointError::IdenticalTerminals { terminal: 2 })
+        );
+        let mut bad = adj.clone();
+        bad[1].push(42);
+        assert_eq!(
+            try_min_vertex_cut(&bad, 0, 3),
+            Err(DisjointError::AdjacencyOutOfRange {
+                from: 1,
+                entry: 42,
+                n: 4
+            })
+        );
+        // Errors render the invariant, not just a code.
+        let msg = DisjointError::TerminalOutOfRange { terminal: 9, n: 4 }.to_string();
+        assert!(msg.contains("terminal 9"), "{msg}");
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_forms() {
+        let adj = undirected(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)]);
+        assert_eq!(
+            try_vertex_disjoint_count(&adj, 0, 5, None),
+            Ok(vertex_disjoint_count(&adj, 0, 5, None))
+        );
+        assert_eq!(
+            try_vertex_disjoint_paths(&adj, 0, 5, None),
+            Ok(vertex_disjoint_paths(&adj, 0, 5, None))
+        );
+        assert_eq!(
+            try_min_vertex_cut(&adj, 0, 5),
+            Ok(min_vertex_cut(&adj, 0, 5))
+        );
+    }
 
     #[test]
     fn min_cut_of_bowtie_is_the_shared_vertex() {

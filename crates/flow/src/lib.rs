@@ -36,5 +36,8 @@ mod disjoint;
 mod packing;
 
 pub use dinic::{EdgeId, FlowNetwork};
-pub use disjoint::{min_vertex_cut, vertex_disjoint_count, vertex_disjoint_paths};
+pub use disjoint::{
+    min_vertex_cut, try_min_vertex_cut, try_vertex_disjoint_count, try_vertex_disjoint_paths,
+    vertex_disjoint_count, vertex_disjoint_paths, DisjointError,
+};
 pub use packing::{Chain, ChainPacker};

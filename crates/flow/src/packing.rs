@@ -74,9 +74,7 @@ impl Chain {
     /// True iff the two chains share a relay.
     #[must_use]
     pub fn conflicts_with(&self, other: &Chain) -> bool {
-        self.relays
-            .iter()
-            .any(|r| other.relays.contains(r))
+        self.relays.iter().any(|r| other.relays.contains(r))
     }
 }
 
@@ -240,11 +238,7 @@ fn max_disjoint_sets(chains: &[&Chain], target: u32, budget: u64) -> u32 {
     let mut taken_relays: Vec<u64> = Vec::with_capacity(3 * target as usize);
     let mut greedy = 0u32;
     for &i in &order {
-        if chains[i]
-            .relays()
-            .iter()
-            .all(|r| !taken_relays.contains(r))
-        {
+        if chains[i].relays().iter().all(|r| !taken_relays.contains(r)) {
             taken_relays.extend_from_slice(chains[i].relays());
             greedy += 1;
             if greedy >= target {
@@ -281,7 +275,13 @@ fn max_disjoint_sets(chains: &[&Chain], target: u32, budget: u64) -> u32 {
         .collect();
     let mut nodes_left = budget;
     bb(
-        &conflict, &full, 0, target, &mut best, &mut nodes_left, words,
+        &conflict,
+        &full,
+        0,
+        target,
+        &mut best,
+        &mut nodes_left,
+        words,
     );
     best.min(target)
 }
@@ -326,12 +326,22 @@ fn bb(
     for w in 0..words {
         with_v[w] &= !conflict[v][w];
     }
-    bb(conflict, &with_v, current + 1, target, best, nodes_left, words);
+    bb(
+        conflict,
+        &with_v,
+        current + 1,
+        target,
+        best,
+        nodes_left,
+        words,
+    );
 
     // Branch 2: exclude v.
     let mut without_v = candidates.to_vec();
     without_v[v / 64] &= !(1 << (v % 64));
-    bb(conflict, &without_v, current, target, best, nodes_left, words);
+    bb(
+        conflict, &without_v, current, target, best, nodes_left, words,
+    );
 }
 
 #[cfg(test)]

@@ -148,6 +148,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // thresholds are exact halves of integers
     fn byzantine_threshold_linf_values() {
         // ½ r(2r+1): r=2 → 5, r=3 → 10.5, r=4 → 18
         assert_eq!(Metric::Linf.byzantine_threshold(2), 5.0);
@@ -169,8 +170,7 @@ mod tests {
         // The paper: "slightly less than one-fourth fraction of nodes in
         // any neighborhood". t/|nbd| = ½r(2r+1) / ((2r+1)²−1) → ¼.
         let r = 200u32;
-        let frac =
-            Metric::Linf.byzantine_threshold(r) / Metric::Linf.neighborhood_size(r) as f64;
+        let frac = Metric::Linf.byzantine_threshold(r) / Metric::Linf.neighborhood_size(r) as f64;
         assert!((frac - 0.25).abs() < 0.01, "frac={frac}");
     }
 

@@ -239,7 +239,10 @@ mod tests {
             let brute: std::collections::BTreeSet<_> = pnbd_centers(Coord::ORIGIN)
                 .into_iter()
                 .flat_map(|c| {
-                    linf_offsets(r).into_iter().map(move |o| c + o).collect::<Vec<_>>()
+                    linf_offsets(r)
+                        .into_iter()
+                        .map(move |o| c + o)
+                        .collect::<Vec<_>>()
                 })
                 .collect();
             assert_eq!(members, brute.into_iter().collect::<Vec<_>>());

@@ -23,7 +23,7 @@ use crate::{Coord, Metric, Torus};
 /// use rbcast_grid::{TdmaSchedule, Torus};
 ///
 /// let torus = Torus::new(20, 20); // 20 divisible by k = 5 for r = 2
-/// let tdma = TdmaSchedule::new(&torus, 2).unwrap();
+/// let tdma = TdmaSchedule::new(&torus, 2).expect("r=2 divides the torus side");
 /// assert_eq!(tdma.slots_per_frame(), 25);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -288,8 +288,7 @@ mod tests {
         let center = Coord::new(3, 21); // near the seam on purpose
         let cid = t.id(center);
         for metric in [Metric::Linf, Metric::L2] {
-            let nbd: std::collections::HashSet<_> =
-                t.neighborhood(cid, 3, metric).collect();
+            let nbd: std::collections::HashSet<_> = t.neighborhood(cid, 3, metric).collect();
             for other in t.coords() {
                 let expect = other != center && t.within(center, other, 3, metric);
                 assert_eq!(

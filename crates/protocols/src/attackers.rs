@@ -20,7 +20,7 @@
 use crate::Msg;
 use rbcast_grid::NodeId;
 use rbcast_sim::{Ctx, Process, Value};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A node that exploits the §X *spoofing* relaxation: it announces the
 /// wrong value impersonating every honest neighbor in turn. Against a
@@ -71,14 +71,14 @@ pub fn liar(wrong: Value) -> Box<dyn Process<Msg>> {
     Box::new(Liar {
         wrong,
         announced: false,
-        relayed: HashSet::new(),
+        relayed: BTreeSet::new(),
     })
 }
 
 struct Liar {
     wrong: Value,
     announced: bool,
-    relayed: HashSet<(NodeId, Vec<NodeId>)>,
+    relayed: BTreeSet<(NodeId, Vec<NodeId>)>,
 }
 
 impl Process<Msg> for Liar {
@@ -251,12 +251,7 @@ mod tests {
                     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
                         ctx.broadcast(Msg::Committed(true));
                     }
-                    fn on_message(
-                        &mut self,
-                        _: &mut Ctx<'_, Msg>,
-                        _: NodeId,
-                        _: &Msg,
-                    ) {}
+                    fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: &Msg) {}
                 }
                 Box::new(Announcer)
             } else if id == lid {

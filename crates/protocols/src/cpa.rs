@@ -11,7 +11,7 @@
 use crate::{Msg, ProtocolParams};
 use rbcast_grid::NodeId;
 use rbcast_sim::{Ctx, Process, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// CPA process state.
 ///
@@ -37,7 +37,7 @@ pub struct Cpa {
     params: ProtocolParams,
     /// First value announced by each neighbor (later contradictions from
     /// a duplicitous neighbor are ignored, per §V).
-    announced: HashMap<NodeId, Value>,
+    announced: BTreeMap<NodeId, Value>,
     /// Votes per value from distinct neighbors.
     votes: [usize; 2],
     committed: bool,
@@ -49,7 +49,7 @@ impl Cpa {
     pub fn new(params: ProtocolParams) -> Self {
         Cpa {
             params,
-            announced: HashMap::new(),
+            announced: BTreeMap::new(),
             votes: [0, 0],
             committed: false,
         }
@@ -215,8 +215,8 @@ mod tests {
         // thresh_cpa experiment).
         let r = 2;
         let torus = Torus::for_radius(r); // 20x20
-        // full-width vertical wall of silent nodes, 3 columns thick, away
-        // from the source so its neighbors still commit
+                                          // full-width vertical wall of silent nodes, 3 columns thick, away
+                                          // from the source so its neighbors still commit
         let mut wall = Vec::new();
         for y in 0..torus.height() {
             for x in 7..10 {

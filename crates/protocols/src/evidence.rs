@@ -26,7 +26,7 @@
 use rbcast_flow::ChainPacker;
 use rbcast_grid::{Coord, Metric, NodeId, Torus};
 use rbcast_sim::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which commit rule the indirect protocol evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,13 +96,13 @@ pub struct EvidenceStore {
     t: usize,
     rule: CommitRule,
     /// Per-(committer, value) chains, relays only (two-level rule).
-    packers: HashMap<(NodeId, Value), ChainPacker>,
+    packers: BTreeMap<(NodeId, Value), ChainPacker>,
     /// Per-value chains with the committer prefixed (one-level rule).
     combined: [ChainPacker; 2],
     /// Pairs whose evidence changed since the last evaluation.
-    dirty: HashSet<(NodeId, Value)>,
+    dirty: BTreeSet<(NodeId, Value)>,
     /// Committers reliably determined (first value wins).
-    determined: HashMap<NodeId, Value>,
+    determined: BTreeMap<NodeId, Value>,
     /// Set when a commit re-evaluation is warranted.
     commit_dirty: bool,
 }
@@ -158,7 +158,7 @@ impl EvidenceStore {
 
     /// Committers reliably determined so far (two-level rule).
     #[must_use]
-    pub fn determined(&self) -> &HashMap<NodeId, Value> {
+    pub fn determined(&self) -> &BTreeMap<NodeId, Value> {
         &self.determined
     }
 
@@ -186,7 +186,9 @@ impl EvidenceStore {
         // Level 1: refresh determinations for dirty (committer, value)
         // pairs. A pair failing now is re-marked dirty by the next chain
         // arrival for it.
-        let dirty: Vec<(NodeId, Value)> = self.dirty.drain().collect();
+        // Sorted drain: BTreeSet iteration is (committer, value) order,
+        // so refresh order is identical on every run with the same seed.
+        let dirty: Vec<(NodeId, Value)> = std::mem::take(&mut self.dirty).into_iter().collect();
         let mut newly = false;
         for (committer, v) in dirty {
             if self.determined.contains_key(&committer) {
@@ -262,8 +264,7 @@ impl EvidenceStore {
                 if packer.len() < need as usize {
                     continue;
                 }
-                let admit =
-                    |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
+                let admit = |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
                 if packer.max_disjoint(admit, need) >= need {
                     return Some(v);
                 }
@@ -331,7 +332,7 @@ mod tests {
         let t = 1;
         let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
         let committer = id(&torus, 12, 12); // not a direct neighbor of me
-        // two disjoint chains through distinct relays near the committer
+                                            // two disjoint chains through distinct relays near the committer
         ev.record_chain(committer, true, &[id(&torus, 11, 12)]);
         ev.record_chain(committer, true, &[id(&torus, 12, 11)]);
         let _ = ev.evaluate(&geo);
@@ -494,6 +495,85 @@ mod tests {
         ev.record_direct(id(&torus, 10, 12), true);
         ev.record_direct(id(&torus, 9, 12), true);
         assert_eq!(ev.evaluate(&geo), Some(true));
+    }
+
+    proptest::prelude::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Theorem 2 safety, adversarially: under any locally-bounded
+        /// fault set (at most `t` faults in total, hence at most `t` in
+        /// every neighborhood), no stream of model-consistent evidence
+        /// ever makes either commit rule fire for the wrong value, and
+        /// the two-level rule never wrongly determines an honest
+        /// committer.
+        ///
+        /// Model consistency is the one constraint the radio network
+        /// enforces for free (identities are unforgeable, honest relays
+        /// only attest what they heard): a `false` report about an
+        /// *honest* committer must pass through at least one faulty
+        /// relay. Everything else — chain shapes, committer choices,
+        /// interleaving with truthful evidence — is adversarial.
+        #[test]
+        fn bounded_faults_never_produce_a_wrong_commit(
+            t in 1usize..=3,
+            fault_pts in proptest::collection::vec((0i64..24, 0i64..24), 0..4),
+            truth_pts in proptest::collection::vec((0i64..24, 0i64..24), 0..6),
+            chain_spec in proptest::collection::vec(
+                ((0i64..24, 0i64..24), proptest::collection::vec((0i64..24, 0i64..24), 0..4)),
+                0..32,
+            ),
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_ne};
+
+            let torus = Torus::new(24, 24);
+            let geo = geometry(&torus);
+            let at = |&(x, y): &(i64, i64)| torus.id(Coord::new(x, y));
+            // At most `t` faults in total, so every neighborhood holds at
+            // most `t` of them: the placement is locally bounded by
+            // construction.
+            let faulty: BTreeSet<NodeId> = fault_pts.iter().take(t).map(at).collect();
+
+            for rule in [CommitRule::TwoLevel, CommitRule::OneLevel] {
+                let mut ev = EvidenceStore::new(t, rule);
+                // Truthful background: direct announcements of the true
+                // value, which must never help a wrong commit.
+                for p in &truth_pts {
+                    ev.record_direct(at(p), true);
+                    prop_assert_ne!(ev.evaluate(&geo), Some(false));
+                }
+                for (committer_pt, relay_pts) in &chain_spec {
+                    let committer = at(committer_pt);
+                    let mut relays: Vec<NodeId> = relay_pts.iter().map(at).collect();
+                    if !faulty.contains(&committer)
+                        && !relays.iter().any(|r| faulty.contains(r))
+                    {
+                        // Repair the chain to be model-consistent: route
+                        // the fabrication through a faulty relay. With no
+                        // faults at all, wrong reports cannot exist.
+                        match faulty.iter().next() {
+                            Some(&f) => relays.push(f),
+                            None => continue,
+                        }
+                    }
+                    ev.record_chain(committer, false, &relays);
+                    prop_assert_ne!(
+                        ev.evaluate(&geo),
+                        Some(false),
+                        "wrong commit under {:?} with t={}, faults={:?}",
+                        rule, t, faulty
+                    );
+                }
+                if rule == CommitRule::TwoLevel {
+                    for (c, v) in ev.determined() {
+                        prop_assert!(
+                            faulty.contains(c) || *v,
+                            "honest committer {:?} wrongly determined under t={}",
+                            c, t
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -76,11 +76,7 @@ mod tests {
     use rbcast_grid::{Coord, Metric, Torus};
     use rbcast_sim::Network;
 
-    fn run_flood(
-        torus: &Torus,
-        r: u32,
-        crashed: &[NodeId],
-    ) -> rbcast_sim::Network<Msg> {
+    fn run_flood(torus: &Torus, r: u32, crashed: &[NodeId]) -> rbcast_sim::Network<Msg> {
         let params = ProtocolParams {
             source: torus.id(Coord::ORIGIN),
             value: true,

@@ -25,7 +25,7 @@ use crate::evidence::{CommitRule, EvidenceStore, Geometry};
 use crate::{Msg, ProtocolParams};
 use rbcast_grid::{Coord, Metric, NodeId};
 use rbcast_sim::{Ctx, Process, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the indirect-report protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +94,7 @@ pub struct Indirect {
     evidence: EvidenceStore,
     /// First `COMMITTED` value heard per neighbor (§V: on contradiction,
     /// accept only the first).
-    first_commit: HashMap<NodeId, Value>,
+    first_commit: BTreeMap<NodeId, Value>,
     committed: bool,
 }
 
@@ -106,7 +106,7 @@ impl Indirect {
             params,
             config,
             evidence: EvidenceStore::new(params.t, config.rule),
-            first_commit: HashMap::new(),
+            first_commit: BTreeMap::new(),
             committed: false,
         }
     }
@@ -334,9 +334,7 @@ mod tests {
 
     #[test]
     fn fault_free_full_protocol_r1() {
-        let (mut net, torus) = honest_net(1, 1, IndirectConfig::full(), vec![], || {
-            unreachable!()
-        });
+        let (mut net, torus) = honest_net(1, 1, IndirectConfig::full(), vec![], || unreachable!());
         net.run(10_000);
         for id in torus.node_ids() {
             assert_eq!(net.decision(id).map(|(v, _)| v), Some(true), "{id}");
@@ -345,8 +343,13 @@ mod tests {
 
     #[test]
     fn fault_free_simplified_protocol_r2() {
-        let (mut net, torus) =
-            honest_net(2, 4, IndirectConfig::simplified(), vec![], || unreachable!());
+        let (mut net, torus) = honest_net(
+            2,
+            4,
+            IndirectConfig::simplified(),
+            vec![],
+            || unreachable!(),
+        );
         net.run(10_000);
         for id in torus.node_ids() {
             assert_eq!(net.decision(id).map(|(v, _)| v), Some(true), "{id}");
@@ -358,8 +361,13 @@ mod tests {
         // r = 1: threshold t < 1.5, so t_max = 1.
         let torus = Torus::for_radius(1);
         let faulty = vec![torus.id(Coord::new(2, 0))];
-        let (mut net, torus) =
-            honest_net(1, 1, IndirectConfig::full(), faulty.clone(), crate::attackers::silent);
+        let (mut net, torus) = honest_net(
+            1,
+            1,
+            IndirectConfig::full(),
+            faulty.clone(),
+            crate::attackers::silent,
+        );
         net.run(10_000);
         for id in torus.node_ids() {
             if !faulty.contains(&id) {
@@ -372,13 +380,10 @@ mod tests {
     fn tolerates_max_t_liar_cluster_r1_simplified() {
         let torus = Torus::for_radius(1);
         let faulty = vec![torus.id(Coord::new(2, 0))];
-        let (mut net, torus) = honest_net(
-            1,
-            1,
-            IndirectConfig::simplified(),
-            faulty.clone(),
-            || crate::attackers::liar(false),
-        );
+        let (mut net, torus) =
+            honest_net(1, 1, IndirectConfig::simplified(), faulty.clone(), || {
+                crate::attackers::liar(false)
+            });
         net.run(10_000);
         for id in torus.node_ids() {
             if !faulty.contains(&id) {
@@ -618,13 +623,9 @@ mod tests {
         // may ever commit `false`.
         let torus = Torus::for_radius(1);
         let faulty = vec![torus.id(Coord::new(2, 2))];
-        let (mut net, torus) = honest_net(
-            1,
-            1,
-            IndirectConfig::full(),
-            faulty.clone(),
-            || crate::attackers::forger(false),
-        );
+        let (mut net, torus) = honest_net(1, 1, IndirectConfig::full(), faulty.clone(), || {
+            crate::attackers::forger(false)
+        });
         net.run(10_000);
         for id in torus.node_ids() {
             if !faulty.contains(&id) {

@@ -63,9 +63,9 @@ mod persistent;
 pub use cpa::Cpa;
 pub use evidence::{CommitRule, EvidenceStore, Geometry};
 pub use flood::Flood;
-pub use persistent::PersistentFlood;
 pub use indirect::{Indirect, IndirectConfig};
 pub use msg::Msg;
+pub use persistent::PersistentFlood;
 
 use rbcast_grid::NodeId;
 use rbcast_sim::Value;

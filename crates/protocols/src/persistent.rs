@@ -96,10 +96,9 @@ mod tests {
         let torus = Torus::for_radius(1);
         let p = params(&torus);
         let channel = ChannelConfig::lossy(0.5, 2, 1234);
-        let mut net =
-            Network::new_with_channel(torus.clone(), 1, Metric::Linf, channel, |_| {
-                Box::new(PersistentFlood::new(p, 6)) as Box<dyn Process<Msg>>
-            });
+        let mut net = Network::new_with_channel(torus.clone(), 1, Metric::Linf, channel, |_| {
+            Box::new(PersistentFlood::new(p, 6)) as Box<dyn Process<Msg>>
+        });
         net.run(1_000);
         // per-neighbor delivery prob per round: 1 − 0.5² = 0.75; six
         // rounds of repeats from ≥3 decided neighbors make a miss
@@ -118,13 +117,10 @@ mod tests {
         let channel = ChannelConfig::reliable().with_jammers(vec![jammer], 1);
 
         // persistent flood (4 repeats): everyone still decides
-        let mut net = Network::new_with_channel(
-            torus.clone(),
-            1,
-            Metric::Linf,
-            channel.clone(),
-            |_| Box::new(PersistentFlood::new(p, 4)) as Box<dyn Process<Msg>>,
-        );
+        let mut net =
+            Network::new_with_channel(torus.clone(), 1, Metric::Linf, channel.clone(), |_| {
+                Box::new(PersistentFlood::new(p, 4)) as Box<dyn Process<Msg>>
+            });
         let stats = net.run(1_000);
         assert!(stats.jammed_deliveries > 0, "jammer never fired");
         for id in torus.node_ids() {

@@ -164,6 +164,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::float_cmp)] // the reliable channel's probability is exactly 1.0
     fn default_is_reliable() {
         let cfg = ChannelConfig::default();
         assert!(cfg.is_reliable());
@@ -208,9 +209,15 @@ mod tests {
     #[test]
     fn draws_vary_across_receivers_and_rounds() {
         let cfg = ChannelConfig::lossy(0.5, 1, 1);
-        let a: Vec<bool> = (0..64).map(|i| delivery_lost(&cfg, 1, i, NodeId(1))).collect();
-        let b: Vec<bool> = (0..64).map(|i| delivery_lost(&cfg, 1, i, NodeId(2))).collect();
-        let c: Vec<bool> = (0..64).map(|i| delivery_lost(&cfg, 2, i, NodeId(1))).collect();
+        let a: Vec<bool> = (0..64)
+            .map(|i| delivery_lost(&cfg, 1, i, NodeId(1)))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|i| delivery_lost(&cfg, 1, i, NodeId(2)))
+            .collect();
+        let c: Vec<bool> = (0..64)
+            .map(|i| delivery_lost(&cfg, 2, i, NodeId(1)))
+            .collect();
         assert_ne!(a, b);
         assert_ne!(a, c);
     }

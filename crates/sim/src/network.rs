@@ -5,6 +5,17 @@ use crate::process::NodeState;
 use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, Value};
 use rbcast_grid::{Metric, NodeId, TdmaSchedule, Torus};
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The T2 ground truth a run is audited against: the source's value and
+/// the set of faulty nodes. Only consulted under `debug-invariants`.
+#[cfg_attr(not(feature = "debug-invariants"), allow(dead_code))]
+struct SafetyOracle {
+    truth: Value,
+    faulty: Vec<bool>,
+}
+
 /// One transmission on the air: the true sender, the identity the
 /// channel reports to receivers (differs only under the §X spoofing
 /// relaxation), and the payload.
@@ -43,6 +54,12 @@ pub struct Network<M> {
     /// `channel.jammers`).
     jam_remaining: Vec<u32>,
     history: Vec<RoundReport>,
+    /// FNV-1a fold over every delivery and per-round decision count —
+    /// two runs with identical inputs must produce identical hashes.
+    trace_hash: u64,
+    /// T2 safety oracle (see [`Network::set_safety_oracle`]); the
+    /// assertion itself only compiles under `debug-invariants`.
+    oracle: Option<SafetyOracle>,
     classifier: Option<fn(&M) -> &'static str>,
     kind_counts: std::collections::BTreeMap<&'static str, u64>,
     messages_sent: u64,
@@ -113,6 +130,8 @@ impl<M: Clone> Network<M> {
             jam_remaining: vec![channel.jam_budget; channel.jammers.len()],
             channel,
             history: Vec::new(),
+            trace_hash: FNV_OFFSET,
+            oracle: None,
             classifier: None,
             kind_counts: std::collections::BTreeMap::new(),
             messages_sent: 0,
@@ -214,6 +233,12 @@ impl<M: Clone> Network<M> {
                         continue;
                     }
                     self.deliveries += 1;
+                    self.trace_mix(&[
+                        u64::from(round),
+                        tx_index as u64,
+                        rid.index() as u64,
+                        tx.claimed.index() as u64,
+                    ]);
                     let claimed = tx.claimed;
                     let msg = tx.msg.clone();
                     self.with_ctx(rid, round, |proc, ctx| {
@@ -231,6 +256,8 @@ impl<M: Clone> Network<M> {
                 .iter()
                 .filter(|st| st.decision.is_some())
                 .count() as u64;
+            self.trace_mix(&[u64::from(round), decided_after]);
+            self.check_safety(round);
             self.history.push(RoundReport {
                 round,
                 transmissions: on_air.len() as u64,
@@ -272,12 +299,8 @@ impl<M: Clone> Network<M> {
                     continue;
                 }
                 let reachable = self.neighbors[tx.sender.index()].iter().any(|&rid| {
-                    self.torus.within(
-                        jc,
-                        self.torus.coord(rid),
-                        self.radius,
-                        self.metric,
-                    )
+                    self.torus
+                        .within(jc, self.torus.coord(rid), self.radius, self.metric)
                 });
                 if reachable {
                     jam_of[i] = Some(jammer);
@@ -287,6 +310,66 @@ impl<M: Clone> Network<M> {
         }
         jam_of
     }
+
+    /// Folds words into the running trace hash (FNV-1a over bytes).
+    fn trace_mix(&mut self, words: &[u64]) {
+        for w in words {
+            for byte in w.to_le_bytes() {
+                self.trace_hash ^= u64::from(byte);
+                self.trace_hash = self.trace_hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+
+    /// Order-sensitive digest of the run so far: every delivery
+    /// (round, transmission index, receiver, claimed sender) and every
+    /// per-round decision count, FNV-1a folded. Two runs of the same
+    /// experiment with the same seed must agree on this hash; the
+    /// `debug-invariants` feature makes the experiment harness re-run
+    /// and assert exactly that.
+    #[must_use]
+    pub fn trace_hash(&self) -> u64 {
+        self.trace_hash
+    }
+
+    /// Installs the T2 safety oracle: `truth` is the source's value and
+    /// `faulty` the placed fault set. Under the `debug-invariants`
+    /// feature every round then asserts that no *honest* node has
+    /// committed a value other than `truth` (Theorem 2 safety); without
+    /// the feature the oracle is stored but never consulted.
+    pub fn set_safety_oracle(&mut self, truth: Value, faulty: &[NodeId]) {
+        let mut mask = vec![false; self.torus.len()];
+        for f in faulty {
+            mask[f.index()] = true;
+        }
+        self.oracle = Some(SafetyOracle {
+            truth,
+            faulty: mask,
+        });
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    fn check_safety(&self, round: Round) {
+        let Some(oracle) = &self.oracle else {
+            return;
+        };
+        for (i, st) in self.states.iter().enumerate() {
+            if oracle.faulty[i] {
+                continue;
+            }
+            if let Some((v, at)) = st.decision {
+                assert!(
+                    v == oracle.truth,
+                    "T2 safety violated: honest node {i} committed {v} (truth: {}) \
+                     at round {at}, observed at round {round}",
+                    oracle.truth,
+                );
+            }
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    fn check_safety(&self, _round: Round) {}
 
     /// Per-round aggregate history of the last [`Network::run`] — the
     /// wavefront's raw data.
@@ -394,7 +477,7 @@ mod tests {
     use super::*;
     use rbcast_grid::Coord;
     use std::cell::RefCell;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::rc::Rc;
 
     /// Shared log of deliveries: (receiver, sender, payload), in order.
@@ -426,8 +509,7 @@ mod tests {
 
     fn recorder_net(start: &[(Coord, u32)], echo: bool) -> (Network<u32>, Torus, Log) {
         let torus = Torus::new(12, 12);
-        let starts: HashMap<NodeId, u32> =
-            start.iter().map(|&(c, v)| (torus.id(c), v)).collect();
+        let starts: BTreeMap<NodeId, u32> = start.iter().map(|&(c, v)| (torus.id(c), v)).collect();
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         let log2 = log.clone();
         let net = Network::new(torus.clone(), 2, Metric::Linf, move |id| {
@@ -450,9 +532,9 @@ mod tests {
         // (2r+1)² − 1 = 24 receivers
         assert_eq!(stats.deliveries, 24);
         // exactly the L∞ neighborhood heard it
-        let heard: std::collections::HashSet<NodeId> =
+        let heard: std::collections::BTreeSet<NodeId> =
             log.borrow().iter().map(|&(rx, _, _)| rx).collect();
-        let expect: std::collections::HashSet<NodeId> = torus
+        let expect: std::collections::BTreeSet<NodeId> = torus
             .neighborhood(torus.id(Coord::new(5, 5)), 2, Metric::Linf)
             .collect();
         assert_eq!(heard, expect);
@@ -532,8 +614,9 @@ mod tests {
             }
         }
         let torus = Torus::new(12, 12);
-        let mut net =
-            Network::new(torus, 1, Metric::Linf, |_| Box::new(Babbler) as Box<dyn Process<u32>>);
+        let mut net = Network::new(torus, 1, Metric::Linf, |_| {
+            Box::new(Babbler) as Box<dyn Process<u32>>
+        });
         let stats = net.run(5);
         assert_eq!(stats.rounds, 5);
         assert!(!stats.quiescent);
@@ -562,7 +645,7 @@ mod tests {
         let torus = Torus::new(12, 12);
         let t1 = torus.id(Coord::new(5, 5));
         let t2 = torus.id(Coord::new(6, 5));
-        let bursts: HashMap<NodeId, Vec<u32>> =
+        let bursts: BTreeMap<NodeId, Vec<u32>> =
             [(t1, vec![1, 2, 3]), (t2, vec![10, 20, 30])].into();
         struct Burst {
             values: Vec<u32>,
@@ -588,7 +671,7 @@ mod tests {
         });
         net.run(10);
         // group deliveries per receiver, in arrival order
-        let mut per_rx: HashMap<NodeId, Vec<(NodeId, u32)>> = HashMap::new();
+        let mut per_rx: BTreeMap<NodeId, Vec<(NodeId, u32)>> = BTreeMap::new();
         for &(rx, tx, v) in log.borrow().iter() {
             per_rx.entry(rx).or_default().push((tx, v));
         }
@@ -731,8 +814,9 @@ mod tests {
             fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32) {}
         }
         let torus = Torus::new(12, 12);
-        let mut net =
-            Network::new(torus.clone(), 2, Metric::Linf, |_| Box::new(DecideTwice) as _);
+        let mut net = Network::new(torus.clone(), 2, Metric::Linf, |_| {
+            Box::new(DecideTwice) as _
+        });
         net.run(5);
         let id = torus.id(Coord::new(0, 0));
         assert_eq!(net.decision(id), Some((true, 0)));

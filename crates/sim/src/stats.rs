@@ -46,7 +46,11 @@ impl std::fmt::Display for RunStats {
             self.rounds,
             self.messages_sent,
             self.deliveries,
-            if self.quiescent { "" } else { " (round cap hit)" }
+            if self.quiescent {
+                ""
+            } else {
+                " (round cap hit)"
+            }
         )
     }
 }

@@ -1,0 +1,14 @@
+//! Fixture: entropy / wall-clock nondeterminism outside seeded entry
+//! points. `cargo xtask audit --root crates/xtask/fixtures/nondeterminism`
+//! must exit non-zero with `nondeterminism` findings.
+
+use std::time::Instant;
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

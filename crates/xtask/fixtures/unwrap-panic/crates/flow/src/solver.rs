@@ -1,0 +1,14 @@
+//! Fixture: unwrap/panic in library code.
+//! `cargo xtask audit --root crates/xtask/fixtures/unwrap-panic`
+//! must exit non-zero with `unwrap-panic` findings.
+
+pub fn head(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+
+pub fn must_be_even(n: u32) -> u32 {
+    if n % 2 != 0 {
+        panic!("odd input");
+    }
+    n / 2
+}

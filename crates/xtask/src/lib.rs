@@ -1,0 +1,268 @@
+//! Workspace audit engine behind `cargo xtask audit`.
+//!
+//! The audit enforces repo-specific invariants that rustc and clippy do
+//! not know about (see `DESIGN.md`, "Audit gates"):
+//!
+//! * `unordered-iteration` — no `HashMap`/`HashSet` in the sim /
+//!   protocols crates, whose iteration order feeds the deterministic
+//!   delivery trace.
+//! * `float-eq` — no `==`/`!=` on floats in the grid / construct
+//!   geometry crates.
+//! * `unwrap-panic` — no `.unwrap()` / `panic!` in library code;
+//!   `expect` with an invariant-naming message is the sanctioned escape.
+//! * `nondeterminism` — no `thread_rng` / entropy seeding / wall-clock
+//!   reads outside annotated measurement sites.
+//! * `lint-header` — every library crate root carries
+//!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//!
+//! Escape hatch: a `// audit:allow(<rule>)` comment on (or directly
+//! above) the offending line, which doubles as in-source documentation
+//! of why the exception is sound.
+//!
+//! Every rule ships a fixture tree under `crates/xtask/fixtures/` that
+//! triggers exactly that rule; `cargo xtask audit --self-test` (and the
+//! unit tests here) fail if any rule stops firing on its fixture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{all_rules, rule_by_id, Rule, Violation};
+use source::SourceFile;
+
+/// Audit failure (I/O or usage error), distinct from rule violations.
+#[derive(Debug)]
+pub enum AuditError {
+    /// A file or directory could not be read.
+    Io(PathBuf, io::Error),
+    /// `--rule` named a rule that does not exist.
+    UnknownRule(String),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+            AuditError::UnknownRule(id) => {
+                write!(f, "unknown rule `{id}` (try `cargo xtask audit --list`)")
+            }
+        }
+    }
+}
+
+/// Run the audit over `root`, optionally restricted to one rule id.
+///
+/// Returns all findings sorted by path, line, then rule.
+pub fn run_audit(root: &Path, only: Option<&str>) -> Result<Vec<Violation>, AuditError> {
+    if !root.is_dir() {
+        // A mistyped --root must not masquerade as a clean audit.
+        return Err(AuditError::Io(
+            root.to_path_buf(),
+            io::Error::new(io::ErrorKind::NotFound, "audit root is not a directory"),
+        ));
+    }
+    let selected: Vec<&'static Rule> = match only {
+        Some(id) => vec![rule_by_id(id).ok_or_else(|| AuditError::UnknownRule(id.to_string()))?],
+        None => all_rules().iter().collect(),
+    };
+
+    // Union of scope prefixes across the selected rules.
+    let mut prefixes: Vec<&str> = selected
+        .iter()
+        .flat_map(|r| r.scopes.iter().copied())
+        .collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for prefix in prefixes {
+        let dir = root.join(prefix);
+        if dir.is_dir() {
+            collect_rs_files(&dir, root, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut violations = Vec::new();
+    for rel in &files {
+        let file = SourceFile::load(root, rel).map_err(|e| AuditError::Io(root.join(rel), e))?;
+        for rule in &selected {
+            if !rule.applies_to(rel) {
+                continue;
+            }
+            for (line, message) in (rule.check)(&file) {
+                violations.push(Violation {
+                    path: rel.display().to_string(),
+                    line,
+                    rule: rule.id,
+                    message,
+                });
+            }
+        }
+    }
+    violations
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(violations)
+}
+
+/// Recursively collect `.rs` files under `dir`, pushing paths relative
+/// to `root`.
+fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> Result<(), AuditError> {
+    let entries = fs::read_dir(dir).map_err(|e| AuditError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AuditError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, root, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("collect_rs_files walks only below root")
+                .to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root from the xtask manifest directory.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask always sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Outcome of one fixture in the self-test.
+#[derive(Debug)]
+pub struct FixtureReport {
+    /// Rule the fixture targets (`clean` for the no-findings fixture).
+    pub name: String,
+    /// Whether the fixture behaved as expected.
+    pub ok: bool,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Run every rule against its fixture tree and the `clean` fixture.
+///
+/// Each `fixtures/<rule-id>/` tree must produce at least one finding of
+/// that rule (and no others); `fixtures/clean/` must produce none. This
+/// is the proof that each gate actually fires.
+pub fn self_test(fixtures_dir: &Path) -> Result<Vec<FixtureReport>, AuditError> {
+    let mut reports = Vec::new();
+    for rule in all_rules() {
+        let root = fixtures_dir.join(rule.id);
+        let violations = run_audit(&root, None)?;
+        let hits = violations.iter().filter(|v| v.rule == rule.id).count();
+        let strays: Vec<&Violation> = violations.iter().filter(|v| v.rule != rule.id).collect();
+        let ok = hits > 0 && strays.is_empty();
+        let detail = if ok {
+            format!("{hits} finding(s), rule fires")
+        } else if hits == 0 {
+            "rule did NOT fire on its fixture".to_string()
+        } else {
+            format!(
+                "fixture also triggered other rules: {:?}",
+                strays.iter().map(|v| v.rule).collect::<Vec<_>>()
+            )
+        };
+        reports.push(FixtureReport {
+            name: rule.id.to_string(),
+            ok,
+            detail,
+        });
+    }
+
+    let clean_root = fixtures_dir.join("clean");
+    let clean = run_audit(&clean_root, None)?;
+    reports.push(FixtureReport {
+        name: "clean".to_string(),
+        ok: clean.is_empty(),
+        detail: if clean.is_empty() {
+            "no findings, annotations and test-mod skipping honoured".to_string()
+        } else {
+            format!("unexpected findings: {clean:?}")
+        },
+    });
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixtures() -> PathBuf {
+        workspace_root().join("crates/xtask/fixtures")
+    }
+
+    #[test]
+    fn every_rule_fires_on_its_fixture_and_clean_is_clean() {
+        let reports = self_test(&fixtures()).expect("fixtures are readable");
+        for r in &reports {
+            assert!(r.ok, "fixture `{}` failed: {}", r.name, r.detail);
+        }
+        // One report per rule plus the clean fixture.
+        assert_eq!(reports.len(), all_rules().len() + 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let err = run_audit(&fixtures().join("clean"), Some("no-such-rule"));
+        assert!(matches!(err, Err(AuditError::UnknownRule(_))));
+    }
+
+    #[test]
+    fn single_rule_filter_restricts_findings() {
+        let root = fixtures().join("unordered-iteration");
+        let all = run_audit(&root, None).expect("fixture readable");
+        let only = run_audit(&root, Some("float-eq")).expect("fixture readable");
+        assert!(!all.is_empty());
+        assert!(only.is_empty());
+    }
+
+    #[test]
+    fn repository_itself_is_audit_clean() {
+        let violations = run_audit(&workspace_root(), None).expect("workspace readable");
+        assert!(
+            violations.is_empty(),
+            "the workspace must pass its own audit:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn missing_root_is_an_error_not_a_clean_pass() {
+        let err = run_audit(Path::new("/no/such/audit/root"), None);
+        assert!(matches!(err, Err(AuditError::Io(_, _))));
+    }
+
+    #[test]
+    fn findings_are_sorted_and_stable() {
+        let root = fixtures().join("unwrap-panic");
+        let a = run_audit(&root, None).expect("fixture readable");
+        let b = run_audit(&root, None).expect("fixture readable");
+        let key = |v: &Violation| (v.path.clone(), v.line, v.rule);
+        assert_eq!(
+            a.iter().map(key).collect::<Vec<_>>(),
+            b.iter().map(key).collect::<Vec<_>>()
+        );
+        let mut sorted = a.iter().map(key).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(sorted, a.iter().map(key).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,124 @@
+//! `cargo xtask` — workspace task runner.
+//!
+//! Subcommands:
+//!
+//! * `audit` — run the static-analysis gates over the workspace
+//!   (`--root PATH` to audit another tree, `--rule ID` for one rule,
+//!   `--list` to list rules, `--self-test` to prove each rule fires on
+//!   its fixture). Exits non-zero on any finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::rules::all_rules;
+use xtask::{run_audit, self_test, workspace_root};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => audit(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask audit [--root PATH] [--rule ID] [--list] [--self-test]");
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+    let mut list = false;
+    let mut selftest = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rule" => match it.next() {
+                Some(r) => rule = Some(r.clone()),
+                None => {
+                    eprintln!("--rule requires a rule id");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => list = true,
+            "--self-test" => selftest = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for r in all_rules() {
+            println!("{:<20} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if selftest {
+        let fixtures = workspace_root().join("crates/xtask/fixtures");
+        return match self_test(&fixtures) {
+            Ok(reports) => {
+                let mut failed = false;
+                for r in &reports {
+                    let mark = if r.ok { "ok " } else { "FAIL" };
+                    println!("{mark} fixture {:<20} {}", r.name, r.detail);
+                    failed |= !r.ok;
+                }
+                if failed {
+                    ExitCode::FAILURE
+                } else {
+                    println!("audit self-test: all {} fixtures behaved", reports.len());
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("audit self-test error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    match run_audit(&root, rule.as_deref()) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "audit: clean ({} rules)",
+                rule.as_ref().map_or(all_rules().len(), |_| 1)
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+            }
+            println!("audit: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("audit error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! The audit rules.
+//!
+//! Each rule names the repo-specific invariant it protects, the path
+//! scope it applies to (relative to the audit root), and a line-level
+//! check that runs on blanked source (see [`crate::source`]). Every rule
+//! has a fixture tree under `crates/xtask/fixtures/<rule-id>/` proving
+//! it fires, exercised both by `cargo xtask audit --self-test` and by
+//! this crate's unit tests.
+
+use std::path::Path;
+
+use crate::source::SourceFile;
+
+/// Library crate source roots (relative to the audit root). `src` is the
+/// root `rbcast` facade crate.
+const LIB_SRC: &[&str] = &[
+    "crates/grid/src",
+    "crates/flow/src",
+    "crates/construct/src",
+    "crates/sim/src",
+    "crates/adversary/src",
+    "crates/protocols/src",
+    "crates/core/src",
+    "src",
+];
+
+/// Crates whose round/delivery order feeds the deterministic trace.
+const ORDER_SENSITIVE_SRC: &[&str] = &["crates/sim/src", "crates/protocols/src"];
+
+/// Crates holding the L2/L∞ grid geometry.
+const GEOMETRY_SRC: &[&str] = &["crates/grid/src", "crates/construct/src"];
+
+/// `LIB_SRC` plus the bench harness (timing must be annotated there).
+const CLOCK_SRC: &[&str] = &[
+    "crates/grid/src",
+    "crates/flow/src",
+    "crates/construct/src",
+    "crates/sim/src",
+    "crates/adversary/src",
+    "crates/protocols/src",
+    "crates/core/src",
+    "crates/bench/src",
+    "src",
+];
+
+/// A single audit finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path relative to the audit root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (e.g. `unordered-iteration`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+/// A static-analysis rule: scope + per-file check.
+pub struct Rule {
+    /// Stable identifier, also the `audit:allow(...)` name where applicable.
+    pub id: &'static str,
+    /// One-line description shown by `cargo xtask audit --list`.
+    pub summary: &'static str,
+    /// Path prefixes (relative to the audit root) the rule applies to.
+    pub scopes: &'static [&'static str],
+    /// Per-file check returning `(line, message)` findings.
+    pub check: fn(&SourceFile) -> Vec<(usize, String)>,
+}
+
+impl Rule {
+    /// Whether `rel` falls under one of the rule's scope prefixes.
+    pub fn applies_to(&self, rel: &Path) -> bool {
+        self.scopes.iter().any(|s| rel.starts_with(s))
+    }
+}
+
+/// All audit rules, in reporting order.
+pub fn all_rules() -> &'static [Rule] {
+    &[
+        Rule {
+            id: "unordered-iteration",
+            summary: "sim/protocols hot paths must not iterate HashMap/HashSet \
+                      (use BTreeMap/BTreeSet or sorted drains)",
+            scopes: ORDER_SENSITIVE_SRC,
+            check: check_unordered,
+        },
+        Rule {
+            id: "float-eq",
+            summary: "grid/construct geometry must not compare floats with == or != \
+                      (use explicit tolerances or integer coordinates)",
+            scopes: GEOMETRY_SRC,
+            check: check_float_eq,
+        },
+        Rule {
+            id: "unwrap-panic",
+            summary: "library crates must not .unwrap() or panic! outside tests \
+                      (return Result or use expect with an invariant-naming message)",
+            scopes: LIB_SRC,
+            check: check_unwrap_panic,
+        },
+        Rule {
+            id: "nondeterminism",
+            summary: "no thread_rng / entropy seeding / wall-clock reads outside \
+                      seeded entry points (runs must replay from a u64 seed)",
+            scopes: CLOCK_SRC,
+            check: check_nondeterminism,
+        },
+        Rule {
+            id: "lint-header",
+            summary: "every library crate root must carry #![forbid(unsafe_code)] \
+                      and #![warn(missing_docs)]",
+            scopes: LIB_SRC,
+            check: check_lint_header,
+        },
+    ]
+}
+
+/// Look up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    all_rules().iter().find(|r| r.id == id)
+}
+
+/// True when `code` contains `needle` as a standalone token, i.e. not
+/// embedded in a longer identifier like `MyHashMapLike`.
+fn has_token(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + needle.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+fn check_unordered(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("unordered") {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if has_token(&line.code, ty) {
+                out.push((
+                    line.number,
+                    format!(
+                        "{ty} in an order-sensitive crate: iteration order is \
+                         nondeterministic and would break same-seed trace replay; \
+                         use BTree{} or drain through a sorted Vec",
+                        &ty[4..]
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A float hint: a float literal (`1.0`, `2.`) or an `f64`/`f32` token.
+fn has_float_hint(code: &str) -> bool {
+    if has_token(code, "f64") || has_token(code, "f32") {
+        return true;
+    }
+    let chars: Vec<char> = code.chars().collect();
+    for i in 0..chars.len() {
+        if chars[i] != '.' || i == 0 || !chars[i - 1].is_ascii_digit() {
+            continue;
+        }
+        // Walk back over the digit run: if an identifier character
+        // precedes it, the digits belong to a name (`L2.within`,
+        // `d1.len()`), not a numeric literal.
+        let mut j = i;
+        while j > 0 && chars[j - 1].is_ascii_digit() {
+            j -= 1;
+        }
+        if j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+            continue;
+        }
+        // `1.0`, `1.`, `1.5e3` are floats; `0..n` is a range and
+        // `1.max(2)`-style method syntax is not float either.
+        match chars.get(i + 1) {
+            Some(c) if c.is_ascii_digit() => return true,
+            Some(c) if *c == '.' || c.is_alphabetic() || *c == '_' => continue,
+            _ => return true,
+        }
+    }
+    false
+}
+
+fn check_float_eq(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("float-eq") {
+            continue;
+        }
+        let code = &line.code;
+        let has_cmp = code.contains("==")
+            || code.contains("!=")
+            || code.contains("assert_eq!")
+            || code.contains("assert_ne!");
+        if has_cmp && has_float_hint(code) {
+            out.push((
+                line.number,
+                "floating-point equality in geometry code: exact == / != on \
+                 f64 silently misclassifies neighbour distances; compare with \
+                 an explicit tolerance or stay in integer grid coordinates"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn check_unwrap_panic(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("panic") {
+            continue;
+        }
+        if line.code.contains(".unwrap()") {
+            out.push((
+                line.number,
+                ".unwrap() in library code: return a Result or use \
+                 .expect(\"<invariant that guarantees this>\") so failures \
+                 name the broken invariant"
+                    .to_string(),
+            ));
+        }
+        if has_token(&line.code, "panic!") {
+            out.push((
+                line.number,
+                "panic! in library code: return an error, or annotate with \
+                 audit:allow(panic) citing the invariant that makes this \
+                 unreachable"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn check_nondeterminism(file: &SourceFile) -> Vec<(usize, String)> {
+    const BANNED: &[(&str, &str)] = &[
+        ("thread_rng", "OS-entropy RNG breaks same-seed replay"),
+        ("from_entropy", "entropy seeding breaks same-seed replay"),
+        (
+            "SystemTime::now",
+            "wall-clock reads make runs irreproducible",
+        ),
+        ("Instant::now", "wall-clock reads make runs irreproducible"),
+        (
+            "rand::random",
+            "implicit thread-local RNG breaks same-seed replay",
+        ),
+    ];
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("wall-clock") {
+            continue;
+        }
+        for (tok, why) in BANNED {
+            if line.code.contains(tok) {
+                out.push((
+                    line.number,
+                    format!(
+                        "{tok}: {why}; every run must derive from an explicit \
+                         u64 seed (StdRng::seed_from_u64) or be annotated \
+                         audit:allow(wall-clock) at a measurement-only site"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn check_lint_header(file: &SourceFile) -> Vec<(usize, String)> {
+    if file.rel.file_name().and_then(|n| n.to_str()) != Some("lib.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for required in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+        let present = file.lines.iter().any(|l| l.code.contains(required));
+        if !present {
+            out.push((
+                1,
+                format!("crate root is missing the `{required}` lint header"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_text(Path::new(rel), src)
+    }
+
+    #[test]
+    fn token_matching_ignores_longer_identifiers() {
+        assert!(has_token("let m: HashMap<u8, u8>;", "HashMap"));
+        assert!(!has_token("struct MyHashMapLike;", "HashMap"));
+        assert!(!has_token("let hash_map = 1;", "HashMap"));
+    }
+
+    #[test]
+    fn unordered_fires_on_hashmap_and_respects_allow() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "use std::collections::HashMap;\n\
+             let a: HashMap<u8, u8> = HashMap::new(); // audit:allow(unordered)\n",
+        );
+        let v = check_unordered(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, 1);
+    }
+
+    #[test]
+    fn unordered_skips_test_mods() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n",
+        );
+        assert!(check_unordered(&f).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_literal_and_f64_comparisons() {
+        let f = file(
+            "crates/grid/src/x.rs",
+            "if dist == 1.0 { }\nif (a as f64) != b { }\nif n == 3 { }\n",
+        );
+        let v = check_float_eq(&f);
+        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn float_eq_ignores_ranges_and_tuple_indices() {
+        assert!(!has_float_hint("for i in 0..n { }"));
+        assert!(!has_float_hint("let y = pair.0;"));
+        assert!(has_float_hint("let y = 2.5;"));
+        assert!(has_float_hint("let y = 2.;"));
+    }
+
+    #[test]
+    fn float_eq_ignores_identifier_digits_and_method_calls() {
+        assert!(!has_float_hint("b != a && Metric::L2.within(a, b, r)"));
+        assert!(!has_float_hint("debug_assert_eq!(d1.len(), d2.len());"));
+        assert!(has_float_hint("if x == 10.5 { }"));
+    }
+
+    #[test]
+    fn unwrap_panic_fires_and_expect_is_allowed() {
+        let f = file(
+            "crates/flow/src/x.rs",
+            "let a = x.unwrap();\nlet b = y.expect(\"invariant\");\npanic!(\"boom\");\n",
+        );
+        let v = check_unwrap_panic(&f);
+        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn nondeterminism_fires_and_annotation_silences() {
+        let f = file(
+            "crates/protocols/src/x.rs",
+            "let r = rand::thread_rng();\n\
+             let t = Instant::now(); // audit:allow(wall-clock)\n",
+        );
+        let v = check_nondeterminism(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, 1);
+    }
+
+    #[test]
+    fn nondeterminism_ignores_strings_and_comments() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "// thread_rng is banned here\nlet s = \"Instant::now\";\n",
+        );
+        assert!(check_nondeterminism(&f).is_empty());
+    }
+
+    #[test]
+    fn lint_header_requires_both_attributes() {
+        let f = file("crates/grid/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        let v = check_lint_header(&f);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].1.contains("missing_docs"));
+        let ok = file(
+            "crates/grid/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n",
+        );
+        assert!(check_lint_header(&ok).is_empty());
+    }
+
+    #[test]
+    fn lint_header_only_checks_crate_roots() {
+        let f = file("crates/grid/src/torus.rs", "fn f() {}\n");
+        assert!(check_lint_header(&f).is_empty());
+    }
+
+    #[test]
+    fn scoping_is_component_wise() {
+        let rule = rule_by_id("unordered-iteration").expect("rule exists");
+        assert!(rule.applies_to(Path::new("crates/sim/src/network.rs")));
+        assert!(!rule.applies_to(Path::new("crates/simx/src/network.rs")));
+        assert!(!rule.applies_to(Path::new("crates/grid/src/torus.rs")));
+    }
+}

@@ -1,0 +1,399 @@
+//! Lightweight Rust source model for the audit rules.
+//!
+//! The audit does not parse Rust; it works on a per-line view of each
+//! file in which comments and string literals have been blanked out, so
+//! token searches cannot be fooled by text inside `// ...`, `/* ... */`,
+//! doc comments, or `"..."` literals. On top of that view the model
+//! tracks two pieces of context every rule needs:
+//!
+//! * which lines live inside a `#[cfg(test)]` item (rules skip those), and
+//! * which `audit:allow(rule)` annotations apply to each line.
+//!
+//! An annotation is written in a comment, either trailing the offending
+//! line or on a comment line directly above it:
+//!
+//! ```text
+//! let t0 = Instant::now(); // audit:allow(wall-clock)
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One analysed line of a source file.
+#[derive(Debug)]
+pub struct LineInfo {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line exactly as written (annotations are parsed from this).
+    pub raw: String,
+    /// The line with comments and string/char literals blanked to spaces.
+    pub code: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// `audit:allow(...)` rule names that apply to this line.
+    pub allowed: Vec<String>,
+}
+
+impl LineInfo {
+    /// Whether `rule` is allow-listed on this line.
+    pub fn allows(&self, rule: &str) -> bool {
+        self.allowed.iter().any(|a| a == rule)
+    }
+}
+
+/// A source file after comment blanking and test-region analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the audit root.
+    pub rel: PathBuf,
+    /// Analysed lines, in file order.
+    pub lines: Vec<LineInfo>,
+}
+
+impl SourceFile {
+    /// Load and analyse the file at `root.join(rel)`.
+    pub fn load(root: &Path, rel: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(root.join(rel))?;
+        Ok(Self::from_text(rel, &text))
+    }
+
+    /// Analyse in-memory source text (used by the self-tests).
+    pub fn from_text(rel: &Path, text: &str) -> Self {
+        let blanked = blank_comments_and_strings(text);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let code_lines: Vec<&str> = blanked.lines().collect();
+        let in_test = test_region_mask(&code_lines);
+        let per_line_allows: Vec<Vec<String>> = raw_lines.iter().map(|l| parse_allows(l)).collect();
+
+        let lines = raw_lines
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| {
+                // An annotation applies to its own line, and a
+                // comment-only annotation line also covers the line below.
+                let mut allowed = per_line_allows[i].clone();
+                if i > 0 && raw_lines[i - 1].trim_start().starts_with("//") {
+                    allowed.extend(per_line_allows[i - 1].iter().cloned());
+                }
+                LineInfo {
+                    number: i + 1,
+                    raw: (*raw).to_string(),
+                    code: code_lines
+                        .get(i)
+                        .map_or(String::new(), |c| (*c).to_string()),
+                    in_test: in_test.get(i).copied().unwrap_or(false),
+                    allowed,
+                }
+            })
+            .collect();
+
+        SourceFile {
+            rel: rel.to_path_buf(),
+            lines,
+        }
+    }
+}
+
+/// Extract `audit:allow(a, b)` rule names from one raw line.
+fn parse_allows(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("audit:allow(") {
+        let after = &rest[pos + "audit:allow(".len()..];
+        if let Some(close) = after.find(')') {
+            for name in after[..close].split(',') {
+                let name = name.trim();
+                if !name.is_empty() {
+                    out.push(name.to_string());
+                }
+            }
+            rest = &after[close + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Replace comments and string/char literal contents with spaces,
+/// preserving line structure so line/column positions stay meaningful.
+fn blank_comments_and_strings(text: &str) -> String {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u8),
+        Char,
+    }
+
+    let bytes: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"') | Some('#')) => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0u8;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        out.push('"');
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote within a few chars ('x', '\n', '\u{...}').
+                    let lookahead: String = bytes[i + 1..bytes.len().min(i + 12)].iter().collect();
+                    let is_char = if let Some(rest) = lookahead.strip_prefix('\\') {
+                        rest.contains('\'')
+                    } else {
+                        lookahead.chars().nth(1) == Some('\'')
+                    };
+                    if is_char {
+                        state = State::Char;
+                        out.push('\'');
+                        i += 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Preserve line structure across `\<newline>` string
+                    // continuations and escaped quotes alike.
+                    out.push(' ');
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u8;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Code;
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i = j;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Mark lines covered by `#[cfg(test)]` items.
+///
+/// The scan works on blanked code: when a `#[cfg(test)]` attribute is
+/// seen, the following item is skipped — either to the `;` that closes a
+/// braceless item, or through the brace-balanced block that follows.
+fn test_region_mask(code_lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < code_lines.len() {
+        if !code_lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Mark from the attribute line through the end of the item.
+        let mut depth: i32 = 0;
+        let mut entered = false;
+        let mut j = i;
+        while j < code_lines.len() {
+            mask[j] = true;
+            for ch in code_lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !entered && depth == 0 => {
+                        // Braceless item such as `#[cfg(test)] use ...;`
+                        entered = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if entered && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let out = blank_comments_and_strings("a // HashMap\nb /* panic! */ c");
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("panic"));
+        assert!(out.contains('a') && out.contains('b') && out.contains('c'));
+    }
+
+    #[test]
+    fn blanks_string_literals_but_keeps_quotes() {
+        let out = blank_comments_and_strings("let s = \"Instant::now()\";");
+        assert!(!out.contains("Instant"));
+        assert!(out.contains("let s = \""));
+    }
+
+    #[test]
+    fn blanks_raw_strings() {
+        let out = blank_comments_and_strings("let s = r#\"thread_rng\"#;");
+        assert!(!out.contains("thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let out = blank_comments_and_strings("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(out.contains("'a"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = blank_comments_and_strings("a /* x /* y */ z */ b");
+        assert!(!out.contains('x') && !out.contains('y') && !out.contains('z'));
+        assert!(out.contains('a') && out.contains('b'));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::from_text(Path::new("x.rs"), src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_braceless_item_is_masked() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let f = SourceFile::from_text(Path::new("x.rs"), src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+
+    #[test]
+    fn trailing_annotation_applies_to_line() {
+        let src = "let t = now(); // audit:allow(wall-clock)\n";
+        let f = SourceFile::from_text(Path::new("x.rs"), src);
+        assert!(f.lines[0].allows("wall-clock"));
+        assert!(!f.lines[0].allows("panic"));
+    }
+
+    #[test]
+    fn preceding_comment_annotation_covers_next_line() {
+        let src = "// audit:allow(unordered, panic)\nlet m = HashMap::new();\n";
+        let f = SourceFile::from_text(Path::new("x.rs"), src);
+        assert!(f.lines[1].allows("unordered"));
+        assert!(f.lines[1].allows("panic"));
+        assert!(!f.lines[0].in_test);
+    }
+}

@@ -32,21 +32,17 @@ fn main() {
         if fs.contains(&id) {
             attackers::forger(false)
         } else {
-            Box::new(Indirect::new(params, IndirectConfig::simplified()))
-                as Box<dyn Process<Msg>>
+            Box::new(Indirect::new(params, IndirectConfig::simplified())) as Box<dyn Process<Msg>>
         }
     });
     let stats = net.run(10_000);
 
-    println!(
-        "simplified indirect protocol, r = {r}, t = {t} forgers clustered on the wavefront"
-    );
+    println!("simplified indirect protocol, r = {r}, t = {t} forgers clustered on the wavefront");
     println!("{stats}\n");
     println!("commit-round map (S = source, X = faulty, . = never decided):\n");
     print!(
         "{}",
-        rbcast::core::render::commit_map(&torus, source, &faults, true, |id| net
-            .decision(id))
+        rbcast::core::render::commit_map(&torus, source, &faults, true, |id| net.decision(id))
     );
 
     let wrong = torus

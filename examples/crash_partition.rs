@@ -46,8 +46,7 @@ fn main() {
     println!("reach map (S = source, X = crashed strip, digits = commit round, . = stranded):\n");
     print!(
         "{}",
-        rbcast::core::render::commit_map(&torus, source, &faults, true, |id| net
-            .decision(id))
+        rbcast::core::render::commit_map(&torus, source, &faults, true, |id| net.decision(id))
     );
     let reached = torus
         .node_ids()

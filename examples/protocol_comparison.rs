@@ -16,7 +16,8 @@ use rbcast::core::{thresholds, Experiment, FaultKind, ProtocolKind};
 
 fn main() {
     let r = 2u32;
-    println!("r = {r}: Theorem 6 CPA guarantee t ≤ {}, exact threshold t ≤ {}\n",
+    println!(
+        "r = {r}: Theorem 6 CPA guarantee t ≤ {}, exact threshold t ≤ {}\n",
         thresholds::cpa_guaranteed_t(r),
         thresholds::byzantine_max_t(r),
     );

@@ -313,11 +313,7 @@ pub fn execute(cmd: &Command) -> i32 {
                 let o = build(&spec_t, Some(t)).run();
                 println!(
                     "{:>4} {:>9} {:>7} {:>10} {:>12}",
-                    t,
-                    o.committed_correct,
-                    o.committed_wrong,
-                    o.undecided,
-                    o.stats.messages_sent
+                    t, o.committed_correct, o.committed_wrong, o.undecided, o.stats.messages_sent
                 );
                 if !o.all_honest_correct() {
                     worst = 1;
@@ -452,9 +448,7 @@ mod tests {
 
     #[test]
     fn execute_small_run() {
-        let Command::Run(spec) =
-            parse(&argv("run --protocol flood --r 1 --t 0")).unwrap()
-        else {
+        let Command::Run(spec) = parse(&argv("run --protocol flood --r 1 --t 0")).unwrap() else {
             panic!()
         };
         assert_eq!(execute(&Command::Run(spec)), 0);

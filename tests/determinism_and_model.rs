@@ -57,13 +57,7 @@ fn tdma_coloring_is_conflict_free_on_experiment_arenas() {
 #[test]
 fn message_counts_scale_with_protocol_richness() {
     // flood < cpa ≤ simplified < full, on the same fault-free arena
-    let count = |kind| {
-        Experiment::new(1, kind)
-            .with_t(1)
-            .run()
-            .stats
-            .messages_sent
-    };
+    let count = |kind| Experiment::new(1, kind).with_t(1).run().stats.messages_sent;
     let flood = count(ProtocolKind::Flood);
     let cpa = count(ProtocolKind::Cpa);
     let simplified = count(ProtocolKind::IndirectSimplified);

@@ -43,7 +43,10 @@ fn byzantine_beyond_threshold_r1_breaks() {
         .with_placement(Placement::CheckerStrips)
         .with_fault_kind(FaultKind::Liar)
         .run();
-    assert_eq!(o.audited_bound as u64, thresholds::byzantine_impossible_t(1));
+    assert_eq!(
+        o.audited_bound as u64,
+        thresholds::byzantine_impossible_t(1)
+    );
     assert!(!o.all_honest_correct(), "{o}");
 }
 

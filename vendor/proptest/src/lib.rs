@@ -1,0 +1,195 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the subset of proptest the workspace uses: integer-range
+//! and tuple strategies, `prop_map`, `collection::vec`, the `proptest!`
+//! macro with optional `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline test
+//! dependency:
+//!
+//! * no shrinking — a failing case reports the panic message (strategies
+//!   here generate small values anyway, and every generated case is
+//!   reproducible: the per-test RNG seed is derived from the test name);
+//! * no persistence files, no forking, no timeouts;
+//! * `cases` defaults to 96 (upstream: 256) to keep simulation-heavy
+//!   suites fast; tests that need fewer set
+//!   `ProptestConfig::with_cases(n)` exactly as with upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    /// Length specification for [`vec`]: a half-open range or an exact
+    /// length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Builds a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.min < size.max, "collection::vec: empty size range");
+        VecStrategy {
+            element,
+            min: size.min,
+            max: size.max,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.min, self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-20i64..20).generate(&mut rng);
+            assert!((-20..20).contains(&w));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut rng = TestRng::new(2);
+        let strat = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng) < 19);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(3);
+        let strat = crate::collection::vec(0u8..5, 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategies() {
+        let mut rng = TestRng::new(4);
+        let strat = crate::collection::vec(crate::collection::vec(0u64..8, 1..3), 1..9);
+        let v = strat.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 9);
+        for inner in v {
+            assert!(!inner.is_empty() && inner.len() < 3);
+        }
+    }
+
+    #[test]
+    fn just_clones_its_value() {
+        let mut rng = TestRng::new(5);
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+
+    // The macro round-trip: these expand through the public surface.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(a in 0usize..50, b in 0usize..50) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + b + 1);
+        }
+
+        #[test]
+        fn macro_assume_rejects(v in 0u32..10) {
+            prop_assume!(v != 3);
+            prop_assert!(v != 3);
+        }
+    }
+
+    #[test]
+    fn prop_assert_produces_fail_with_message() {
+        let r: Result<(), TestCaseError> = (|| {
+            prop_assert!(1 + 1 == 3, "math is broken: {}", 2);
+            Ok(())
+        })();
+        match r {
+            Err(TestCaseError::Fail(m)) => assert!(m.contains("math is broken")),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics() {
+        let config = ProptestConfig::with_cases(4);
+        let mut runner = crate::test_runner::TestRunner::new(config, "failing_property");
+        runner.run(|rng| {
+            let v = (0u32..4).generate(rng);
+            prop_assert!(v > 10, "v was {}", v);
+            Ok(())
+        });
+    }
+}
