@@ -29,4 +29,10 @@ cargo test -q --workspace
 echo "==> cargo test --features debug-invariants"
 cargo test -q --features debug-invariants
 
+echo "==> engine determinism gate (1/2/8 threads, debug-invariants replay)"
+cargo test -q -p rbcast-core --test determinism --features debug-invariants
+
+echo "==> thresh_byz smoke (tiny grid through the parallel engine)"
+cargo run -q -p rbcast-bench --bin thresh_byz -- --smoke
+
 echo "CI: all gates passed"

@@ -1,0 +1,106 @@
+//! Criterion bench: the deterministic parallel sweep engine — serial
+//! baseline vs multi-thread fan-out over a fixed 32-experiment grid —
+//! plus the machine-readable `BENCH_sweep.json` writer (the checked-in
+//! perf baseline at the repository root).
+//!
+//! The grid is fixed (placements and seeds set at construction), so the
+//! outcomes are byte-identical at every thread count; only wall time may
+//! differ. Speedup scales with the host's cores — on a single-core
+//! container serial and parallel coincide.
+
+use criterion::{criterion_group, Criterion};
+use rbcast_adversary::Placement;
+use rbcast_bench::perf;
+use rbcast_core::{engine, Experiment, FaultKind, ProtocolKind};
+use std::path::Path;
+
+/// The fixed 32-run grid: 4 configs × 8 seeds at r = 1.
+fn grid() -> Vec<Experiment> {
+    let configs = [
+        (ProtocolKind::Flood, FaultKind::CrashStop),
+        (ProtocolKind::Cpa, FaultKind::Silent),
+        (ProtocolKind::IndirectSimplified, FaultKind::Liar),
+        (ProtocolKind::IndirectSimplified, FaultKind::Forger),
+    ];
+    configs
+        .iter()
+        .flat_map(|&(kind, fault)| {
+            (0..8u64).map(move |seed| {
+                Experiment::new(1, kind)
+                    .with_t(1)
+                    .with_placement(Placement::RandomLocal {
+                        t: 1,
+                        seed,
+                        attempts: 40,
+                    })
+                    .with_fault_kind(fault)
+            })
+        })
+        .collect()
+}
+
+fn bench_sweep_engine(c: &mut Criterion) {
+    let experiments = grid();
+    assert_eq!(experiments.len(), 32);
+
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(5);
+    group.bench_function("serial_32", |b| {
+        b.iter(|| engine::run_experiments(&experiments, 1));
+    });
+    group.bench_function("threads4_32", |b| {
+        b.iter(|| engine::run_experiments(&experiments, 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_engine);
+
+fn main() {
+    benches();
+
+    // Baseline document: one timed sweep per thread count, written to
+    // BENCH_sweep.json at the workspace root. Best of two passes per
+    // thread count smooths scheduler noise without hiding contention.
+    let experiments = grid();
+    let mut timings = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (_, first) = perf::run_sweep_timed(
+            &format!("sweep_engine/threads{threads}"),
+            &experiments,
+            threads,
+        );
+        let (_, second) = perf::run_sweep_timed(
+            &format!("sweep_engine/threads{threads}"),
+            &experiments,
+            threads,
+        );
+        timings.push(if second.wall_ms < first.wall_ms {
+            second
+        } else {
+            first
+        });
+    }
+    for t in &timings {
+        println!(
+            "{}: {} runs in {:.1} ms ({:.0} runs/s)",
+            t.label,
+            t.runs,
+            t.wall_ms,
+            t.runs_per_sec()
+        );
+    }
+    if let (Some(serial), Some(par4)) = (timings.first(), timings.last()) {
+        println!(
+            "speedup at 4 threads vs serial: {:.2}x (host parallelism {})",
+            serial.wall_ms / par4.wall_ms.max(1e-9),
+            engine::thread_count(None)
+        );
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    perf::write_bench_json(
+        &root.join("BENCH_sweep.json"),
+        engine::thread_count(None),
+        &timings,
+    );
+}

@@ -5,7 +5,7 @@
 //! full coverage under cluster and randomized worst-case placements.
 
 use rbcast_adversary::Placement;
-use rbcast_bench::{header, rule, Verdicts};
+use rbcast_bench::{header, perf, rule, Verdicts};
 use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
 use rbcast_grid::{Coord, Metric, Torus};
 use rbcast_protocols::{Flood, Msg, ProtocolParams};
@@ -62,25 +62,36 @@ fn main() {
         cumulative == honest,
     );
 
-    // Randomized worst-case placements at t_max for r = 1..3.
-    for rr in 1..=3u32 {
+    // Randomized worst-case placements at t_max for r = 1..3: the
+    // (r, seed) grid is one deterministic engine sweep.
+    const SEEDS: u64 = 5;
+    let rs = [1u32, 2, 3];
+    let experiments: Vec<Experiment> = rs
+        .iter()
+        .flat_map(|&rr| {
+            let t = thresholds::crash_max_t(rr) as usize;
+            (0..SEEDS).map(move |seed| {
+                Experiment::new(rr, ProtocolKind::Flood)
+                    .with_t(t)
+                    .with_placement(Placement::RandomLocal {
+                        t,
+                        seed,
+                        attempts: 80,
+                    })
+                    .with_fault_kind(FaultKind::CrashStop)
+            })
+        })
+        .collect();
+    let (outcomes, _) = perf::run_sweep("fig9_10/random_local", &experiments);
+    for (&rr, chunk) in rs.iter().zip(outcomes.chunks(SEEDS as usize)) {
         let t = thresholds::crash_max_t(rr) as usize;
-        let mut all = true;
-        for seed in 0..5u64 {
-            let o = Experiment::new(rr, ProtocolKind::Flood)
-                .with_t(t)
-                .with_placement(Placement::RandomLocal {
-                    t,
-                    seed,
-                    attempts: 80,
-                })
-                .with_fault_kind(FaultKind::CrashStop)
-                .run();
-            all &= o.all_honest_correct() && o.audited_bound <= t;
-        }
         v.check(
-            &format!("random locally-bounded placements at t={t} all covered (r={rr}, 5 seeds)"),
-            all,
+            &format!(
+                "random locally-bounded placements at t={t} all covered (r={rr}, {SEEDS} seeds)"
+            ),
+            chunk
+                .iter()
+                .all(|o| o.all_honest_correct() && o.audited_bound <= t),
         );
     }
     v.finish()

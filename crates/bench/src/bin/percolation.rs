@@ -3,26 +3,30 @@
 //! coverage transition.
 
 use rbcast_bench::{header, rule, Verdicts};
-use rbcast_core::percolation;
+use rbcast_core::{engine, percolation};
 use rbcast_grid::Torus;
 
 #[allow(clippy::float_cmp)] // a rate of exactly 1.0 means every trial covered
 fn main() {
     let ps = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
     let trials = 10;
+    // Rows are byte-identical for every thread count (engine fan-out
+    // with per-task seeds, aggregated in input order).
+    let threads = engine::thread_count(None);
 
     let mut v = Verdicts::new();
     for r in 1..=2u32 {
         let torus = Torus::for_radius(r);
         header(&format!(
-            "§XI percolation sweep — flood, r = {r}, {torus}, {trials} trials/point"
+            "§XI percolation sweep — flood, r = {r}, {torus}, {trials} trials/point, \
+             {threads} thread(s)"
         ));
         println!(
             "{:>6} {:>16} {:>20}",
             "p", "mean reached", "full-coverage rate"
         );
         rule(46);
-        let rows = percolation::sweep(r, &torus, &ps, trials);
+        let rows = percolation::sweep_threaded(r, &torus, &ps, trials, threads);
         for row in &rows {
             println!(
                 "{:>6.2} {:>16.4} {:>20.2}",

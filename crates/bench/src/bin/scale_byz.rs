@@ -6,7 +6,7 @@
 
 use rbcast_adversary::Placement;
 use rbcast_bench::{header, rule, Verdicts};
-use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
+use rbcast_core::{engine, thresholds, Experiment, FaultKind, ProtocolKind};
 use std::time::Instant;
 
 fn main() {
@@ -18,16 +18,30 @@ fn main() {
     rule(82);
 
     let mut v = Verdicts::new();
-    for r in 1..=4u32 {
-        let t = thresholds::byzantine_max_t(r) as usize;
+    let rs = [1u32, 2, 3, 4];
+    let experiments: Vec<Experiment> = rs
+        .iter()
+        .map(|&r| {
+            let t = thresholds::byzantine_max_t(r) as usize;
+            Experiment::new(r, ProtocolKind::IndirectSimplified)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(FaultKind::Liar)
+        })
+        .collect();
+    // Engine fan-out with per-run wall time measured inside each task.
+    // Outcomes stay deterministic; only the secs column reflects
+    // scheduling (and contention, when threads > 1).
+    let threads = engine::thread_count(None);
+    let timed = engine::run_indexed(&experiments, threads, |_, e| {
         // Measurement-only: timing the run, never feeding back into it.
         let start = Instant::now(); // audit:allow(wall-clock)
-        let o = Experiment::new(r, ProtocolKind::IndirectSimplified)
-            .with_t(t)
-            .with_placement(Placement::FrontierCluster { t })
-            .with_fault_kind(FaultKind::Liar)
-            .run();
-        let secs = start.elapsed().as_secs_f64();
+        let o = e.run();
+        (o, start.elapsed().as_secs_f64())
+    });
+
+    for (&r, (o, secs)) in rs.iter().zip(&timed) {
+        let t = thresholds::byzantine_max_t(r) as usize;
         let heard = o
             .message_kinds
             .iter()

@@ -9,10 +9,31 @@
 //! grows steeply with r — see DESIGN.md).
 
 use rbcast_adversary::Placement;
-use rbcast_bench::{header, rule, Verdicts};
+use rbcast_bench::{header, perf, rule, Verdicts};
 use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
 
+/// The adversarial (placement, behaviour) grid each config faces at t_max.
+fn attacks(t: usize) -> [(Placement, FaultKind); 4] {
+    [
+        (Placement::FrontierCluster { t }, FaultKind::Silent),
+        (Placement::FrontierCluster { t }, FaultKind::Liar),
+        (Placement::FrontierCluster { t }, FaultKind::Forger),
+        (
+            Placement::RandomLocal {
+                t,
+                seed: 7,
+                attempts: 60,
+            },
+            FaultKind::Liar,
+        ),
+    ]
+}
+
 fn main() {
+    // `--smoke` keeps only the r = 1 configs: a seconds-scale CI
+    // invocation exercising the full pipeline (engine fan-out included).
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
     header("Byzantine threshold experiments (Theorem 1 / exact threshold)");
     println!(
         "{:>3} {:<20} {:>4} {:<18} {:<8} {:>9} {:>7} {:>9} {:>10}",
@@ -22,36 +43,38 @@ fn main() {
 
     let mut v = Verdicts::new();
 
-    let configs: Vec<(u32, ProtocolKind)> = vec![
+    let mut configs: Vec<(u32, ProtocolKind)> = vec![
         (1, ProtocolKind::IndirectFull),
         (2, ProtocolKind::IndirectFull),
         (1, ProtocolKind::IndirectSimplified),
         (2, ProtocolKind::IndirectSimplified),
         (3, ProtocolKind::IndirectSimplified),
     ];
+    if smoke {
+        configs.retain(|&(r, _)| r == 1);
+    }
 
-    // Achievability at t_max.
-    for &(r, kind) in &configs {
+    // Achievability at t_max: the whole grid fans out through the
+    // deterministic engine, then rows print in experiment order.
+    let experiments: Vec<Experiment> = configs
+        .iter()
+        .flat_map(|&(r, kind)| {
+            let t = thresholds::byzantine_max_t(r) as usize;
+            attacks(t).into_iter().map(move |(placement, behave)| {
+                Experiment::new(r, kind)
+                    .with_t(t)
+                    .with_placement(placement)
+                    .with_fault_kind(behave)
+            })
+        })
+        .collect();
+    let (outcomes, _) = perf::run_sweep("thresh_byz/achievability", &experiments);
+
+    for (ci, &(r, kind)) in configs.iter().enumerate() {
         let t = thresholds::byzantine_max_t(r) as usize;
         let mut all_ok = true;
-        for (placement, behave) in [
-            (Placement::FrontierCluster { t }, FaultKind::Silent),
-            (Placement::FrontierCluster { t }, FaultKind::Liar),
-            (Placement::FrontierCluster { t }, FaultKind::Forger),
-            (
-                Placement::RandomLocal {
-                    t,
-                    seed: 7,
-                    attempts: 60,
-                },
-                FaultKind::Liar,
-            ),
-        ] {
-            let o = Experiment::new(r, kind)
-                .with_t(t)
-                .with_placement(placement.clone())
-                .with_fault_kind(behave)
-                .run();
+        for (ai, (placement, behave)) in attacks(t).into_iter().enumerate() {
+            let o = &outcomes[ci * 4 + ai];
             println!(
                 "{:>3} {:<20} {:>4} {:<18} {:<8} {:>9} {:>7} {:>9} {:>10}",
                 r,
@@ -78,19 +101,28 @@ fn main() {
     // deceived and/or starved: reliable broadcast fails, exactly as the
     // impossibility bound demands.
     header("At the impossibility bound t = ⌈½·r(2r+1)⌉ (checkerboard strips)");
-    for &(r, kind) in &[
-        (1u32, ProtocolKind::IndirectSimplified),
+    let mut imp_configs: Vec<(u32, ProtocolKind)> = vec![
+        (1, ProtocolKind::IndirectSimplified),
         (2, ProtocolKind::IndirectSimplified),
-    ] {
+    ];
+    if smoke {
+        imp_configs.retain(|&(r, _)| r == 1);
+    }
+    let imp_experiments: Vec<Experiment> = imp_configs
+        .iter()
+        .map(|&(r, kind)| {
+            // protocol still configured for its own t_max; the adversary
+            // has t_imp faults per neighborhood
+            let t = thresholds::byzantine_max_t(r) as usize;
+            Experiment::new(r, kind)
+                .with_t(t)
+                .with_placement(Placement::CheckerStrips)
+                .with_fault_kind(FaultKind::Liar)
+        })
+        .collect();
+    let (imp_outcomes, _) = perf::run_sweep("thresh_byz/impossibility", &imp_experiments);
+    for (&(r, kind), o) in imp_configs.iter().zip(&imp_outcomes) {
         let t_imp = thresholds::byzantine_impossible_t(r) as usize;
-        // protocol still configured for its own t_max; the adversary has
-        // t_imp faults per neighborhood
-        let t = thresholds::byzantine_max_t(r) as usize;
-        let o = Experiment::new(r, kind)
-            .with_t(t)
-            .with_placement(Placement::CheckerStrips)
-            .with_fault_kind(FaultKind::Liar)
-            .run();
         println!("r={r} {} vs t={t_imp} strips: {o}", kind.name());
         v.check(
             &format!("reliable broadcast fails at t = {t_imp} (r={r}): deceived or starved nodes"),

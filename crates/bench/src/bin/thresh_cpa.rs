@@ -4,7 +4,7 @@
 //! `½r(2r+1)` threshold of the indirect protocol) are tabulated.
 
 use rbcast_adversary::Placement;
-use rbcast_bench::{header, rule, Verdicts};
+use rbcast_bench::{header, perf, rule, Verdicts};
 use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
 
 fn main() {
@@ -27,26 +27,41 @@ fn main() {
 
     let mut v = Verdicts::new();
 
-    // Theorem 6 budget: CPA succeeds.
-    for r in 1..=3u32 {
+    // Theorem 6 budget: CPA succeeds. The (r, behaviour) grid fans out
+    // through the deterministic engine.
+    let budget_experiments: Vec<(u32, Experiment)> = (1..=3u32)
+        .flat_map(|r| {
+            let t = thresholds::cpa_guaranteed_t(r) as usize;
+            [FaultKind::Silent, FaultKind::Liar].map(move |kind| {
+                (
+                    r,
+                    Experiment::new(r, ProtocolKind::Cpa)
+                        .with_t(t)
+                        .with_placement(Placement::FrontierCluster { t })
+                        .with_fault_kind(kind),
+                )
+            })
+        })
+        .collect();
+    let (budget_outcomes, _) = perf::run_sweep(
+        "thresh_cpa/theorem6",
+        &budget_experiments
+            .iter()
+            .map(|(_, e)| e.clone())
+            .collect::<Vec<_>>(),
+    );
+    for (pair, chunk) in budget_experiments.chunks(2).zip(budget_outcomes.chunks(2)) {
+        let r = pair[0].0;
         let t = thresholds::cpa_guaranteed_t(r) as usize;
-        let mut ok = true;
-        for kind in [FaultKind::Silent, FaultKind::Liar] {
-            let o = Experiment::new(r, ProtocolKind::Cpa)
-                .with_t(t)
-                .with_placement(Placement::FrontierCluster { t })
-                .with_fault_kind(kind)
-                .run();
-            ok &= o.all_honest_correct();
-        }
         v.check(
             &format!("CPA succeeds at Theorem 6 budget t = {t} (r={r})"),
-            ok,
+            chunk.iter().all(rbcast_core::Outcome::all_honest_correct),
         );
     }
 
     // Empirical frontier: sweep t upward under the cluster adversary and
-    // find where CPA first fails to complete.
+    // find where CPA first fails to complete. The whole t-range per r is
+    // one engine sweep; the frontier is read off the ordered outcomes.
     header("Empirical CPA failure frontier (frontier-cluster, silent faults)");
     println!(
         "{:>4} {:>10} {:>12} {:>14} {:>16}",
@@ -55,18 +70,20 @@ fn main() {
     rule(60);
     for r in 1..=3u32 {
         let exact = thresholds::byzantine_max_t(r) as usize;
-        let mut first_fail = None;
-        for t in 0..=(thresholds::crash_impossible_t(r) as usize) {
-            let o = Experiment::new(r, ProtocolKind::Cpa)
-                .with_t(t)
-                .with_placement(Placement::FrontierCluster { t })
-                .with_fault_kind(FaultKind::Silent)
-                .run();
-            if !o.all_honest_correct() {
-                first_fail = Some(t);
-                break;
-            }
-        }
+        let frontier_experiments: Vec<Experiment> = (0..=(thresholds::crash_impossible_t(r)
+            as usize))
+            .map(|t| {
+                Experiment::new(r, ProtocolKind::Cpa)
+                    .with_t(t)
+                    .with_placement(Placement::FrontierCluster { t })
+                    .with_fault_kind(FaultKind::Silent)
+            })
+            .collect();
+        let (frontier_outcomes, _) =
+            perf::run_sweep(&format!("thresh_cpa/frontier_r{r}"), &frontier_experiments);
+        let first_fail = frontier_outcomes
+            .iter()
+            .position(|o| !o.all_honest_correct());
         let ff = first_fail.map_or("none".to_string(), |t| t.to_string());
         println!(
             "{:>4} {:>10} {:>12} {:>14} {:>16}",
@@ -86,30 +103,39 @@ fn main() {
 
     // Safety within the bound: with at most t liars per neighborhood no
     // honest node ever accepts the wrong value ("no non-faulty node will
-    // ever accept the wrong value", §III/§IX).
-    for r in 2..=3u32 {
+    // ever accept the wrong value", §III/§IX). Necessity of the locally
+    // bounded assumption rides in the same sweep: 2t+2 liars in one
+    // neighborhood exceed the budget and CAN make honest nodes accept
+    // the wrong value (t+1 same-neighborhood liars fabricate a quorum).
+    let safety_rs = [2u32, 3];
+    let beyond_rs = [1u32, 2];
+    let bound_experiments: Vec<Experiment> = safety_rs
+        .iter()
+        .map(|&r| {
+            let t = thresholds::cpa_guaranteed_t(r) as usize;
+            Experiment::new(r, ProtocolKind::Cpa)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t })
+                .with_fault_kind(FaultKind::Liar)
+        })
+        .chain(beyond_rs.iter().map(|&r| {
+            let t = thresholds::cpa_guaranteed_t(r) as usize;
+            Experiment::new(r, ProtocolKind::Cpa)
+                .with_t(t)
+                .with_placement(Placement::FrontierCluster { t: 2 * t + 2 })
+                .with_fault_kind(FaultKind::Liar)
+        }))
+        .collect();
+    let (bound_outcomes, _) = perf::run_sweep("thresh_cpa/local_bound", &bound_experiments);
+    for (&r, o) in safety_rs.iter().zip(&bound_outcomes) {
         let t = thresholds::cpa_guaranteed_t(r) as usize;
-        let o = Experiment::new(r, ProtocolKind::Cpa)
-            .with_t(t)
-            .with_placement(Placement::FrontierCluster { t })
-            .with_fault_kind(FaultKind::Liar)
-            .run();
         v.check(
             &format!("CPA is safe with t = {t} liars in one neighborhood (r={r})"),
             o.safe() && o.audited_bound <= t,
         );
     }
-
-    // Necessity of the locally bounded assumption: 2t+2 liars in one
-    // neighborhood exceed the budget and CAN make honest nodes accept
-    // the wrong value (t+1 same-neighborhood liars fabricate a quorum).
-    for r in 1..=2u32 {
+    for (&r, o) in beyond_rs.iter().zip(&bound_outcomes[safety_rs.len()..]) {
         let t = thresholds::cpa_guaranteed_t(r) as usize;
-        let o = Experiment::new(r, ProtocolKind::Cpa)
-            .with_t(t)
-            .with_placement(Placement::FrontierCluster { t: 2 * t + 2 })
-            .with_fault_kind(FaultKind::Liar)
-            .run();
         v.check(
             &format!(
                 "beyond the bound ({} liars vs t = {t}) honest nodes are deceived (r={r})",

@@ -4,8 +4,21 @@
 //! threshold.
 
 use rbcast_adversary::Placement;
-use rbcast_bench::{header, rule, Verdicts};
+use rbcast_bench::{header, perf, rule, Verdicts};
 use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
+
+/// The achievable-side placements probed at `t_max`.
+fn placements(t_max: usize) -> [Placement; 3] {
+    [
+        Placement::FrontierCluster { t: t_max },
+        Placement::RandomLocal {
+            t: t_max,
+            seed: 3,
+            attempts: 80,
+        },
+        Placement::ColumnStrips,
+    ]
+}
 
 fn main() {
     header("Crash-stop threshold experiments (Theorems 4-5)");
@@ -16,26 +29,40 @@ fn main() {
     rule(70);
 
     let mut v = Verdicts::new();
-    for r in 1..=3u32 {
+    let rs = [1u32, 2, 3];
+
+    // Full (r, placement, side) grid as one deterministic engine sweep:
+    // per r, three achievable-side runs then the impossible-side strip.
+    let experiments: Vec<Experiment> = rs
+        .iter()
+        .flat_map(|&r| {
+            let t_max = thresholds::crash_max_t(r) as usize;
+            let t_imp = thresholds::crash_impossible_t(r) as usize;
+            placements(t_max)
+                .into_iter()
+                .map(move |placement| {
+                    Experiment::new(r, ProtocolKind::Flood)
+                        .with_t(t_max)
+                        .with_placement(placement)
+                        .with_fault_kind(FaultKind::CrashStop)
+                })
+                .chain(std::iter::once(
+                    Experiment::new(r, ProtocolKind::Flood)
+                        .with_t(t_imp)
+                        .with_placement(Placement::DoubleStrip)
+                        .with_fault_kind(FaultKind::CrashStop),
+                ))
+        })
+        .collect();
+    let (outcomes, _) = perf::run_sweep("thresh_crash/theorems_4_5", &experiments);
+
+    for (&r, chunk) in rs.iter().zip(outcomes.chunks(4)) {
         let t_max = thresholds::crash_max_t(r) as usize;
         let t_imp = thresholds::crash_impossible_t(r) as usize;
 
         // Achievable side: t_max, several adversarial placements.
         let mut ok = true;
-        for placement in [
-            Placement::FrontierCluster { t: t_max },
-            Placement::RandomLocal {
-                t: t_max,
-                seed: 3,
-                attempts: 80,
-            },
-            Placement::ColumnStrips,
-        ] {
-            let o = Experiment::new(r, ProtocolKind::Flood)
-                .with_t(t_max)
-                .with_placement(placement.clone())
-                .with_fault_kind(FaultKind::CrashStop)
-                .run();
+        for (placement, o) in placements(t_max).iter().zip(chunk) {
             println!(
                 "{:>3} {:>6} {:<18} {:>8} {:>9} {:>10} {:>8}",
                 r,
@@ -55,11 +82,7 @@ fn main() {
         );
 
         // Impossible side: the strip at t = r(2r+1).
-        let o = Experiment::new(r, ProtocolKind::Flood)
-            .with_t(t_imp)
-            .with_placement(Placement::DoubleStrip)
-            .with_fault_kind(FaultKind::CrashStop)
-            .run();
+        let o = &chunk[3];
         println!(
             "{:>3} {:>6} {:<18} {:>8} {:>9} {:>10} {:>8}",
             r,

@@ -6,9 +6,25 @@
 //! hostile placements, and flooding at the crash estimates.
 
 use rbcast_adversary::Placement;
-use rbcast_bench::{header, rule, Verdicts};
+use rbcast_bench::{header, perf, rule, Verdicts};
 use rbcast_core::{thresholds, Experiment, FaultKind, ProtocolKind};
 use rbcast_grid::Metric;
+
+/// The Byzantine (placement, behaviour) grid probed at `t`.
+fn byz_attacks(t: usize) -> [(Placement, FaultKind); 3] {
+    [
+        (Placement::FrontierCluster { t }, FaultKind::Liar),
+        (Placement::FrontierCluster { t }, FaultKind::Forger),
+        (
+            Placement::RandomLocal {
+                t,
+                seed: 5,
+                attempts: 60,
+            },
+            FaultKind::Liar,
+        ),
+    ]
+}
 
 fn main() {
     header("Euclidean-metric thresholds (§VIII), simulated");
@@ -30,28 +46,27 @@ fn main() {
 
     let mut v = Verdicts::new();
 
-    // Byzantine achievability at t = ⌊0.23πr²⌋ under the L2 metric.
-    for r in 2..=3u32 {
+    // Byzantine achievability at t = ⌊0.23πr²⌋ under the L2 metric:
+    // the (r, attack) grid is one deterministic engine sweep.
+    let byz_rs = [2u32, 3];
+    let byz_experiments: Vec<Experiment> = byz_rs
+        .iter()
+        .flat_map(|&r| {
+            let t = thresholds::l2_byzantine_estimate(r).floor() as usize;
+            byz_attacks(t).into_iter().map(move |(placement, kind)| {
+                Experiment::new(r, ProtocolKind::IndirectSimplified)
+                    .with_metric(Metric::L2)
+                    .with_t(t)
+                    .with_placement(placement)
+                    .with_fault_kind(kind)
+            })
+        })
+        .collect();
+    let (byz_outcomes, _) = perf::run_sweep("thresh_l2/byzantine", &byz_experiments);
+    for (&r, chunk) in byz_rs.iter().zip(byz_outcomes.chunks(3)) {
         let t = thresholds::l2_byzantine_estimate(r).floor() as usize;
         let mut ok = true;
-        for (placement, kind) in [
-            (Placement::FrontierCluster { t }, FaultKind::Liar),
-            (Placement::FrontierCluster { t }, FaultKind::Forger),
-            (
-                Placement::RandomLocal {
-                    t,
-                    seed: 5,
-                    attempts: 60,
-                },
-                FaultKind::Liar,
-            ),
-        ] {
-            let o = Experiment::new(r, ProtocolKind::IndirectSimplified)
-                .with_metric(Metric::L2)
-                .with_t(t)
-                .with_placement(placement.clone())
-                .with_fault_kind(kind)
-                .run();
+        for ((placement, kind), o) in byz_attacks(t).iter().zip(chunk) {
             println!("r={r} t={t} {}/{kind:?}: {o}", placement.name());
             ok &= o.all_honest_correct() && o.audited_bound <= t;
         }
@@ -62,27 +77,33 @@ fn main() {
     }
 
     // Crash-stop achievability at t = ⌊0.46πr²⌋ − small margin, and the
-    // strip partition on the impossibility side.
-    for r in 2..=3u32 {
+    // strip partition on the impossibility side, as one sweep (per r:
+    // cluster run, then strip run).
+    let crash_rs = [2u32, 3];
+    let crash_experiments: Vec<Experiment> = crash_rs
+        .iter()
+        .flat_map(|&r| {
+            let t = thresholds::l2_crash_estimate(r).floor() as usize;
+            [Placement::FrontierCluster { t }, Placement::DoubleStrip].map(move |placement| {
+                Experiment::new(r, ProtocolKind::Flood)
+                    .with_metric(Metric::L2)
+                    .with_t(t)
+                    .with_placement(placement)
+                    .with_fault_kind(FaultKind::CrashStop)
+            })
+        })
+        .collect();
+    let (crash_outcomes, _) = perf::run_sweep("thresh_l2/crash", &crash_experiments);
+    for (&r, chunk) in crash_rs.iter().zip(crash_outcomes.chunks(2)) {
         let t = thresholds::l2_crash_estimate(r).floor() as usize;
-        let o = Experiment::new(r, ProtocolKind::Flood)
-            .with_metric(Metric::L2)
-            .with_t(t)
-            .with_placement(Placement::FrontierCluster { t })
-            .with_fault_kind(FaultKind::CrashStop)
-            .run();
+        let o = &chunk[0];
         println!("r={r} crash cluster t={t}: {o}");
         v.check(
             &format!("L2 crash-stop flood survives a ⌊0.46πr²⌋ = {t} cluster (r={r})"),
             o.all_honest_correct(),
         );
 
-        let strip = Experiment::new(r, ProtocolKind::Flood)
-            .with_metric(Metric::L2)
-            .with_t(t)
-            .with_placement(Placement::DoubleStrip)
-            .with_fault_kind(FaultKind::CrashStop)
-            .run();
+        let strip = &chunk[1];
         println!("r={r} crash strip (≈0.6πr² per nbd): {strip}");
         v.check(
             &format!("the ≈0.6πr² strip partitions the L2 network (r={r})"),

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!();

@@ -1,0 +1,204 @@
+//! Machine-readable sweep timing and the `BENCH_sweep.json` writer.
+//!
+//! Every sweep-shaped binary fans its experiment grid out through
+//! [`rbcast_core::engine`], so wall-clock per sweep, runs/sec, and the
+//! worker-thread count are the numbers that matter for throughput work.
+//! This module measures them and serialises them to a stable JSON shape
+//! (hand-rolled — the workspace is offline and carries no serde) so the
+//! baseline can be checked in and diffed across PRs.
+//!
+//! Timing lives here and nowhere near the simulation: wall-clock reads
+//! are annotated measurement-only sites, and holding or dropping the
+//! timer never changes an outcome.
+
+use rbcast_core::{engine, Experiment, Outcome};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Timing record for one executed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTiming {
+    /// Stable sweep key, `"<bin>/<section>"` (e.g. `thresh_byz/achievability`).
+    pub label: String,
+    /// Worker threads the sweep ran on.
+    pub threads: usize,
+    /// Number of experiment runs in the sweep.
+    pub runs: usize,
+    /// Wall-clock duration of the whole sweep, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl SweepTiming {
+    /// Experiment runs completed per second.
+    #[must_use]
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.runs as f64 * 1000.0 / self.wall_ms
+        }
+    }
+}
+
+/// Runs `experiments` through the deterministic engine on `threads`
+/// workers and times the sweep. Outcomes come back in experiment order —
+/// identical for every thread count — so callers print rows exactly as
+/// the serial loops they replace did.
+#[must_use]
+pub fn run_sweep_timed(
+    label: &str,
+    experiments: &[Experiment],
+    threads: usize,
+) -> (Vec<Outcome>, SweepTiming) {
+    let t0 = std::time::Instant::now(); // audit:allow(wall-clock): sweep measurement
+    let outcomes = engine::run_experiments(experiments, threads);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    (
+        outcomes,
+        SweepTiming {
+            label: label.to_string(),
+            threads,
+            runs: experiments.len(),
+            wall_ms,
+        },
+    )
+}
+
+/// [`run_sweep_timed`] at the ambient thread count
+/// ([`engine::thread_count`]`(None)`, i.e. `RBCAST_THREADS` or all
+/// cores), printing a one-line sweep summary.
+#[must_use]
+pub fn run_sweep(label: &str, experiments: &[Experiment]) -> (Vec<Outcome>, SweepTiming) {
+    let threads = engine::thread_count(None);
+    let (outcomes, timing) = run_sweep_timed(label, experiments, threads);
+    println!(
+        "sweep {label}: {} runs on {threads} thread(s) in {:.1} ms ({:.0} runs/s)",
+        timing.runs,
+        timing.wall_ms,
+        timing.runs_per_sec()
+    );
+    (outcomes, timing)
+}
+
+/// Serialises timings to the `BENCH_sweep.json` document: the default
+/// thread count, one record per sweep, and per-bin totals (keyed by the
+/// label's `<bin>/` prefix). Key order is sorted, floats are fixed to
+/// three decimals — the output is byte-stable for identical inputs.
+#[must_use]
+pub fn to_json(default_threads: usize, timings: &[SweepTiming]) -> String {
+    let mut bins: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+    for t in timings {
+        let bin = t.label.split('/').next().unwrap_or(&t.label);
+        let entry = bins.entry(bin).or_insert((0, 0.0));
+        entry.0 += t.runs;
+        entry.1 += t.wall_ms;
+    }
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-sweep/v1\",");
+    let _ = writeln!(s, "  \"default_threads\": {default_threads},");
+    s.push_str("  \"sweeps\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"label\": \"{}\", \"threads\": {}, \"runs\": {}, \
+             \"wall_ms\": {:.3}, \"runs_per_sec\": {:.3}}}",
+            json_escape(&t.label),
+            t.threads,
+            t.runs,
+            t.wall_ms,
+            t.runs_per_sec()
+        );
+        s.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"bins\": {\n");
+    for (i, (bin, (runs, wall_ms))) in bins.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    \"{}\": {{\"runs\": {runs}, \"wall_ms\": {wall_ms:.3}}}",
+            json_escape(bin)
+        );
+        s.push_str(if i + 1 < bins.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Writes [`to_json`] to `path`. I/O errors are reported, not fatal — a
+/// read-only checkout must not fail a bench run.
+pub fn write_bench_json(path: &Path, default_threads: usize, timings: &[SweepTiming]) {
+    match std::fs::write(path, to_json(default_threads, timings)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(label: &str, threads: usize, runs: usize, wall_ms: f64) -> SweepTiming {
+        SweepTiming {
+            label: label.to_string(),
+            threads,
+            runs,
+            wall_ms,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_totals_group_by_bin() {
+        let t = [
+            timing("byz/a", 4, 32, 100.0),
+            timing("byz/b", 4, 8, 25.0),
+            timing("cpa/a", 4, 4, 10.0),
+        ];
+        let j = to_json(4, &t);
+        assert!(j.contains("\"default_threads\": 4"));
+        assert!(j.contains("\"label\": \"byz/a\", \"threads\": 4, \"runs\": 32"));
+        assert!(j.contains("\"byz\": {\"runs\": 40, \"wall_ms\": 125.000}"));
+        assert!(j.contains("\"cpa\": {\"runs\": 4, \"wall_ms\": 10.000}"));
+        // byte-stable: same input, same string
+        assert_eq!(j, to_json(4, &t));
+    }
+
+    #[test]
+    fn runs_per_sec_handles_zero_wall() {
+        assert!(timing("x", 1, 5, 0.0).runs_per_sec().abs() < 1e-12);
+        let t = timing("x", 1, 50, 1000.0);
+        assert!((t.runs_per_sec() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let j = to_json(1, &[timing("a\"b\\c", 1, 1, 1.0)]);
+        assert!(j.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn timed_sweep_returns_outcomes_in_order() {
+        use rbcast_core::ProtocolKind;
+        let experiments: Vec<Experiment> = (1..=2)
+            .map(|r| Experiment::new(r, ProtocolKind::Flood))
+            .collect();
+        let (outcomes, timing) = run_sweep_timed("test/order", &experiments, 2);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(timing.runs, 2);
+        let serial = engine::run_experiments(&experiments, 1);
+        assert_eq!(outcomes, serial);
+    }
+}

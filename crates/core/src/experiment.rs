@@ -248,10 +248,27 @@ impl Experiment {
     /// runtime invariant is violated.
     #[must_use]
     pub fn run(&self) -> Outcome {
-        let (outcome, hash) = self.run_once();
+        self.run_traced().0
+    }
+
+    /// [`Experiment::run`], additionally returning the simulator's
+    /// order-sensitive delivery-trace hash — the determinism witness
+    /// used by the parallel sweep tests (identical inputs must produce
+    /// identical hashes at any thread count).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Experiment::run`].
+    #[must_use]
+    pub fn run_traced(&self) -> (Outcome, u64) {
         #[cfg(feature = "debug-invariants")]
         {
-            let (replay, replay_hash) = self.run_once();
+            // The two determinism runs are independent; execute them
+            // concurrently on the deterministic engine (2 fixed tasks →
+            // index-ordered results, so the comparison itself is stable).
+            let mut runs = crate::engine::run_indexed(&[(), ()], 2, |_, ()| self.run_once());
+            let (replay, replay_hash) = runs.pop().expect("engine returned both replicas");
+            let (outcome, hash) = runs.pop().expect("engine returned both replicas");
             assert_eq!(
                 hash, replay_hash,
                 "same-seed trace-hash determinism violated: two runs of one \
@@ -262,9 +279,10 @@ impl Experiment {
                 "same-seed determinism violated: identical trace hashes but \
                  diverging outcomes"
             );
+            (outcome, hash)
         }
-        let _ = hash;
-        outcome
+        #[cfg(not(feature = "debug-invariants"))]
+        self.run_once()
     }
 
     /// Whether Theorem 2's safety guarantee is provably in force, i.e.

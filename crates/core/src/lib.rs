@@ -11,7 +11,10 @@
 //!   fault placement and a Byzantine behaviour, runs the broadcast, and
 //!   reports a summarised [`Outcome`];
 //! * [`percolation`] — the §XI random-failure extension (independent
-//!   node faults, connecting crash-stop broadcast to site percolation).
+//!   node faults, connecting crash-stop broadcast to site percolation);
+//! * [`engine`] — the deterministic parallel sweep executor (results
+//!   collected by input index, so output is byte-identical for every
+//!   thread count).
 //!
 //! # Quickstart
 //!
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod complexity;
+pub mod engine;
 mod experiment;
 pub mod graphs;
 pub mod percolation;

@@ -62,17 +62,38 @@ pub struct SweepRow {
 
 /// Sweeps fault probabilities, averaging over `trials` independent
 /// placements per probability.
+///
+/// Equivalent to [`sweep_threaded`] at the default thread count.
 #[must_use]
 pub fn sweep(r: u32, torus: &Torus, ps: &[f64], trials: u64) -> Vec<SweepRow> {
-    ps.iter()
-        .map(|&p| {
-            let mut reached = 0.0;
-            let mut full = 0u64;
-            for seed in 0..trials {
-                let s = sample(r, torus, p, 0xACE0_0000 + seed);
-                reached += s.reached_fraction;
-                full += u64::from(s.full_coverage);
-            }
+    sweep_threaded(r, torus, ps, trials, crate::engine::thread_count(None))
+}
+
+/// [`sweep`] on an explicit number of worker threads. Every
+/// `(probability, seed)` sample is an independent task with its seed
+/// fixed up front, fanned out through [`crate::engine::run_indexed`] and
+/// aggregated in input order — rows are byte-identical for every thread
+/// count.
+#[must_use]
+pub fn sweep_threaded(
+    r: u32,
+    torus: &Torus,
+    ps: &[f64],
+    trials: u64,
+    threads: usize,
+) -> Vec<SweepRow> {
+    let tasks: Vec<(f64, u64)> = ps
+        .iter()
+        .flat_map(|&p| (0..trials).map(move |seed| (p, 0xACE0_0000 + seed)))
+        .collect();
+    let samples =
+        crate::engine::run_indexed(&tasks, threads, |_, &(p, seed)| sample(r, torus, p, seed));
+    samples
+        .chunks(trials.max(1) as usize)
+        .zip(ps)
+        .map(|(chunk, &p)| {
+            let reached: f64 = chunk.iter().map(|s| s.reached_fraction).sum();
+            let full: u64 = chunk.iter().map(|s| u64::from(s.full_coverage)).sum();
             SweepRow {
                 p,
                 mean_reached: reached / trials as f64,

@@ -1,0 +1,80 @@
+//! Cross-thread-count determinism of the parallel sweep engine.
+//!
+//! The engine's contract is that a sweep's output is **byte-identical**
+//! for every worker-thread count, including 1 (the serial baseline).
+//! These tests pin that contract on a mixed experiment grid: ordered
+//! outcomes AND per-run delivery-trace hashes must agree at 1, 2, and 8
+//! threads. Under `--features debug-invariants` each run additionally
+//! replays itself on a second thread and asserts the same trace hash, so
+//! this test doubles as the engine-level replay gate in CI.
+
+use rbcast_adversary::Placement;
+use rbcast_core::{engine, percolation, Experiment, FaultKind, ProtocolKind};
+use rbcast_grid::Torus;
+
+/// A representative sweep: three protocol families, adversarial and
+/// randomized placements, seeds fixed at construction time.
+fn sweep_grid() -> Vec<Experiment> {
+    let mut grid = Vec::new();
+    for seed in 0..4u64 {
+        grid.push(
+            Experiment::new(1, ProtocolKind::Flood)
+                .with_t(2)
+                .with_placement(Placement::RandomLocal {
+                    t: 2,
+                    seed,
+                    attempts: 40,
+                })
+                .with_fault_kind(FaultKind::CrashStop),
+        );
+    }
+    for seed in 0..2u64 {
+        grid.push(
+            Experiment::new(1, ProtocolKind::Cpa)
+                .with_t(0)
+                .with_placement(Placement::Bernoulli { p: 0.1, seed })
+                .with_fault_kind(FaultKind::Silent),
+        );
+    }
+    grid.push(
+        Experiment::new(1, ProtocolKind::IndirectSimplified)
+            .with_t(1)
+            .with_placement(Placement::FrontierCluster { t: 1 })
+            .with_fault_kind(FaultKind::Liar),
+    );
+    grid.push(
+        Experiment::new(1, ProtocolKind::IndirectSimplified)
+            .with_t(1)
+            .with_placement(Placement::FrontierCluster { t: 1 })
+            .with_fault_kind(FaultKind::Forger),
+    );
+    grid
+}
+
+#[test]
+fn sweep_outcomes_and_trace_hashes_identical_at_1_2_8_threads() {
+    let experiments = sweep_grid();
+    let baseline = engine::run_experiments_traced(&experiments, 1);
+    assert_eq!(baseline.len(), experiments.len());
+    for threads in [2usize, 8] {
+        let other = engine::run_experiments_traced(&experiments, threads);
+        assert_eq!(
+            baseline, other,
+            "sweep output diverged between 1 and {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn percolation_rows_identical_across_thread_counts() {
+    let torus = Torus::for_radius(1);
+    let ps = [0.0, 0.2, 0.4];
+    let baseline = percolation::sweep_threaded(1, &torus, &ps, 4, 1);
+    for threads in [2usize, 8] {
+        let other = percolation::sweep_threaded(1, &torus, &ps, 4, threads);
+        assert_eq!(
+            baseline, other,
+            "percolation rows diverged between 1 and {threads} worker threads"
+        );
+    }
+}

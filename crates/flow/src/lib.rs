@@ -40,4 +40,4 @@ pub use disjoint::{
     min_vertex_cut, try_min_vertex_cut, try_vertex_disjoint_count, try_vertex_disjoint_paths,
     vertex_disjoint_count, vertex_disjoint_paths, DisjointError,
 };
-pub use packing::{Chain, ChainPacker};
+pub use packing::{Chain, ChainPacker, PackScratch};

@@ -183,6 +183,16 @@ impl ChainPacker {
         self.max_disjoint_budgeted(admit, target, DEFAULT_BB_BUDGET)
     }
 
+    /// [`ChainPacker::max_disjoint`] reusing caller-owned scratch
+    /// buffers, with the default search budget.
+    #[must_use]
+    pub fn max_disjoint_reusing<F>(&self, scratch: &mut PackScratch, admit: F, target: u32) -> u32
+    where
+        F: Fn(u64) -> bool,
+    {
+        self.max_disjoint_scratch(scratch, admit, target, DEFAULT_BB_BUDGET)
+    }
+
     /// [`ChainPacker::max_disjoint`] with an explicit branch-and-bound
     /// node budget.
     #[must_use]
@@ -190,24 +200,53 @@ impl ChainPacker {
     where
         F: Fn(u64) -> bool,
     {
+        let mut scratch = PackScratch::default();
+        self.max_disjoint_scratch(&mut scratch, admit, target, budget)
+    }
+
+    /// [`ChainPacker::max_disjoint`] reusing caller-owned scratch
+    /// buffers. The packing query sits inside the commit-rule evaluation
+    /// called every round per node, per candidate neighborhood center;
+    /// threading one [`PackScratch`] through those calls removes every
+    /// per-query allocation (chain filters, conflict bitsets, and the
+    /// branch-and-bound candidate stacks are all reused).
+    #[must_use]
+    pub fn max_disjoint_scratch<F>(
+        &self,
+        scratch: &mut PackScratch,
+        admit: F,
+        target: u32,
+        budget: u64,
+    ) -> u32
+    where
+        F: Fn(u64) -> bool,
+    {
         if target == 0 {
             return 0;
         }
+        let PackScratch {
+            kept,
+            order,
+            taken_relays,
+            conflict,
+            full,
+            pool,
+        } = scratch;
+
         // Admitted chains only (already an antichain by insert-time
         // dominance pruning, so no reduction pass is needed here).
-        let mut kept: Vec<&Chain> = self
-            .chains
-            .iter()
-            .filter(|c| c.relays().iter().all(|&r| admit(r)))
-            .collect();
+        kept.clear();
+        kept.extend(
+            (0..self.chains.len()).filter(|&i| self.chains[i].relays().iter().all(|&r| admit(r))),
+        );
 
         // A direct observation conflicts with nothing: count it separately.
-        let direct_bonus = u32::from(kept.iter().any(|c| c.is_direct()));
-        kept.retain(|c| !c.is_direct());
+        let direct_bonus = u32::from(kept.iter().any(|&i| self.chains[i].is_direct()));
+        kept.retain(|&i| !self.chains[i].is_direct());
 
         // Bound instance size (shortest chains kept — they conflict least).
         if kept.len() > MAX_PACKING_INSTANCE {
-            kept.sort_by_key(|c| c.relays().len());
+            kept.sort_by_key(|&i| self.chains[i].relays().len());
             kept.truncate(MAX_PACKING_INSTANCE);
         }
 
@@ -216,15 +255,60 @@ impl ChainPacker {
             return target.min(direct_bonus);
         }
 
-        let packed = max_disjoint_sets(&kept, need, budget);
+        let packed = max_disjoint_sets(
+            &self.chains,
+            kept,
+            order,
+            taken_relays,
+            conflict,
+            full,
+            pool,
+            need,
+            budget,
+        );
         (direct_bonus + packed).min(target)
     }
 }
 
+/// Reusable scratch buffers for [`ChainPacker::max_disjoint_scratch`].
+///
+/// One instance per evaluating node suffices; buffers grow to the
+/// high-water mark of the queries they serve and are reused verbatim
+/// afterwards. Holding scratch never changes a query's answer — it only
+/// removes the per-query allocations.
+#[derive(Debug, Default)]
+pub struct PackScratch {
+    /// Admitted chain indices (the packing instance).
+    kept: Vec<usize>,
+    /// Greedy processing order (indices into the packer's chains).
+    order: Vec<usize>,
+    /// Relays already used by the greedy packing.
+    taken_relays: Vec<u64>,
+    /// Flattened conflict bitsets (`n × words`).
+    conflict: Vec<u64>,
+    /// The all-candidates bitset.
+    full: Vec<u64>,
+    /// Per-depth candidate bitsets for the branch-and-bound include
+    /// branch (the exclude branch mutates in place and needs none).
+    pool: Vec<Vec<u64>>,
+}
+
 /// Maximum independent set over the chain conflict graph, early-exiting at
-/// `target`, with a recursion-node `budget`.
-fn max_disjoint_sets(chains: &[&Chain], target: u32, budget: u64) -> u32 {
-    let n = chains.len();
+/// `target`, with a recursion-node `budget`. `kept` holds the instance's
+/// chain indices; the remaining slices are reused scratch.
+#[allow(clippy::too_many_arguments)] // internal: one call site, fed from PackScratch fields
+fn max_disjoint_sets(
+    chains: &[Chain],
+    kept: &[usize],
+    order: &mut Vec<usize>,
+    taken_relays: &mut Vec<u64>,
+    conflict: &mut Vec<u64>,
+    full: &mut Vec<u64>,
+    pool: &mut Vec<Vec<u64>>,
+    target: u32,
+    budget: u64,
+) -> u32 {
+    let n = kept.len();
     if n == 0 || target == 0 {
         return 0;
     }
@@ -233,11 +317,12 @@ fn max_disjoint_sets(chains: &[&Chain], target: u32, budget: u64) -> u32 {
     // from everything taken. Chains are ≤ 3 relays, so the conflict test
     // against the taken set is a handful of comparisons. In benign runs
     // this finds `target` immediately and the exact search never builds.
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend_from_slice(kept);
     order.sort_by_key(|&i| chains[i].relays().len());
-    let mut taken_relays: Vec<u64> = Vec::with_capacity(3 * target as usize);
+    taken_relays.clear();
     let mut greedy = 0u32;
-    for &i in &order {
+    for &i in order.iter() {
         if chains[i].relays().iter().all(|r| !taken_relays.contains(r)) {
             taken_relays.extend_from_slice(chains[i].relays());
             greedy += 1;
@@ -253,35 +338,37 @@ fn max_disjoint_sets(chains: &[&Chain], target: u32, budget: u64) -> u32 {
         return greedy;
     }
     let words = n.div_ceil(64);
-    let mut conflict = vec![vec![0u64; words]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if chains[i].conflicts_with(chains[j]) {
-                conflict[i][j / 64] |= 1 << (j % 64);
-                conflict[j][i / 64] |= 1 << (i % 64);
+    conflict.clear();
+    conflict.resize(n * words, 0);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if chains[kept[a]].conflicts_with(&chains[kept[b]]) {
+                conflict[a * words + b / 64] |= 1 << (b % 64);
+                conflict[b * words + a / 64] |= 1 << (a % 64);
             }
         }
     }
     let mut best = greedy;
-    let full: Vec<u64> = (0..words)
-        .map(|w| {
-            let hi = (n - w * 64).min(64);
-            if hi == 64 {
-                u64::MAX
-            } else {
-                (1u64 << hi) - 1
-            }
-        })
-        .collect();
+    full.clear();
+    full.extend((0..words).map(|w| {
+        let hi = (n - w * 64).min(64);
+        if hi == 64 {
+            u64::MAX
+        } else {
+            (1u64 << hi) - 1
+        }
+    }));
     let mut nodes_left = budget;
     bb(
-        &conflict,
-        &full,
+        conflict,
+        words,
+        pool,
+        0,
+        full,
         0,
         target,
         &mut best,
         &mut nodes_left,
-        words,
     );
     best.min(target)
 }
@@ -290,58 +377,71 @@ fn popcount(set: &[u64]) -> u32 {
     set.iter().map(|w| w.count_ones()).sum()
 }
 
+/// Branch and bound over the candidate bitset. The exclude branch
+/// iterates in place (clearing one vertex per pass); the include branch
+/// recurses onto a per-depth buffer borrowed from `pool`, so steady-state
+/// search performs no allocation at all.
+#[allow(clippy::too_many_arguments)] // recursive kernel sharing one mutable search state
 fn bb(
-    conflict: &[Vec<u64>],
-    candidates: &[u64],
+    conflict: &[u64],
+    words: usize,
+    pool: &mut Vec<Vec<u64>>,
+    depth: usize,
+    candidates: &mut [u64],
     current: u32,
     target: u32,
     best: &mut u32,
     nodes_left: &mut u64,
-    words: usize,
 ) {
-    if *best >= target || *nodes_left == 0 {
-        return;
-    }
-    *nodes_left -= 1;
-    if current > *best {
-        *best = current;
-    }
-    let remaining = popcount(candidates);
-    if current + remaining <= *best {
-        return; // cannot improve
-    }
-    // first alive vertex
-    let Some(v) = candidates
-        .iter()
-        .enumerate()
-        .find(|(_, &word)| word != 0)
-        .map(|(w, &word)| w * 64 + word.trailing_zeros() as usize)
-    else {
-        return;
-    };
+    loop {
+        if *best >= target || *nodes_left == 0 {
+            return;
+        }
+        *nodes_left -= 1;
+        if current > *best {
+            *best = current;
+        }
+        let remaining = popcount(candidates);
+        if current + remaining <= *best {
+            return; // cannot improve
+        }
+        // first alive vertex
+        let Some(v) = candidates
+            .iter()
+            .enumerate()
+            .find(|(_, &word)| word != 0)
+            .map(|(w, &word)| w * 64 + word.trailing_zeros() as usize)
+        else {
+            return;
+        };
+        // Neither branch keeps v as a candidate.
+        candidates[v / 64] &= !(1 << (v % 64));
 
-    // Branch 1: include v.
-    let mut with_v = candidates.to_vec();
-    with_v[v / 64] &= !(1 << (v % 64));
-    for w in 0..words {
-        with_v[w] &= !conflict[v][w];
-    }
-    bb(
-        conflict,
-        &with_v,
-        current + 1,
-        target,
-        best,
-        nodes_left,
-        words,
-    );
+        // Branch 1: include v (recurse on the pooled buffer).
+        if depth >= pool.len() {
+            pool.push(Vec::new());
+        }
+        let mut with_v = std::mem::take(&mut pool[depth]);
+        with_v.clear();
+        with_v.extend_from_slice(candidates);
+        for w in 0..words {
+            with_v[w] &= !conflict[v * words + w];
+        }
+        bb(
+            conflict,
+            words,
+            pool,
+            depth + 1,
+            &mut with_v,
+            current + 1,
+            target,
+            best,
+            nodes_left,
+        );
+        pool[depth] = with_v;
 
-    // Branch 2: exclude v.
-    let mut without_v = candidates.to_vec();
-    without_v[v / 64] &= !(1 << (v % 64));
-    bb(
-        conflict, &without_v, current, target, best, nodes_left, words,
-    );
+        // Branch 2: exclude v — continue this loop on the same buffer.
+    }
 }
 
 #[cfg(test)]

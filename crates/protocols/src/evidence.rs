@@ -23,7 +23,7 @@
 //! they differ in liveness/latency and in evaluation cost (benched in
 //! `rbcast-bench`).
 
-use rbcast_flow::ChainPacker;
+use rbcast_flow::{ChainPacker, PackScratch};
 use rbcast_grid::{Coord, Metric, NodeId, Torus};
 use rbcast_sim::Value;
 use std::collections::{BTreeMap, BTreeSet};
@@ -53,25 +53,25 @@ pub struct Geometry<'a> {
     pub me: Coord,
 }
 
-impl Geometry<'_> {
+impl<'a> Geometry<'a> {
     /// Closed-ball membership: is `node` within `r` of `center`?
     fn covers(&self, center: Coord, node: Coord) -> bool {
         self.torus.within(center, node, self.r, self.metric)
     }
 
-    /// Candidate neighborhood centers within distance `d` of `around`.
-    fn centers_within(&self, around: Coord, d: u32) -> Vec<Coord> {
+    /// Candidate neighborhood centers within distance `d` of `around`,
+    /// streamed without building an intermediate `Vec` (this runs per
+    /// evaluation, per candidate center scan, on the simulator hot path).
+    fn centers_within(self, around: Coord, d: u32) -> impl Iterator<Item = Coord> + 'a {
         let di = i64::from(d);
-        let mut v = Vec::new();
-        for dy in -di..=di {
-            for dx in -di..=di {
+        (-di..=di).flat_map(move |dy| {
+            (-di..=di).filter_map(move |dx| {
                 let c = around + Coord::new(dx, dy);
-                if self.torus.within(around, c, d, self.metric) {
-                    v.push(self.torus.canonical(c));
-                }
-            }
-        }
-        v
+                self.torus
+                    .within(around, c, d, self.metric)
+                    .then(|| self.torus.canonical(c))
+            })
+        })
     }
 }
 
@@ -105,6 +105,8 @@ pub struct EvidenceStore {
     determined: BTreeMap<NodeId, Value>,
     /// Set when a commit re-evaluation is warranted.
     commit_dirty: bool,
+    /// Reusable packing-query buffers (never affects answers).
+    scratch: PackScratch,
 }
 
 impl EvidenceStore {
@@ -189,16 +191,20 @@ impl EvidenceStore {
         // Sorted drain: BTreeSet iteration is (committer, value) order,
         // so refresh order is identical on every run with the same seed.
         let dirty: Vec<(NodeId, Value)> = std::mem::take(&mut self.dirty).into_iter().collect();
+        // Take the scratch out so packing queries can borrow it mutably
+        // alongside `&self` reads of the packers; put it back after.
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut newly = false;
         for (committer, v) in dirty {
             if self.determined.contains_key(&committer) {
                 continue;
             }
-            if self.is_determined(geo, committer, v) {
+            if self.is_determined(geo, &mut scratch, committer, v) {
                 self.determined.insert(committer, v);
                 newly = true;
             }
         }
+        self.scratch = scratch;
         // The commit threshold can only newly pass when a determination
         // was added.
         if !newly {
@@ -230,7 +236,13 @@ impl EvidenceStore {
 
     /// Level-1 determination: direct observation, or `t+1` disjoint
     /// chains inside a single neighborhood covering the committer.
-    fn is_determined(&self, geo: &Geometry<'_>, committer: NodeId, v: Value) -> bool {
+    fn is_determined(
+        &self,
+        geo: &Geometry<'_>,
+        scratch: &mut PackScratch,
+        committer: NodeId,
+        v: Value,
+    ) -> bool {
         let Some(packer) = self.packers.get(&(committer, v)) else {
             return false;
         };
@@ -244,7 +256,7 @@ impl EvidenceStore {
         let committer_coord = geo.torus.coord(committer);
         for center in geo.centers_within(committer_coord, geo.r) {
             let admit = |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
-            if packer.max_disjoint(admit, need) >= need {
+            if packer.max_disjoint_reusing(scratch, admit, need) >= need {
                 return true;
             }
         }
@@ -258,19 +270,23 @@ impl EvidenceStore {
         self.commit_dirty = false;
         self.dirty.clear();
         let need = (self.t + 1) as u32;
-        for center in geo.centers_within(geo.me, geo.r + 1) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut committed = None;
+        'scan: for center in geo.centers_within(geo.me, geo.r + 1) {
             for v in [true, false] {
                 let packer = &self.combined[usize::from(v)];
                 if packer.len() < need as usize {
                     continue;
                 }
                 let admit = |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
-                if packer.max_disjoint(admit, need) >= need {
-                    return Some(v);
+                if packer.max_disjoint_reusing(&mut scratch, admit, need) >= need {
+                    committed = Some(v);
+                    break 'scan;
                 }
             }
         }
-        None
+        self.scratch = scratch;
+        committed
     }
 }
 

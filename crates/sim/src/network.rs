@@ -68,7 +68,7 @@ pub struct Network<M> {
     jammed_deliveries: u64,
 }
 
-impl<M: Clone> Network<M> {
+impl<M> Network<M> {
     /// Builds a network over `torus` with transmission radius `radius`
     /// under `metric`, instantiating each node's process with `make`.
     ///
@@ -182,19 +182,26 @@ impl<M: Clone> Network<M> {
     /// Runs the simulation until quiescence or `max_rounds`, returning
     /// run statistics.
     pub fn run(&mut self, max_rounds: Round) -> RunStats {
+        // Hot-path de-allocation: `order` and `neighbors` are moved out
+        // of `self` for the duration of the run, so deliveries can
+        // borrow the receiver slice and the on-air message while
+        // `with_ctx` borrows `self` mutably — no per-transmission
+        // receiver-list clone and no per-delivery message clone.
+        let order = std::mem::take(&mut self.order);
+        let neighbors = std::mem::take(&mut self.neighbors);
+
         // Round 0: starts.
-        let start_order = self.order.clone();
-        for &id in &start_order {
+        for &id in &order {
             if !self.is_crashed(id, 0) {
                 self.with_ctx(id, 0, |proc, ctx| proc.on_start(ctx));
             }
         }
-        for &id in &start_order {
+        for &id in &order {
             if !self.is_crashed(id, 0) {
                 self.with_ctx(id, 0, |proc, ctx| proc.on_round_end(ctx));
             }
         }
-        let mut on_air = self.collect_transmissions(0);
+        let mut on_air = self.collect_transmissions(&order, 0);
 
         let mut round: Round = 0;
         while !on_air.is_empty() && round < max_rounds {
@@ -209,11 +216,10 @@ impl<M: Clone> Network<M> {
             // budget of this round's transmissions, greedily in order; a
             // jammed transmission is lost exactly at receivers within the
             // jammer's range.
-            let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&on_air, round);
+            let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&neighbors, &on_air, round);
             // Deliver everything on the air, in global transmission order.
             for (tx_index, tx) in on_air.iter().enumerate() {
-                let receivers = self.neighbors[tx.sender.index()].clone();
-                for rid in receivers {
+                for &rid in &neighbors[tx.sender.index()] {
                     if self.is_crashed(rid, round) {
                         continue;
                     }
@@ -239,14 +245,12 @@ impl<M: Clone> Network<M> {
                         rid.index() as u64,
                         tx.claimed.index() as u64,
                     ]);
-                    let claimed = tx.claimed;
-                    let msg = tx.msg.clone();
                     self.with_ctx(rid, round, |proc, ctx| {
-                        proc.on_message(ctx, claimed, &msg);
+                        proc.on_message(ctx, tx.claimed, &tx.msg);
                     });
                 }
             }
-            for &id in &start_order {
+            for &id in &order {
                 if !self.is_crashed(id, round) {
                     self.with_ctx(id, round, |proc, ctx| proc.on_round_end(ctx));
                 }
@@ -264,8 +268,10 @@ impl<M: Clone> Network<M> {
                 deliveries: self.deliveries - deliveries_before,
                 decisions: decided_after - decided_before,
             });
-            on_air = self.collect_transmissions(round);
+            on_air = self.collect_transmissions(&order, round);
         }
+        self.order = order;
+        self.neighbors = neighbors;
 
         RunStats {
             rounds: round,
@@ -281,7 +287,12 @@ impl<M: Clone> Network<M> {
     /// order, spends its remaining lifetime battery on not-yet-jammed
     /// transmissions it can disrupt (any transmission with at least one
     /// receiver in its range), earliest first.
-    fn assign_jammers(&mut self, on_air: &[Transmission<M>], round: Round) -> Vec<Option<NodeId>> {
+    fn assign_jammers(
+        &mut self,
+        neighbors: &[Vec<NodeId>],
+        on_air: &[Transmission<M>],
+        round: Round,
+    ) -> Vec<Option<NodeId>> {
         let mut jam_of = vec![None; on_air.len()];
         if self.channel.jam_budget == 0 || self.channel.jammers.is_empty() {
             return jam_of;
@@ -298,7 +309,7 @@ impl<M: Clone> Network<M> {
                 if jam_of[i].is_some() || tx.sender == jammer {
                     continue;
                 }
-                let reachable = self.neighbors[tx.sender.index()].iter().any(|&rid| {
+                let reachable = neighbors[tx.sender.index()].iter().any(|&rid| {
                     self.torus
                         .within(jc, self.torus.coord(rid), self.radius, self.metric)
                 });
@@ -438,9 +449,9 @@ impl<M: Clone> Network<M> {
     /// Drains outboxes in transmission order; crashed nodes stay silent.
     /// Forged identities are honoured only when the channel allows
     /// spoofing.
-    fn collect_transmissions(&mut self, round: Round) -> Vec<Transmission<M>> {
+    fn collect_transmissions(&mut self, order: &[NodeId], round: Round) -> Vec<Transmission<M>> {
         let mut out = Vec::new();
-        for &id in &self.order {
+        for &id in order {
             if self.is_crashed(id, round) {
                 self.states[id.index()].outbox.clear();
                 continue;

@@ -1,0 +1,14 @@
+//! Fixture: the engine module is the sanctioned home for raw threads —
+//! `raw-thread-spawn` must stay silent on this path.
+
+/// Scoped workers with index-ordered collection, as the real engine does.
+pub fn run<T: Sync, R: Send>(tasks: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| tasks.iter().map(&f).collect::<Vec<R>>());
+        if let Ok(v) = handle.join() {
+            out = v;
+        }
+    });
+    out
+}

@@ -107,6 +107,14 @@ pub fn all_rules() -> &'static [Rule] {
             check: check_nondeterminism,
         },
         Rule {
+            id: "raw-thread-spawn",
+            summary: "raw std::thread spawn/scope is confined to rbcast-core's engine \
+                      module (all parallelism must flow through engine::run_indexed \
+                      so results stay input-ordered and deterministic)",
+            scopes: CLOCK_SRC,
+            check: check_raw_thread_spawn,
+        },
+        Rule {
             id: "lint-header",
             summary: "every library crate root must carry #![forbid(unsafe_code)] \
                       and #![warn(missing_docs)]",
@@ -287,6 +295,37 @@ fn check_nondeterminism(file: &SourceFile) -> Vec<(usize, String)> {
     out
 }
 
+/// The one module allowed to touch `std::thread` directly: the
+/// deterministic sweep executor every other crate is expected to use.
+const THREAD_EXEMPT: &str = "crates/core/src/engine.rs";
+
+fn check_raw_thread_spawn(file: &SourceFile) -> Vec<(usize, String)> {
+    if file.rel == Path::new(THREAD_EXEMPT) {
+        return Vec::new();
+    }
+    const BANNED: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("raw-thread") {
+            continue;
+        }
+        for tok in BANNED {
+            if line.code.contains(tok) {
+                out.push((
+                    line.number,
+                    format!(
+                        "{tok} outside rbcast-core::engine: ad-hoc threads do not \
+                         preserve input-ordered result collection; fan work out \
+                         through engine::run_indexed (or annotate \
+                         audit:allow(raw-thread) with a determinism argument)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 fn check_lint_header(file: &SourceFile) -> Vec<(usize, String)> {
     if file.rel.file_name().and_then(|n| n.to_str()) != Some("lib.rs") {
         return Vec::new();
@@ -395,6 +434,35 @@ mod tests {
             "// thread_rng is banned here\nlet s = \"Instant::now\";\n",
         );
         assert!(check_nondeterminism(&f).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_fires_outside_the_engine() {
+        let f = file(
+            "crates/sim/src/worker.rs",
+            "let h = std::thread::spawn(|| 7);\n\
+             std::thread::scope(|s| {}); // audit:allow(raw-thread)\n",
+        );
+        let v = check_raw_thread_spawn(&f);
+        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn raw_thread_spawn_exempts_the_engine_module() {
+        let f = file(
+            "crates/core/src/engine.rs",
+            "std::thread::scope(|s| { s.spawn(|| {}); });\n",
+        );
+        assert!(check_raw_thread_spawn(&f).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_skips_test_mods() {
+        let f = file(
+            "crates/core/src/experiment.rs",
+            "#[cfg(test)]\nmod tests {\n    let h = std::thread::spawn(|| 7);\n}\n",
+        );
+        assert!(check_raw_thread_spawn(&f).is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! grammar and `rbcast help` for usage.
 
 use crate::adversary::{local_fault_bound, Placement};
-use crate::core::{thresholds, Experiment, FaultKind, ProtocolKind};
+use crate::core::{engine, thresholds, Experiment, FaultKind, ProtocolKind};
 use crate::grid::{Metric, Torus};
 use crate::sim::ChannelConfig;
 
@@ -33,6 +33,8 @@ pub enum Command {
         spec: RunSpec,
         /// Inclusive sweep end.
         t_max: usize,
+        /// Worker threads (`None` = `RBCAST_THREADS` or all cores).
+        threads: Option<usize>,
     },
     /// Audit a placement's local fault bound.
     Audit {
@@ -73,7 +75,7 @@ USAGE:
   rbcast run   [--protocol P] [--r N] [--t N] [--metric M] [--placement PL]
                [--behavior B] [--seed N] [--prob F] [--repeats N]
                [--loss F] [--redundancy N] [--spoofing] [--jam N]
-  rbcast sweep --t-max N [run options]
+  rbcast sweep --t-max N [--threads N] [run options]
   rbcast audit --placement PL [--r N] [--t N] [--seed N] [--metric M]
   rbcast help
 
@@ -81,6 +83,10 @@ USAGE:
   M  = linf | l2
   PL = cluster | random | double-strip | checker-strips | column-strips | bernoulli
   B  = crash | silent | liar | forger | spoofer | mixed
+
+  Sweeps fan out over worker threads through the deterministic engine:
+  output is byte-identical for every thread count. --threads overrides
+  the RBCAST_THREADS environment variable; the default is all cores.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -108,12 +114,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "run" => Ok(Command::Run(parse_run(rest)?.0)),
         "sweep" => {
-            let (spec, t_max) = parse_run(rest)?;
+            let (spec, t_max, threads) = parse_run(rest)?;
             let t_max = t_max.ok_or("sweep requires --t-max")?;
-            Ok(Command::Sweep { spec, t_max })
+            Ok(Command::Sweep {
+                spec,
+                t_max,
+                threads,
+            })
         }
         "audit" => {
-            let (spec, _) = parse_run(rest)?;
+            let (spec, _, _) = parse_run(rest)?;
             let placement = spec.placement.ok_or("audit requires --placement")?;
             Ok(Command::Audit {
                 r: spec.r,
@@ -135,11 +145,12 @@ fn parse_value<T: std::str::FromStr>(
 }
 
 #[allow(clippy::too_many_lines)]
-fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>), String> {
+fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, Option<usize>), String> {
     let mut r = 2u32;
     let mut protocol = "indirect-simplified".to_string();
     let mut t: Option<usize> = None;
     let mut t_max: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut metric = Metric::Linf;
     let mut placement_name: Option<String> = None;
     let mut behavior_name = "silent".to_string();
@@ -158,6 +169,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>), String> {
             "--protocol" => protocol = parse_value(&mut it, flag)?,
             "--t" => t = Some(parse_value(&mut it, flag)?),
             "--t-max" => t_max = Some(parse_value(&mut it, flag)?),
+            "--threads" => threads = Some(parse_value(&mut it, flag)?),
             "--metric" => {
                 let m: String = parse_value(&mut it, flag)?;
                 metric = match m.as_str() {
@@ -239,6 +251,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>), String> {
             channel,
         },
         t_max,
+        threads,
     ))
 }
 
@@ -295,22 +308,35 @@ pub fn execute(cmd: &Command) -> i32 {
             println!("{outcome}");
             i32::from(!outcome.all_honest_correct())
         }
-        Command::Sweep { spec, t_max } => {
+        Command::Sweep {
+            spec,
+            t_max,
+            threads,
+        } => {
             println!(
                 "{:>4} {:>9} {:>7} {:>10} {:>12}",
                 "t", "correct", "wrong", "undecided", "broadcasts"
             );
+            let ts: Vec<usize> = (spec.t.unwrap_or(0)..=*t_max).collect();
+            let experiments: Vec<Experiment> = ts
+                .iter()
+                .map(|&t| {
+                    // re-derive the placement at this t for budgeted kinds
+                    let mut spec_t = spec.clone();
+                    if let Some(Placement::FrontierCluster { .. }) = spec_t.placement {
+                        spec_t.placement = Some(Placement::FrontierCluster { t });
+                    }
+                    if let Some(Placement::RandomLocal { seed, attempts, .. }) = spec_t.placement {
+                        spec_t.placement = Some(Placement::RandomLocal { t, seed, attempts });
+                    }
+                    build(&spec_t, Some(t))
+                })
+                .collect();
+            // Deterministic engine fan-out: rows print in t order and are
+            // byte-identical for every thread count.
+            let outcomes = engine::run_experiments(&experiments, engine::thread_count(*threads));
             let mut worst = 0;
-            for t in spec.t.unwrap_or(0)..=*t_max {
-                // re-derive the placement at this t for budgeted kinds
-                let mut spec_t = spec.clone();
-                if let Some(Placement::FrontierCluster { .. }) = spec_t.placement {
-                    spec_t.placement = Some(Placement::FrontierCluster { t });
-                }
-                if let Some(Placement::RandomLocal { seed, attempts, .. }) = spec_t.placement {
-                    spec_t.placement = Some(Placement::RandomLocal { t, seed, attempts });
-                }
-                let o = build(&spec_t, Some(t)).run();
+            for (t, o) in ts.iter().zip(&outcomes) {
                 println!(
                     "{:>4} {:>9} {:>7} {:>10} {:>12}",
                     t, o.committed_correct, o.committed_wrong, o.undecided, o.stats.messages_sent
@@ -416,6 +442,27 @@ mod tests {
             panic!("not a sweep");
         };
         assert_eq!(t_max, 4);
+    }
+
+    #[test]
+    fn sweep_parses_threads() {
+        let Command::Sweep { threads, .. } =
+            parse(&argv("sweep --t-max 2 --threads 3 --placement cluster")).unwrap()
+        else {
+            panic!("not a sweep");
+        };
+        assert_eq!(threads, Some(3));
+    }
+
+    #[test]
+    fn execute_sweep_is_thread_count_invariant() {
+        // the printed rows come from engine outcomes collected by input
+        // index: the exit code (and rows) match the serial sweep
+        let base = "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster \
+                    --behavior crash";
+        let serial = parse(&argv(&format!("{base} --threads 1"))).unwrap();
+        let parallel = parse(&argv(&format!("{base} --threads 4"))).unwrap();
+        assert_eq!(execute(&serial), execute(&parallel));
     }
 
     #[test]
