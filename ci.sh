@@ -35,4 +35,7 @@ cargo test -q -p rbcast-core --test determinism --features debug-invariants
 echo "==> thresh_byz smoke (tiny grid through the parallel engine)"
 cargo run -q -p rbcast-bench --bin thresh_byz -- --smoke
 
+echo "==> sweep_engine smoke (multi-thread throughput >= 85% of serial)"
+cargo bench -q -p rbcast-bench --bench sweep_engine -- --smoke
+
 echo "CI: all gates passed"

@@ -1,6 +1,6 @@
 //! Exact auditing of the locally bounded fault constraint.
 
-use rbcast_grid::{Metric, NodeId, Torus};
+use rbcast_grid::{Metric, NeighborTable, NodeId, Torus};
 use std::collections::HashSet;
 
 /// The maximum number of faulty nodes contained in any single
@@ -25,11 +25,49 @@ pub fn local_fault_bound(torus: &Torus, r: u32, metric: Metric, faulty: &[NodeId
     let mut best = 0;
     for center in torus.node_ids() {
         let mut count = usize::from(fault_set.contains(&center));
+        // This is the independent naive audit — deriving it from the
+        // arena would make the audit and the simulator share the code
+        // path they are meant to cross-check.
+        // audit:allow(adhoc-neighborhood)
         for nbr in torus.neighborhood(center, r, metric) {
             if fault_set.contains(&nbr) {
                 count += 1;
             }
         }
+        best = best.max(count);
+    }
+    best
+}
+
+/// [`local_fault_bound`] computed from a prebuilt [`NeighborTable`]:
+/// each neighborhood is a CSR slice lookup instead of an offset scan, so
+/// auditing a placement costs one pass over the flat adjacency arrays.
+///
+/// # Example
+///
+/// ```
+/// use rbcast_adversary::local_fault_bound_in;
+/// use rbcast_grid::{Coord, Metric, NeighborTable, Torus};
+///
+/// let torus = Torus::new(20, 20);
+/// let table = NeighborTable::build(&torus, 2, Metric::Linf);
+/// let faults = vec![torus.id(Coord::new(5, 5)), torus.id(Coord::new(6, 5))];
+/// assert_eq!(local_fault_bound_in(&table, &faults), 2);
+/// ```
+#[must_use]
+pub fn local_fault_bound_in(table: &NeighborTable, faulty: &[NodeId]) -> usize {
+    let mut is_fault = vec![false; table.len()];
+    for &f in faulty {
+        is_fault[f.index()] = true;
+    }
+    let mut best = 0;
+    for center in table.torus().node_ids() {
+        let mut count = usize::from(is_fault[center.index()]);
+        count += table
+            .neighbors(center)
+            .iter()
+            .filter(|n| is_fault[n.index()])
+            .count();
         best = best.max(count);
     }
     best
@@ -91,6 +129,28 @@ mod tests {
         let faults: Vec<_> = (0..3).map(|i| torus.id(Coord::new(5 + i, 5))).collect();
         assert!(respects_bound(&torus, 2, Metric::Linf, &faults, 3));
         assert!(!respects_bound(&torus, 2, Metric::Linf, &faults, 2));
+    }
+
+    #[test]
+    fn arena_audit_matches_naive_audit() {
+        let torus = Torus::new(15, 15);
+        for metric in [Metric::Linf, Metric::L2] {
+            for r in [1, 2, 3] {
+                let table = NeighborTable::build(&torus, r, metric);
+                for faults in [
+                    vec![],
+                    vec![torus.id(Coord::new(7, 7))],
+                    vec![torus.id(Coord::new(0, 0)), torus.id(Coord::new(14, 14))],
+                    (0..5).map(|i| torus.id(Coord::new(5 + i, 5))).collect(),
+                ] {
+                    assert_eq!(
+                        local_fault_bound_in(&table, &faults),
+                        local_fault_bound(&torus, r, metric, &faults),
+                        "r={r} metric={metric:?} faults={faults:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,5 +35,5 @@
 mod audit;
 mod placement;
 
-pub use audit::{local_fault_bound, respects_bound};
+pub use audit::{local_fault_bound, local_fault_bound_in, respects_bound};
 pub use placement::Placement;

@@ -3,7 +3,7 @@
 //! synthetic evidence.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rbcast_grid::{Coord, Metric, Torus};
+use rbcast_grid::{Coord, Metric, NeighborTable, Torus};
 use rbcast_protocols::{CommitRule, EvidenceStore};
 
 /// Loads evidence mimicking a frontier node at commit time: `committers`
@@ -25,6 +25,7 @@ fn loaded_store(torus: &Torus, rule: CommitRule, t: usize, committers: i64) -> E
 
 fn bench_commit_rules(c: &mut Criterion) {
     let torus = Torus::new(32, 32);
+    let arena = NeighborTable::build(&torus, 2, Metric::Linf);
     let mut group = c.benchmark_group("commit_rule_evaluate");
     for &(rule, name) in &[
         (CommitRule::TwoLevel, "two_level"),
@@ -38,12 +39,7 @@ fn bench_commit_rules(c: &mut Criterion) {
                     b.iter_batched(
                         || loaded_store(&torus, rule, 4, committers),
                         |mut ev| {
-                            let geo = rbcast_protocols::Geometry {
-                                torus: &torus,
-                                r: 2,
-                                metric: Metric::Linf,
-                                me: Coord::new(8, 8),
-                            };
+                            let geo = rbcast_protocols::Geometry::new(&arena, Coord::new(8, 8));
                             ev.evaluate(&geo)
                         },
                         criterion::BatchSize::SmallInput,

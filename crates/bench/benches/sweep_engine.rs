@@ -56,7 +56,59 @@ fn bench_sweep_engine(c: &mut Criterion) {
 
 criterion_group!(benches, bench_sweep_engine);
 
+/// Best-of-3 sweep throughput (runs/sec) at `threads` workers.
+fn best_rps(experiments: &[Experiment], threads: usize) -> f64 {
+    (0..3)
+        .map(|_| {
+            perf::run_sweep_timed(
+                &format!("sweep_engine/threads{threads}"),
+                experiments,
+                threads,
+            )
+            .1
+            .runs_per_sec()
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// Regression guard behind `-- --smoke` (run by `ci.sh`): multi-thread
+/// sweeps must not fall below 85% of single-thread throughput. With the
+/// shared arena, workers clone an `Arc` instead of each rebuilding the
+/// neighbor tables, so threading costs at most scheduler overhead even
+/// on a single-core host; the pre-arena engine failed this gate
+/// (threads2 ran at ~75% of serial). No JSON is written in smoke mode.
+fn smoke() -> ! {
+    let experiments = grid();
+    let rps1 = best_rps(&experiments, 1);
+    let mut ok = true;
+    println!("smoke threads1: {rps1:.1} runs/s (floor for 2/4 threads: 85%)");
+    for threads in [2usize, 4] {
+        let rps = best_rps(&experiments, threads);
+        let ratio = rps / rps1.max(1e-9);
+        let pass = ratio >= 0.85;
+        ok &= pass;
+        println!(
+            "smoke threads{threads}: {rps:.1} runs/s ({:.0}% of serial) {}",
+            ratio * 100.0,
+            if pass { "ok" } else { "REGRESSION" }
+        );
+    }
+    if !ok {
+        eprintln!(
+            "sweep-engine smoke FAILED: parallel throughput collapsed below \
+             85% of the serial baseline (per-worker setup is being repeated \
+             — is the shared topology arena still wired in?)"
+        );
+        std::process::exit(1);
+    }
+    println!("sweep-engine smoke passed");
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    }
     benches();
 
     // Baseline document: one timed sweep per thread count, written to

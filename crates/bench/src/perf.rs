@@ -81,10 +81,31 @@ pub fn run_sweep(label: &str, experiments: &[Experiment]) -> (Vec<Outcome>, Swee
     (outcomes, timing)
 }
 
+/// Parallel scaling efficiency of one sweep against its bin's
+/// single-thread baseline: `rps(threads=N) / (N × rps(threads=1))`,
+/// where the baseline is the first `threads == 1` sweep sharing the
+/// label's `<bin>/` prefix. Perfect scaling is `1.0` at every thread
+/// count; on a single-core host the value decays towards `1/N`. `None`
+/// when the bin has no single-thread sweep to compare against.
+#[must_use]
+pub fn scaling_efficiency(t: &SweepTiming, all: &[SweepTiming]) -> Option<f64> {
+    let bin = |label: &str| label.split('/').next().map(str::to_owned);
+    let mine = bin(&t.label);
+    let base = all
+        .iter()
+        .find(|b| b.threads == 1 && bin(&b.label) == mine)?;
+    let base_rps = base.runs_per_sec();
+    if base_rps <= 0.0 {
+        return None;
+    }
+    Some(t.runs_per_sec() / (t.threads as f64 * base_rps))
+}
+
 /// Serialises timings to the `BENCH_sweep.json` document: the default
-/// thread count, one record per sweep, and per-bin totals (keyed by the
-/// label's `<bin>/` prefix). Key order is sorted, floats are fixed to
-/// three decimals — the output is byte-stable for identical inputs.
+/// thread count, one record per sweep (with its [`scaling_efficiency`]),
+/// and per-bin totals (keyed by the label's `<bin>/` prefix). Key order
+/// is sorted, floats are fixed to three decimals — the output is
+/// byte-stable for identical inputs.
 #[must_use]
 pub fn to_json(default_threads: usize, timings: &[SweepTiming]) -> String {
     let mut bins: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
@@ -97,14 +118,17 @@ pub fn to_json(default_threads: usize, timings: &[SweepTiming]) -> String {
 
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-sweep/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-sweep/v2\",");
     let _ = writeln!(s, "  \"default_threads\": {default_threads},");
     s.push_str("  \"sweeps\": [\n");
     for (i, t) in timings.iter().enumerate() {
+        let efficiency = scaling_efficiency(t, timings)
+            .map_or_else(|| "null".to_string(), |e| format!("{e:.3}"));
         let _ = write!(
             s,
             "    {{\"label\": \"{}\", \"threads\": {}, \"runs\": {}, \
-             \"wall_ms\": {:.3}, \"runs_per_sec\": {:.3}}}",
+             \"wall_ms\": {:.3}, \"runs_per_sec\": {:.3}, \
+             \"scaling_efficiency\": {efficiency}}}",
             json_escape(&t.label),
             t.threads,
             t.runs,
@@ -168,12 +192,34 @@ mod tests {
             timing("cpa/a", 4, 4, 10.0),
         ];
         let j = to_json(4, &t);
+        assert!(j.contains("\"schema\": \"rbcast-bench-sweep/v2\""));
         assert!(j.contains("\"default_threads\": 4"));
         assert!(j.contains("\"label\": \"byz/a\", \"threads\": 4, \"runs\": 32"));
         assert!(j.contains("\"byz\": {\"runs\": 40, \"wall_ms\": 125.000}"));
         assert!(j.contains("\"cpa\": {\"runs\": 4, \"wall_ms\": 10.000}"));
+        // no threads-1 sweep in either bin → efficiency is null
+        assert!(j.contains("\"scaling_efficiency\": null"));
         // byte-stable: same input, same string
         assert_eq!(j, to_json(4, &t));
+    }
+
+    #[test]
+    fn scaling_efficiency_uses_the_bins_serial_baseline() {
+        let t = [
+            timing("eng/threads1", 1, 32, 100.0), // 320 rps
+            timing("eng/threads2", 2, 32, 100.0), // 320 rps → eff 0.5
+            timing("eng/threads4", 4, 32, 25.0),  // 1280 rps → eff 1.0
+            timing("other/threads2", 2, 8, 10.0), // no baseline in bin
+        ];
+        let eff = |i: usize| scaling_efficiency(&t[i], &t);
+        assert!((eff(0).unwrap() - 1.0).abs() < 1e-9);
+        assert!((eff(1).unwrap() - 0.5).abs() < 1e-9);
+        assert!((eff(2).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(eff(3), None);
+        let j = to_json(4, &t);
+        assert!(j.contains("\"scaling_efficiency\": 1.000"));
+        assert!(j.contains("\"scaling_efficiency\": 0.500"));
+        assert!(j.contains("\"scaling_efficiency\": null"));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Process-wide cache of shared topology arenas.
+//!
+//! A sweep runs hundreds of experiments over a handful of distinct
+//! geometries. Each run needs a [`NeighborTable`], and building one is
+//! the single most expensive part of network construction — so tables
+//! are interned here, keyed by `(torus dims, r, metric)`, and handed out
+//! as `Arc`s. The registry holds only [`Weak`] references: it never
+//! keeps a table alive by itself. Callers that want "built once per
+//! sweep" semantics (the engine does) hold a strong guard for the
+//! sweep's duration.
+//!
+//! Sharing is sound because a [`NeighborTable`] is immutable after
+//! construction and fully determined by its key — two experiments with
+//! the same key would build byte-identical tables, so handing both the
+//! same `Arc` cannot change any outcome or trace hash.
+
+use rbcast_grid::{Metric, NeighborTable, Torus};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+
+/// `(width, height, radius, metric tag)` — `Metric` is not `Ord`, so it
+/// is encoded as a stable discriminant.
+type Key = (u32, u32, u32, u8);
+
+fn metric_tag(metric: Metric) -> u8 {
+    match metric {
+        Metric::Linf => 0,
+        Metric::L2 => 1,
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<Key, Weak<NeighborTable>>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<Key, Weak<NeighborTable>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The shared arena for `(torus, r, metric)`: returns the live cached
+/// table if one exists, otherwise builds, caches, and returns it.
+///
+/// # Panics
+///
+/// Panics if the torus cannot host the radius (see
+/// [`NeighborTable::build`]).
+pub(crate) fn shared(torus: &Torus, r: u32, metric: Metric) -> Arc<NeighborTable> {
+    let key = (torus.width(), torus.height(), r, metric_tag(metric));
+    // Tables are immutable, so a panic while holding the lock cannot
+    // leave entries half-written — recover rather than propagate.
+    let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(table) = map.get(&key).and_then(Weak::upgrade) {
+        return table;
+    }
+    let built = Arc::new(NeighborTable::build(torus, r, metric));
+    map.retain(|_, w| w.strong_count() > 0);
+    map.insert(key, Arc::downgrade(&built));
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_yields_the_same_table() {
+        let torus = Torus::for_radius(1);
+        let a = shared(&torus, 1, Metric::Linf);
+        let b = shared(&torus, 1, Metric::Linf);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distinct_keys_yield_distinct_tables() {
+        let torus = Torus::for_radius(2);
+        let a = shared(&torus, 1, Metric::Linf);
+        let b = shared(&torus, 2, Metric::Linf);
+        let c = shared(&torus, 1, Metric::L2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(b.radius(), 2);
+        assert_eq!(c.metric(), Metric::L2);
+    }
+
+    #[test]
+    fn dropped_tables_are_rebuilt_not_leaked() {
+        let torus = Torus::new(25, 25);
+        let first = shared(&torus, 3, Metric::L2);
+        let ptr = Arc::as_ptr(&first);
+        drop(first);
+        // The weak entry is dead; a fresh request builds a new table.
+        let second = shared(&torus, 3, Metric::L2);
+        // Can't assert pointer inequality (the allocator may reuse the
+        // address) — but the table must be valid and correctly keyed.
+        let _ = ptr;
+        assert_eq!(second.radius(), 3);
+        assert_eq!(second.len(), 625);
+    }
+}

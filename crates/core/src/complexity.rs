@@ -67,7 +67,10 @@ pub fn table(r: u32) -> Vec<ComplexityRow> {
     ]
     .into_iter()
     .map(|kind| {
-        let o = Experiment::new(r, kind).run();
+        // Complexity counts every broadcast until quiescence, including
+        // the tail after all nodes have decided (persistent flood keeps
+        // re-transmitting there) — so the run may not stop early.
+        let o = Experiment::new(r, kind).with_early_termination(false).run();
         assert!(o.all_honest_correct(), "{}: {o}", kind.name());
         ComplexityRow {
             protocol: kind.name(),
@@ -99,7 +102,9 @@ mod tests {
         // which are slow in debug builds) for r = 1 and 2
         for r in 1..=2u32 {
             let torus = Torus::for_radius(r);
-            let o = Experiment::new(r, ProtocolKind::IndirectSimplified).run();
+            let o = Experiment::new(r, ProtocolKind::IndirectSimplified)
+                .with_early_termination(false)
+                .run();
             assert!(o.all_honest_correct());
             let predicted =
                 predicted_broadcasts(ProtocolKind::IndirectSimplified, &torus, r, Metric::Linf);
@@ -135,7 +140,9 @@ mod tests {
             Metric::Linf,
         );
         assert_eq!(p3, Some(3 * torus.len() as u64));
-        let o = Experiment::new(1, ProtocolKind::PersistentFlood { repeats: 3 }).run();
+        let o = Experiment::new(1, ProtocolKind::PersistentFlood { repeats: 3 })
+            .with_early_termination(false)
+            .run();
         assert_eq!(Some(o.stats.messages_sent), p3);
     }
 

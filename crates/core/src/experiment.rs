@@ -1,13 +1,14 @@
 //! One-stop experiment harness: torus + protocol + placement + behaviour
 //! → outcome.
 
-use rbcast_adversary::{local_fault_bound, Placement};
-use rbcast_grid::{Coord, Metric, NodeId, Torus};
+use rbcast_adversary::{local_fault_bound_in, Placement};
+use rbcast_grid::{Coord, Metric, NeighborTable, NodeId, Torus};
 use rbcast_protocols::{
     attackers, Cpa, Flood, Indirect, IndirectConfig, Msg, PersistentFlood, ProtocolParams,
 };
 use rbcast_sim::{ChannelConfig, Network, Process, RunStats, Value};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Which protocol the honest nodes run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +142,8 @@ pub struct Experiment {
     value: Value,
     max_rounds: u32,
     channel: ChannelConfig,
+    shared_arena: bool,
+    early_termination: bool,
 }
 
 impl Experiment {
@@ -158,6 +161,8 @@ impl Experiment {
             value: true,
             max_rounds: 10_000,
             channel: ChannelConfig::reliable(),
+            shared_arena: true,
+            early_termination: true,
         }
     }
 
@@ -216,6 +221,28 @@ impl Experiment {
     #[must_use]
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
         self.channel = channel;
+        self
+    }
+
+    /// Whether to draw the neighbor table from the process-wide shared
+    /// arena cache (default `true`). Tables are immutable and fully
+    /// determined by `(torus, r, metric)`, so sharing cannot change any
+    /// outcome or trace hash — disable only to measure the build cost or
+    /// to cross-check determinism against private tables.
+    #[must_use]
+    pub fn with_shared_arena(mut self, shared: bool) -> Self {
+        self.shared_arena = shared;
+        self
+    }
+
+    /// Whether the simulator may stop as soon as every honest node has
+    /// decided (default `true`). The delivery-trace hash is frozen at
+    /// that point in *both* modes, so hashes stay byte-identical with
+    /// the setting on or off; only round/message statistics for the
+    /// post-decision tail differ.
+    #[must_use]
+    pub fn with_early_termination(mut self, on: bool) -> Self {
+        self.early_termination = on;
         self
     }
 
@@ -307,13 +334,33 @@ impl Experiment {
         }
     }
 
+    /// The torus this experiment will run on (the override or the
+    /// radius-derived default).
+    fn resolve_torus(&self) -> Torus {
+        self.torus
+            .clone()
+            .unwrap_or_else(|| Torus::for_radius(self.r))
+    }
+
+    /// A strong reference to this experiment's shared arena, building it
+    /// if needed. The sweep engine calls this for every experiment
+    /// *before* fanning out, so each distinct geometry is built exactly
+    /// once per sweep and workers only ever clone `Arc`s. Returns `None`
+    /// when the experiment opted out of sharing.
+    pub(crate) fn arena_guard(&self) -> Option<Arc<NeighborTable>> {
+        self.shared_arena
+            .then(|| crate::arena_cache::shared(&self.resolve_torus(), self.r, self.metric))
+    }
+
     /// One full simulation, returning the outcome and the simulator's
     /// delivery-trace hash.
     fn run_once(&self) -> (Outcome, u64) {
-        let torus = self
-            .torus
-            .clone()
-            .unwrap_or_else(|| Torus::for_radius(self.r));
+        let torus = self.resolve_torus();
+        let arena = if self.shared_arena {
+            crate::arena_cache::shared(&torus, self.r, self.metric)
+        } else {
+            Arc::new(NeighborTable::build(&torus, self.r, self.metric))
+        };
         let t = self.t.unwrap_or_else(|| self.default_t());
         let source = torus.id(Coord::ORIGIN);
         let params = ProtocolParams {
@@ -326,7 +373,7 @@ impl Experiment {
             .as_ref()
             .map(|p| p.place(&torus, self.r, self.metric))
             .unwrap_or_default();
-        let audited_bound = local_fault_bound(&torus, self.r, self.metric, &faults);
+        let audited_bound = local_fault_bound_in(&arena, &faults);
         let fault_set: HashSet<NodeId> = faults.iter().copied().collect();
 
         let protocol = self.protocol;
@@ -337,50 +384,56 @@ impl Experiment {
         if channel.jam_budget > 0 && channel.jammers.is_empty() {
             channel.jammers = faults.clone();
         }
-        let mut net =
-            Network::new_with_channel(torus.clone(), self.r, self.metric, channel, move |id| {
-                if fs.contains(&id) {
-                    match fault_kind {
-                        // crash is applied post-construction; give them a
-                        // silent process either way
-                        FaultKind::CrashStop | FaultKind::Silent => attackers::silent(),
-                        FaultKind::Liar => attackers::liar(wrong),
-                        FaultKind::Forger => attackers::forger(wrong),
-                        FaultKind::Spoofer => attackers::spoofer(wrong),
-                        FaultKind::Mixed { seed } => {
-                            // cheap deterministic per-node draw
-                            let mut x = seed
-                                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                                .wrapping_add(u64::from(id.0));
-                            x ^= x >> 33;
-                            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-                            match x % 3 {
-                                0 => attackers::silent(),
-                                1 => attackers::liar(wrong),
-                                _ => attackers::forger(wrong),
-                            }
+        let mut net = Network::with_arena(Arc::clone(&arena), channel, move |id| {
+            if fs.contains(&id) {
+                match fault_kind {
+                    // crash is applied post-construction; give them a
+                    // silent process either way
+                    FaultKind::CrashStop | FaultKind::Silent => attackers::silent(),
+                    FaultKind::Liar => attackers::liar(wrong),
+                    FaultKind::Forger => attackers::forger(wrong),
+                    FaultKind::Spoofer => attackers::spoofer(wrong),
+                    FaultKind::Mixed { seed } => {
+                        // cheap deterministic per-node draw
+                        let mut x = seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(u64::from(id.0));
+                        x ^= x >> 33;
+                        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                        match x % 3 {
+                            0 => attackers::silent(),
+                            1 => attackers::liar(wrong),
+                            _ => attackers::forger(wrong),
                         }
-                    }
-                } else {
-                    match protocol {
-                        ProtocolKind::Flood => {
-                            Box::new(Flood::new(params)) as Box<dyn Process<Msg>>
-                        }
-                        ProtocolKind::PersistentFlood { repeats } => {
-                            Box::new(PersistentFlood::new(params, repeats))
-                        }
-                        ProtocolKind::Cpa => Box::new(Cpa::new(params)),
-                        ProtocolKind::IndirectFull => {
-                            Box::new(Indirect::new(params, IndirectConfig::full()))
-                        }
-                        ProtocolKind::IndirectSimplified => {
-                            Box::new(Indirect::new(params, IndirectConfig::simplified()))
-                        }
-                        ProtocolKind::IndirectCustom(cfg) => Box::new(Indirect::new(params, cfg)),
                     }
                 }
-            });
+            } else {
+                match protocol {
+                    ProtocolKind::Flood => Box::new(Flood::new(params)) as Box<dyn Process<Msg>>,
+                    ProtocolKind::PersistentFlood { repeats } => {
+                        Box::new(PersistentFlood::new(params, repeats))
+                    }
+                    ProtocolKind::Cpa => Box::new(Cpa::new(params)),
+                    ProtocolKind::IndirectFull => {
+                        Box::new(Indirect::new(params, IndirectConfig::full()))
+                    }
+                    ProtocolKind::IndirectSimplified => {
+                        Box::new(Indirect::new(params, IndirectConfig::simplified()))
+                    }
+                    ProtocolKind::IndirectCustom(cfg) => Box::new(Indirect::new(params, cfg)),
+                }
+            }
+        });
         net.set_classifier(Msg::kind);
+        // The completion mask is installed unconditionally so the trace
+        // hash freezes at the same round whether or not the run is
+        // allowed to stop early — the two modes stay byte-identical.
+        let honest_ids: Vec<NodeId> = torus
+            .node_ids()
+            .filter(|id| !fault_set.contains(id))
+            .collect();
+        net.set_completion_mask(&honest_ids);
+        net.set_early_termination(self.early_termination);
         if self.t2_oracle_applies(audited_bound, t) {
             net.set_safety_oracle(self.value, &faults);
         }

@@ -17,7 +17,7 @@
 //! * example graphs exhibiting topology effects the grid cannot (a cut
 //!   vertex stalling CPA at `t = 1`).
 
-use rbcast_grid::{Metric, Torus};
+use rbcast_grid::{Metric, NeighborTable, Torus};
 use std::collections::HashSet;
 
 /// A simple undirected graph over nodes `0..n`.
@@ -51,14 +51,10 @@ impl Graph {
     /// `metric`.
     #[must_use]
     pub fn from_torus(torus: &Torus, r: u32, metric: Metric) -> Self {
+        let table = NeighborTable::build(torus, r, metric);
         let adj = torus
             .node_ids()
-            .map(|id| {
-                torus
-                    .neighborhood(id, r, metric)
-                    .map(|n| n.index())
-                    .collect()
-            })
+            .map(|id| table.neighbors(id).iter().map(|n| n.index()).collect())
             .collect();
         Graph { adj }
     }

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena_cache;
 pub mod complexity;
 pub mod engine;
 mod experiment;

@@ -66,6 +66,57 @@ fn sweep_outcomes_and_trace_hashes_identical_at_1_2_8_threads() {
 }
 
 #[test]
+fn shared_arena_does_not_change_outcomes_or_hashes() {
+    // A NeighborTable is immutable and fully determined by
+    // (torus, r, metric), so drawing it from the process-wide cache and
+    // building it privately per run must be indistinguishable — full
+    // outcome AND trace-hash equality, at every thread count.
+    let shared = sweep_grid();
+    let private: Vec<Experiment> = sweep_grid()
+        .into_iter()
+        .map(|e| e.with_shared_arena(false))
+        .collect();
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            engine::run_experiments_traced(&shared, threads),
+            engine::run_experiments_traced(&private, threads),
+            "shared vs private arena diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn early_termination_freezes_the_same_hash() {
+    // The trace hash freezes the round every honest node has decided in
+    // BOTH modes, so stopping there must not change any hash or any
+    // decision — only the statistics of the post-decision tail.
+    let stopping = sweep_grid();
+    let idling: Vec<Experiment> = sweep_grid()
+        .into_iter()
+        .map(|e| e.with_early_termination(false))
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let a = engine::run_experiments_traced(&stopping, threads);
+        let b = engine::run_experiments_traced(&idling, threads);
+        for (i, ((oa, ha), (ob, hb))) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                ha, hb,
+                "early termination changed run {i}'s trace hash at {threads} threads"
+            );
+            assert_eq!(
+                (oa.committed_correct, oa.committed_wrong, oa.undecided),
+                (ob.committed_correct, ob.committed_wrong, ob.undecided),
+                "early termination changed run {i}'s decisions at {threads} threads"
+            );
+            assert!(
+                oa.stats.rounds <= ob.stats.rounds,
+                "early termination must never lengthen run {i}"
+            );
+        }
+    }
+}
+
+#[test]
 fn percolation_rows_identical_across_thread_counts() {
     let torus = Torus::for_radius(1);
     let ps = [0.0, 0.2, 0.4];

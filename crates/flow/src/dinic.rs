@@ -90,6 +90,21 @@ impl FlowNetwork {
         EdgeId(fwd)
     }
 
+    /// Drains all routed flow, restoring every edge to its original
+    /// capacity, so the same network can be solved again (for a
+    /// different terminal pair, or to cross-check a previous answer)
+    /// without rebuilding it edge by edge.
+    ///
+    /// Edges are stored as forward/reverse pairs: the reverse edge's
+    /// capacity is exactly the flow pushed over the forward edge, so
+    /// returning it undoes the routing.
+    pub fn reset(&mut self) {
+        for pair in self.edges.chunks_exact_mut(2) {
+            pair[0].cap += pair[1].cap;
+            pair[1].cap = 0;
+        }
+    }
+
     /// Flow currently routed over edge `e` (meaningful after
     /// [`FlowNetwork::max_flow`]).
     #[must_use]
@@ -318,6 +333,36 @@ mod tests {
                 .sum();
             assert_eq!(inflow, outflow, "conservation at node {node}");
         }
+    }
+
+    #[test]
+    fn reset_restores_capacities_exactly() {
+        let mut net = FlowNetwork::new(4);
+        let a = net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+        net.reset();
+        assert_eq!(net.flow_on(a), 0, "reset must drain routed flow");
+        // The drained network solves identically, repeatedly.
+        assert_eq!(net.max_flow(0, 3), 2);
+        net.reset();
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn reset_allows_a_different_terminal_pair() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(1, 2, 2);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 2), 2);
+        net.reset();
+        assert_eq!(net.max_flow(1, 3), 1);
+        net.reset();
+        assert_eq!(net.max_flow(0, 3), 1);
     }
 
     #[test]

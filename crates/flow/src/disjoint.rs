@@ -148,23 +148,29 @@ pub fn try_vertex_disjoint_paths(
 ) -> Result<Vec<Vec<usize>>, DisjointError> {
     validate(adj, s, t)?;
     let n = adj.len();
-    let (mut net, s_out, t_in) = build_split_network(adj, s, t);
+    // Build the split network once, recording edge ids so the routed
+    // flow can be read back per vertex-to-vertex edge.
+    let (mut net, s_out, t_in, edge_ids) = build_split_network_with_ids(adj, s, t);
     let flow = net.max_flow_capped(s_out, t_in, cap.unwrap_or(u32::MAX));
-
-    // Rebuild the flow as a successor map over original vertices by
-    // re-running the reduction bookkeeping: we track, for every added
-    // vertex-to-vertex edge, how much flow it carries.
-    // To keep this simple we rebuild the network recording edge ids.
-    let (mut net2, s_out2, t_in2, edge_ids) = build_split_network_with_ids(adj, s, t);
-    let flow2 = net2.max_flow_capped(s_out2, t_in2, cap.unwrap_or(u32::MAX));
-    debug_assert_eq!(flow, flow2);
 
     // successors[u] = list of v with positive flow on u->v
     let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
     for &(u, v, id) in &edge_ids {
-        if net2.flow_on(id) > 0 {
+        if net.flow_on(id) > 0 {
             successors[u].push(v);
         }
+    }
+
+    #[cfg(debug_assertions)]
+    {
+        // Cross-check: drain the routed flow and solve the restored
+        // network again — the flow value must reproduce exactly.
+        net.reset();
+        let replay = net.max_flow_capped(s_out, t_in, cap.unwrap_or(u32::MAX));
+        debug_assert_eq!(
+            flow, replay,
+            "FlowNetwork::reset failed to restore capacities"
+        );
     }
 
     let mut paths = Vec::with_capacity(flow as usize);

@@ -1,0 +1,297 @@
+//! Shared, immutable CSR neighbor tables — the topology arena.
+//!
+//! Every run of a sweep used to rebuild the same neighbor lists
+//! (`Vec<Vec<NodeId>>`, one heap allocation per node) and re-derive the
+//! same commit-rule geometry from scratch each round. A [`NeighborTable`]
+//! precomputes both once, in compressed-sparse-row form:
+//!
+//! * a flat neighbor array (`offsets` + `targets`) whose per-node slices
+//!   reproduce [`Torus::neighborhood`] exactly — same members, in the
+//!   same order — so swapping the table in changes no observable
+//!   behavior, only where the bytes live;
+//! * closed-ball offset tables for every distance `d ≤ r + 1`: the
+//!   candidate-center scans of the §VI commit rules enumerate "all grid
+//!   points within `d` of here", and on a torus large enough to host the
+//!   radius ([`Torus::supports_radius`]) that set is a fixed
+//!   position-independent offset stencil.
+//!
+//! The table is immutable after construction, so one instance can be
+//! shared across worker threads behind an `Arc` and across every run of
+//! a sweep, keyed by `(torus dims, r, metric)`.
+
+use crate::{Coord, Metric, NodeId, Torus};
+use std::fmt;
+
+/// Precomputed radius-`r` topology of a [`Torus`] under one [`Metric`]:
+/// CSR neighbor lists plus the closed-ball offset stencils used by the
+/// commit-rule center scans.
+///
+/// # Example
+///
+/// ```
+/// use rbcast_grid::{Coord, Metric, NeighborTable, Torus};
+///
+/// let torus = Torus::new(20, 20);
+/// let table = NeighborTable::build(&torus, 2, Metric::Linf);
+/// let center = torus.id(Coord::new(5, 5));
+/// assert_eq!(table.neighbors(center).len(), 24); // (2r+1)² − 1
+/// ```
+pub struct NeighborTable {
+    torus: Torus,
+    radius: u32,
+    metric: Metric,
+    /// CSR row starts: `offsets[i]..offsets[i + 1]` indexes node `i`'s
+    /// neighbors inside `targets`. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// All neighbor lists, flattened into one allocation.
+    targets: Vec<NodeId>,
+    /// `balls[d]` holds every offset within metric distance `d` of the
+    /// origin, *including* the origin, for `d ∈ 0..=radius + 1`, in the
+    /// row-major scan order the commit-rule center scans rely on.
+    balls: Vec<Vec<Coord>>,
+}
+
+impl NeighborTable {
+    /// Builds the table for `torus` at transmission radius `radius`
+    /// under `metric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus is too small to emulate the infinite grid at
+    /// this radius (see [`Torus::supports_radius`]) — undersized tori
+    /// would alias neighborhoods through the wrap-around.
+    #[must_use]
+    pub fn build(torus: &Torus, radius: u32, metric: Metric) -> Self {
+        assert!(
+            torus.supports_radius(radius),
+            "{torus} cannot faithfully host radius {radius} (needs side > {})",
+            2 * (2 * radius + 1),
+        );
+        let offs = crate::metric_offsets(radius, metric);
+        let n = torus.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(n * offs.len());
+        offsets.push(0u32);
+        for id in torus.node_ids() {
+            let c = torus.coord(id);
+            targets.extend(offs.iter().map(|&off| torus.id(c + off)));
+            offsets.push(targets.len() as u32);
+        }
+        let balls = (0..=radius + 1).map(|d| ball_stencil(d, metric)).collect();
+        NeighborTable {
+            torus: torus.clone(),
+            radius,
+            metric,
+            offsets,
+            targets,
+            balls,
+        }
+    }
+
+    /// The torus this table was built for.
+    #[must_use]
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The transmission radius.
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// The distance metric.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.torus.len()
+    }
+
+    /// True iff the torus has no nodes (never, by construction — kept
+    /// for `len`/`is_empty` API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.torus.is_empty()
+    }
+
+    /// The radius-`radius` neighborhood of `id` (excluding `id` itself):
+    /// the same ids, in the same order, as [`Torus::neighborhood`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the torus.
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// All offsets within metric distance `d` of the origin, including
+    /// the origin itself — the closed-ball stencil the commit rules scan
+    /// for candidate neighborhood centers. Position-independent: the
+    /// ball around `c` is `{canonical(c + off)}` over these offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > radius + 1` (the rules never look further than the
+    /// frontier distance `r + 1`).
+    #[must_use]
+    pub fn ball_offsets(&self, d: u32) -> &[Coord] {
+        &self.balls[d as usize]
+    }
+}
+
+/// Every offset with metric distance ≤ `d` from the origin (origin
+/// included), in row-major (`dy` outer, `dx` inner) scan order.
+fn ball_stencil(d: u32, metric: Metric) -> Vec<Coord> {
+    let di = i64::from(d);
+    let mut v = Vec::new();
+    for dy in -di..=di {
+        for dx in -di..=di {
+            let off = Coord::new(dx, dy);
+            if metric.within(Coord::ORIGIN, off, d) {
+                v.push(off);
+            }
+        }
+    }
+    v
+}
+
+impl fmt::Debug for NeighborTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NeighborTable")
+            .field("torus", &self.torus)
+            .field("radius", &self.radius)
+            .field("metric", &self.metric)
+            .field("edges", &self.targets.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tori every cross-check runs on: the canonical experiment
+    /// torus for `r` and the smallest torus that still supports `r`.
+    fn tori_for(r: u32) -> [Torus; 2] {
+        let min_side = 2 * (2 * r + 1) + 1;
+        [Torus::for_radius(r), Torus::new(min_side, min_side)]
+    }
+
+    #[test]
+    fn csr_matches_naive_neighborhood_exhaustively() {
+        // The tentpole's correctness anchor: for r ∈ {1, 2, 3}, both
+        // metrics, every node of both a roomy and a minimal torus, the
+        // CSR slice must equal the naive enumeration *element for
+        // element* (same members, same order).
+        for r in 1..=3u32 {
+            for metric in [Metric::Linf, Metric::L2] {
+                for torus in tori_for(r) {
+                    let table = NeighborTable::build(&torus, r, metric);
+                    for id in torus.node_ids() {
+                        let naive: Vec<NodeId> = torus.neighborhood(id, r, metric).collect();
+                        assert_eq!(
+                            table.neighbors(id),
+                            naive.as_slice(),
+                            "node {id} on {torus} r={r} {metric}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_are_uniform_and_match_the_metric() {
+        for r in 1..=3u32 {
+            for metric in [Metric::Linf, Metric::L2] {
+                let torus = Torus::for_radius(r);
+                let table = NeighborTable::build(&torus, r, metric);
+                for id in torus.node_ids() {
+                    assert_eq!(table.neighbors(id).len(), metric.neighborhood_size(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_neighbors_are_distinct_and_within_range() {
+        // On the *minimal* supported torus every corner neighborhood
+        // wraps; members must still be distinct and at toroidal distance
+        // ≤ r.
+        for r in 1..=3u32 {
+            for metric in [Metric::Linf, Metric::L2] {
+                let [_, torus] = tori_for(r);
+                let table = NeighborTable::build(&torus, r, metric);
+                for id in torus.node_ids() {
+                    let nbrs = table.neighbors(id);
+                    let set: std::collections::BTreeSet<NodeId> = nbrs.iter().copied().collect();
+                    assert_eq!(set.len(), nbrs.len(), "duplicate neighbor of {id}");
+                    for &nb in nbrs {
+                        assert!(nb != id);
+                        assert!(torus.within(torus.coord(id), torus.coord(nb), r, metric));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ball_offsets_match_brute_force_torus_scan() {
+        // ball_offsets(d) translated to any center must equal the set of
+        // torus nodes within d of that center — the exact contract the
+        // commit-rule center scans need.
+        for r in 1..=3u32 {
+            for metric in [Metric::Linf, Metric::L2] {
+                let [_, torus] = tori_for(r);
+                let table = NeighborTable::build(&torus, r, metric);
+                for d in 0..=r + 1 {
+                    for around in [Coord::ORIGIN, Coord::new(1, i64::from(torus.height()) - 1)] {
+                        let via_table: std::collections::BTreeSet<Coord> = table
+                            .ball_offsets(d)
+                            .iter()
+                            .map(|&off| torus.canonical(around + off))
+                            .collect();
+                        let brute: std::collections::BTreeSet<Coord> = torus
+                            .coords()
+                            .filter(|&c| torus.within(around, c, d, metric))
+                            .collect();
+                        assert_eq!(via_table, brute, "d={d} around={around} {metric}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ball_offsets_are_center_inclusive_and_ordered() {
+        let table = NeighborTable::build(&Torus::for_radius(2), 2, Metric::Linf);
+        assert_eq!(table.ball_offsets(0), &[Coord::ORIGIN]);
+        // row-major scan order: dy outer, dx inner
+        let d1 = table.ball_offsets(1);
+        assert_eq!(d1.len(), 9);
+        assert_eq!(d1[0], Coord::new(-1, -1));
+        assert_eq!(d1[4], Coord::ORIGIN);
+        assert_eq!(d1[8], Coord::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot faithfully host")]
+    fn rejects_undersized_torus() {
+        let _ = NeighborTable::build(&Torus::new(8, 8), 2, Metric::Linf);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let table = NeighborTable::build(&Torus::for_radius(1), 1, Metric::Linf);
+        let s = format!("{table:?}");
+        assert!(s.contains("NeighborTable"));
+        assert!(s.len() < 200, "debug output dumps the arrays: {s}");
+    }
+}

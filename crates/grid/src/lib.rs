@@ -13,6 +13,9 @@
 //!   [`Metric::Linf`] and [`Metric::L2`].
 //! * [`Torus`] — a finite `width × height` toroidal node arena mapping
 //!   coordinates to dense [`NodeId`]s.
+//! * [`NeighborTable`] — the shared, immutable CSR topology arena: flat
+//!   neighbor lists plus closed-ball center stencils, built once per
+//!   `(torus, r, metric)` and shared across runs and worker threads.
 //! * [`Neighborhood`] helpers — `nbd(c)` and the paper's perturbed
 //!   neighborhood `pnbd(c)` (§IV).
 //! * [`Rect`] — inclusive rectangular lattice regions (used heavily by the
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod coord;
 mod metric;
 mod nbd;
@@ -42,6 +46,7 @@ mod region;
 mod tdma;
 mod torus;
 
+pub use arena::NeighborTable;
 pub use coord::Coord;
 pub use metric::Metric;
 pub use nbd::{linf_offsets, metric_offsets, pnbd_centers, Neighborhood};

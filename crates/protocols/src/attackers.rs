@@ -38,11 +38,10 @@ struct Spoofer {
 
 impl Process<Msg> for Spoofer {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let torus = ctx.torus().clone();
-        let (me, r, metric) = (ctx.id(), ctx.radius(), ctx.metric());
-        // impersonate every neighbor announcing the wrong value
-        let neighbors: Vec<NodeId> = torus.neighborhood(me, r, metric).collect();
-        for n in neighbors {
+        // impersonate every neighbor announcing the wrong value (the
+        // arena slice matches `torus.neighborhood` order exactly)
+        let neighbors = ctx.neighbors();
+        for &n in neighbors {
             ctx.broadcast_as(n, Msg::Committed(self.wrong));
         }
         ctx.broadcast(Msg::Committed(self.wrong));
@@ -143,13 +142,11 @@ impl Process<Msg> for Forger {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.fired = true;
         let me = ctx.id();
-        let torus = ctx.torus().clone();
-        let r = ctx.radius();
-        let metric = ctx.metric();
         ctx.broadcast(Msg::Committed(self.wrong));
         // Fabricate: every neighbor "committed" wrong (observed by us).
-        let neighbors: Vec<NodeId> = torus.neighborhood(me, r, metric).collect();
-        for &n in &neighbors {
+        // The arena slice matches `torus.neighborhood` order exactly.
+        let neighbors = ctx.neighbors();
+        for &n in neighbors {
             ctx.broadcast(Msg::Heard {
                 committer: n,
                 value: self.wrong,

@@ -24,7 +24,7 @@
 //! `rbcast-bench`).
 
 use rbcast_flow::{ChainPacker, PackScratch};
-use rbcast_grid::{Coord, Metric, NodeId, Torus};
+use rbcast_grid::{Coord, NeighborTable, NodeId};
 use rbcast_sim::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -40,38 +40,40 @@ pub enum CommitRule {
     OneLevel,
 }
 
-/// Network geometry needed by the evidence evaluation.
+/// Network geometry needed by the evidence evaluation, backed by the
+/// shared topology arena (so the per-round center scans read
+/// precomputed stencils instead of re-deriving the commit geometry).
 #[derive(Debug, Clone, Copy)]
 pub struct Geometry<'a> {
-    /// The arena.
-    pub torus: &'a Torus,
-    /// Transmission radius.
-    pub r: u32,
-    /// Distance metric.
-    pub metric: Metric,
-    /// The evaluating node's coordinate.
-    pub me: Coord,
+    arena: &'a NeighborTable,
+    me: Coord,
 }
 
 impl<'a> Geometry<'a> {
+    /// Geometry for the evaluating node at coordinate `me`, over the
+    /// network's topology arena.
+    #[must_use]
+    pub fn new(arena: &'a NeighborTable, me: Coord) -> Self {
+        Geometry { arena, me }
+    }
+
     /// Closed-ball membership: is `node` within `r` of `center`?
     fn covers(&self, center: Coord, node: Coord) -> bool {
-        self.torus.within(center, node, self.r, self.metric)
+        self.arena
+            .torus()
+            .within(center, node, self.arena.radius(), self.arena.metric())
     }
 
     /// Candidate neighborhood centers within distance `d` of `around`,
-    /// streamed without building an intermediate `Vec` (this runs per
-    /// evaluation, per candidate center scan, on the simulator hot path).
+    /// streamed from the arena's precomputed closed-ball stencil — no
+    /// per-call geometry scan (this runs per evaluation, per candidate
+    /// center scan, on the simulator hot path).
     fn centers_within(self, around: Coord, d: u32) -> impl Iterator<Item = Coord> + 'a {
-        let di = i64::from(d);
-        (-di..=di).flat_map(move |dy| {
-            (-di..=di).filter_map(move |dx| {
-                let c = around + Coord::new(dx, dy);
-                self.torus
-                    .within(around, c, d, self.metric)
-                    .then(|| self.torus.canonical(c))
-            })
-        })
+        let torus = self.arena.torus();
+        self.arena
+            .ball_offsets(d)
+            .iter()
+            .map(move |&off| torus.canonical(around + off))
     }
 }
 
@@ -80,11 +82,12 @@ impl<'a> Geometry<'a> {
 /// # Example
 ///
 /// ```
-/// use rbcast_grid::{Coord, Metric, Torus};
+/// use rbcast_grid::{Coord, Metric, NeighborTable, Torus};
 /// use rbcast_protocols::{CommitRule, EvidenceStore, Geometry};
 ///
 /// let torus = Torus::new(24, 24);
-/// let geo = Geometry { torus: &torus, r: 2, metric: Metric::Linf, me: Coord::new(10, 10) };
+/// let table = NeighborTable::build(&torus, 2, Metric::Linf);
+/// let geo = Geometry::new(&table, Coord::new(10, 10));
 /// let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
 /// // two committers in one neighborhood heard directly: t+1 = 2 → commit
 /// ev.record_direct(torus.id(Coord::new(9, 9)), true);
@@ -216,9 +219,9 @@ impl EvidenceStore {
         let commits: Vec<(Coord, Value)> = self
             .determined
             .iter()
-            .map(|(&id, &v)| (geo.torus.coord(id), v))
+            .map(|(&id, &v)| (geo.arena.torus().coord(id), v))
             .collect();
-        for center in geo.centers_within(geo.me, geo.r + 1) {
+        for center in geo.centers_within(geo.me, geo.arena.radius() + 1) {
             let mut counts = [0usize; 2];
             for &(c, v) in &commits {
                 if geo.covers(center, c) {
@@ -253,9 +256,9 @@ impl EvidenceStore {
         if packer.len() < need as usize {
             return false;
         }
-        let committer_coord = geo.torus.coord(committer);
-        for center in geo.centers_within(committer_coord, geo.r) {
-            let admit = |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
+        let committer_coord = geo.arena.torus().coord(committer);
+        for center in geo.centers_within(committer_coord, geo.arena.radius()) {
+            let admit = |k: u64| geo.covers(center, geo.arena.torus().coord(NodeId(k as u32)));
             if packer.max_disjoint_reusing(scratch, admit, need) >= need {
                 return true;
             }
@@ -272,13 +275,13 @@ impl EvidenceStore {
         let need = (self.t + 1) as u32;
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut committed = None;
-        'scan: for center in geo.centers_within(geo.me, geo.r + 1) {
+        'scan: for center in geo.centers_within(geo.me, geo.arena.radius() + 1) {
             for v in [true, false] {
                 let packer = &self.combined[usize::from(v)];
                 if packer.len() < need as usize {
                     continue;
                 }
-                let admit = |k: u64| geo.covers(center, geo.torus.coord(NodeId(k as u32)));
+                let admit = |k: u64| geo.covers(center, geo.arena.torus().coord(NodeId(k as u32)));
                 if packer.max_disjoint_reusing(&mut scratch, admit, need) >= need {
                     committed = Some(v);
                     break 'scan;
@@ -294,13 +297,10 @@ impl EvidenceStore {
 mod tests {
     use super::*;
 
-    fn geometry(torus: &Torus) -> Geometry<'_> {
-        Geometry {
-            torus,
-            r: 2,
-            metric: Metric::Linf,
-            me: Coord::new(10, 10),
-        }
+    use rbcast_grid::{Metric, Torus};
+
+    fn table(torus: &Torus) -> NeighborTable {
+        NeighborTable::build(torus, 2, Metric::Linf)
     }
 
     fn id(torus: &Torus, x: i64, y: i64) -> NodeId {
@@ -310,7 +310,8 @@ mod tests {
     #[test]
     fn direct_observations_determine_immediately() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(2, CommitRule::TwoLevel);
         ev.record_direct(id(&torus, 9, 9), true);
         let _ = ev.evaluate(&geo);
@@ -320,7 +321,8 @@ mod tests {
     #[test]
     fn two_level_commits_on_t_plus_1_determined_neighbors() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let t = 2;
         let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
         // three committers inside one neighborhood of `me`, all heard
@@ -334,7 +336,8 @@ mod tests {
     #[test]
     fn two_level_needs_strictly_more_than_t() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(2, CommitRule::TwoLevel);
         ev.record_direct(id(&torus, 9, 9), true);
         ev.record_direct(id(&torus, 10, 9), true);
@@ -344,7 +347,8 @@ mod tests {
     #[test]
     fn determination_via_disjoint_chains() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let t = 1;
         let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
         let committer = id(&torus, 12, 12); // not a direct neighbor of me
@@ -358,7 +362,8 @@ mod tests {
     #[test]
     fn conflicting_chains_do_not_determine() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
         let committer = id(&torus, 12, 12);
         let shared_relay = id(&torus, 11, 12);
@@ -371,7 +376,8 @@ mod tests {
     #[test]
     fn chains_outside_any_single_neighborhood_do_not_count() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
         let committer = id(&torus, 12, 12);
         // relays too far apart to share a ball with the committer
@@ -384,7 +390,8 @@ mod tests {
     #[test]
     fn one_level_commits_on_disjoint_committer_chains() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let t = 1;
         let mut ev = EvidenceStore::new(t, CommitRule::OneLevel);
         // two chains with distinct committers and distinct relays, all
@@ -397,7 +404,8 @@ mod tests {
     #[test]
     fn one_level_shared_committer_counts_once() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(1, CommitRule::OneLevel);
         let committer = id(&torus, 9, 9);
         ev.record_chain(committer, true, &[id(&torus, 10, 9)]);
@@ -418,7 +426,8 @@ mod tests {
     #[test]
     fn evaluation_is_idempotent_when_clean() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(0, CommitRule::TwoLevel);
         ev.record_direct(id(&torus, 9, 9), false);
         assert_eq!(ev.evaluate(&geo), Some(false));
@@ -429,7 +438,8 @@ mod tests {
     #[test]
     fn values_kept_separate() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
         ev.record_direct(id(&torus, 9, 9), true);
         ev.record_direct(id(&torus, 10, 9), false);
@@ -447,7 +457,8 @@ mod tests {
         // own forger), but there are only t of them — one short of the
         // t+1 the rule demands.
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let t = 3;
         let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
         let victim = id(&torus, 12, 12);
@@ -465,7 +476,8 @@ mod tests {
         // chains end with its own (unforgeable) identifier, so any
         // disjoint family contains at most one of them.
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(1, CommitRule::TwoLevel);
         let victim = id(&torus, 12, 12);
         let forger = id(&torus, 11, 12);
@@ -479,7 +491,8 @@ mod tests {
     #[test]
     fn one_honest_chain_tips_the_balance_for_the_truth() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let t = 2;
         let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
         let committer = id(&torus, 12, 12);
@@ -498,15 +511,10 @@ mod tests {
         // committers it counts; the level-2 scan must find that center.
         let torus = Torus::new(24, 24);
         let t = 1;
-        let r = 2u32;
         // me at (10, 10); committers clustered in the ball centered at
-        // (10, 13) — distance r+1 = 3 from me.
-        let geo = Geometry {
-            torus: &torus,
-            r,
-            metric: Metric::Linf,
-            me: Coord::new(10, 10),
-        };
+        // (10, 13) — distance r+1 = 3 from me (r = 2).
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(t, CommitRule::TwoLevel);
         ev.record_direct(id(&torus, 10, 12), true);
         ev.record_direct(id(&torus, 9, 12), true);
@@ -542,7 +550,8 @@ mod tests {
             use proptest::prelude::{prop_assert, prop_assert_ne};
 
             let torus = Torus::new(24, 24);
-            let geo = geometry(&torus);
+            let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
             let at = |&(x, y): &(i64, i64)| torus.id(Coord::new(x, y));
             // At most `t` faults in total, so every neighborhood holds at
             // most `t` of them: the placement is locally bounded by
@@ -595,7 +604,8 @@ mod tests {
     #[test]
     fn first_determination_wins_per_committer() {
         let torus = Torus::new(24, 24);
-        let geo = geometry(&torus);
+        let table = table(&torus);
+        let geo = Geometry::new(&table, Coord::new(10, 10));
         let mut ev = EvidenceStore::new(0, CommitRule::TwoLevel);
         let committer = id(&torus, 12, 12);
         ev.record_chain(committer, true, &[id(&torus, 11, 12)]);

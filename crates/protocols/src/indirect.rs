@@ -290,12 +290,7 @@ impl Process<Msg> for Indirect {
         if self.committed {
             return;
         }
-        let geo = Geometry {
-            torus: ctx.torus(),
-            r: ctx.radius(),
-            metric: ctx.metric(),
-            me: ctx.coord(),
-        };
+        let geo = Geometry::new(ctx.arena(), ctx.coord());
         if let Some(v) = self.evidence.evaluate(&geo) {
             self.commit(ctx, v);
         }

@@ -7,7 +7,7 @@
 
 use crate::process::NodeState;
 use crate::{Ctx, Process, Round, Value};
-use rbcast_grid::{Metric, NodeId, Torus};
+use rbcast_grid::{Metric, NeighborTable, NodeId, Torus};
 
 /// Drives a single [`Process`] with hand-crafted inputs.
 ///
@@ -34,9 +34,7 @@ use rbcast_grid::{Metric, NodeId, Torus};
 /// ```
 #[derive(Debug)]
 pub struct Harness<M> {
-    torus: Torus,
-    radius: u32,
-    metric: Metric,
+    arena: NeighborTable,
     id: NodeId,
     state: NodeState<M>,
     round: Round,
@@ -44,13 +42,12 @@ pub struct Harness<M> {
 }
 
 impl<M> Harness<M> {
-    /// Creates a harness for the node `id` on `torus`.
+    /// Creates a harness for the node `id` on `torus` (building a
+    /// private topology arena for it).
     #[must_use]
     pub fn new(torus: Torus, radius: u32, metric: Metric, id: NodeId) -> Self {
         Harness {
-            torus,
-            radius,
-            metric,
+            arena: NeighborTable::build(&torus, radius, metric),
             id,
             state: NodeState::default(),
             round: 0,
@@ -61,10 +58,8 @@ impl<M> Harness<M> {
     fn with_ctx<F: FnOnce(&mut Ctx<'_, M>)>(&mut self, f: F) {
         let mut ctx = Ctx {
             id: self.id,
-            coord: self.torus.coord(self.id),
-            torus: &self.torus,
-            radius: self.radius,
-            metric: self.metric,
+            coord: self.arena.torus().coord(self.id),
+            arena: &self.arena,
             round: self.round,
             state: &mut self.state,
             messages_sent: &mut self.messages_sent,

@@ -3,7 +3,8 @@
 use crate::channel::delivery_lost;
 use crate::process::NodeState;
 use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, Value};
-use rbcast_grid::{Metric, NodeId, TdmaSchedule, Torus};
+use rbcast_grid::{Metric, NeighborTable, NodeId, TdmaSchedule, Torus};
+use std::sync::Arc;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -41,10 +42,10 @@ struct Transmission<M> {
 ///
 /// The run ends at quiescence (nothing on the air) or after `max_rounds`.
 pub struct Network<M> {
-    torus: Torus,
-    radius: u32,
-    metric: Metric,
-    neighbors: Vec<Vec<NodeId>>,
+    /// The shared topology arena: torus, radius, metric, and the CSR
+    /// neighbor table, immutable and possibly shared with other
+    /// networks (and threads) running the same geometry.
+    arena: Arc<NeighborTable>,
     order: Vec<NodeId>,
     processes: Vec<Option<Box<dyn Process<M>>>>,
     states: Vec<NodeState<M>>,
@@ -62,6 +63,15 @@ pub struct Network<M> {
     oracle: Option<SafetyOracle>,
     classifier: Option<fn(&M) -> &'static str>,
     kind_counts: std::collections::BTreeMap<&'static str, u64>,
+    /// Nodes whose decisions complete the run (typically the honest
+    /// set). Once every masked node has decided, the trace hash freezes
+    /// — and, with [`Network::set_early_termination`], the run stops.
+    completion_mask: Option<Vec<bool>>,
+    early_termination: bool,
+    /// Set at the end of the round in which every masked node has
+    /// decided. From then on `trace_mix` is a no-op, so a run that stops
+    /// early and one that idles to quiescence hash identically.
+    hash_frozen: bool,
     messages_sent: u64,
     deliveries: u64,
     lost_deliveries: u64,
@@ -94,35 +104,36 @@ impl<M> Network<M> {
         radius: u32,
         metric: Metric,
         channel: ChannelConfig,
-        mut make: F,
+        make: F,
     ) -> Self
     where
         F: FnMut(NodeId) -> Box<dyn Process<M>>,
     {
-        assert!(
-            torus.supports_radius(radius),
-            "{torus} cannot faithfully host radius {radius} (needs side > {})",
-            2 * (2 * radius + 1),
-        );
+        let arena = Arc::new(NeighborTable::build(&torus, radius, metric));
+        Network::with_arena(arena, channel, make)
+    }
+
+    /// Builds a network over a prebuilt (possibly shared) topology
+    /// arena: the zero-rebuild construction path the sweep engine uses.
+    /// The arena carries the torus, radius, and metric; construction
+    /// performs no neighborhood computation at all.
+    pub fn with_arena<F>(arena: Arc<NeighborTable>, channel: ChannelConfig, mut make: F) -> Self
+    where
+        F: FnMut(NodeId) -> Box<dyn Process<M>>,
+    {
+        let torus = arena.torus();
         let n = torus.len();
-        let neighbors: Vec<Vec<NodeId>> = torus
-            .node_ids()
-            .map(|id| torus.neighborhood(id, radius, metric).collect())
-            .collect();
         // Transmission order: TDMA slot order when a periodic schedule
         // fits this torus, id order otherwise (the model guarantees
         // collision-freedom either way).
         let mut order: Vec<NodeId> = torus.node_ids().collect();
-        if let Ok(tdma) = TdmaSchedule::new(&torus, radius) {
+        if let Ok(tdma) = TdmaSchedule::new(torus, arena.radius()) {
             order.sort_by_key(|&id| (tdma.slot_of(torus.coord(id)), id));
         }
         let processes = torus.node_ids().map(|id| Some(make(id))).collect();
         let states = (0..n).map(|_| NodeState::default()).collect();
         Network {
-            torus,
-            radius,
-            metric,
-            neighbors,
+            arena,
             order,
             processes,
             states,
@@ -134,6 +145,9 @@ impl<M> Network<M> {
             oracle: None,
             classifier: None,
             kind_counts: std::collections::BTreeMap::new(),
+            completion_mask: None,
+            early_termination: false,
+            hash_frozen: false,
             messages_sent: 0,
             deliveries: 0,
             lost_deliveries: 0,
@@ -141,28 +155,56 @@ impl<M> Network<M> {
         }
     }
 
-    /// The arena.
+    /// The torus.
     #[must_use]
     pub fn torus(&self) -> &Torus {
-        &self.torus
+        self.arena.torus()
     }
 
     /// The transmission radius.
     #[must_use]
     pub fn radius(&self) -> u32 {
-        self.radius
+        self.arena.radius()
     }
 
     /// The metric in force.
     #[must_use]
     pub fn metric(&self) -> Metric {
-        self.metric
+        self.arena.metric()
+    }
+
+    /// The shared topology arena.
+    #[must_use]
+    pub fn arena(&self) -> &Arc<NeighborTable> {
+        &self.arena
     }
 
     /// Precomputed neighborhood of `id`.
     #[must_use]
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        &self.neighbors[id.index()]
+        self.arena.neighbors(id)
+    }
+
+    /// Declares the set of nodes whose decisions complete the run
+    /// (typically the honest nodes). At the end of the first round in
+    /// which all of them have decided, the delivery-trace hash freezes;
+    /// with [`Network::set_early_termination`] the run also stops there
+    /// instead of idling on to quiescence or `max_rounds`. Installing
+    /// the mask without enabling early termination changes no decision
+    /// and no hash *relative to the early-terminating run* — that
+    /// equivalence is what the determinism gate pins.
+    pub fn set_completion_mask(&mut self, nodes: &[NodeId]) {
+        let mut mask = vec![false; self.arena.len()];
+        for id in nodes {
+            mask[id.index()] = true;
+        }
+        self.completion_mask = Some(mask);
+    }
+
+    /// Enables or disables early termination at the completion round
+    /// (no-op unless a completion mask is installed).
+    pub fn set_early_termination(&mut self, on: bool) {
+        self.early_termination = on;
     }
 
     /// Schedules a crash-stop fault: the node performs no actions (no
@@ -182,13 +224,14 @@ impl<M> Network<M> {
     /// Runs the simulation until quiescence or `max_rounds`, returning
     /// run statistics.
     pub fn run(&mut self, max_rounds: Round) -> RunStats {
-        // Hot-path de-allocation: `order` and `neighbors` are moved out
-        // of `self` for the duration of the run, so deliveries can
-        // borrow the receiver slice and the on-air message while
-        // `with_ctx` borrows `self` mutably — no per-transmission
-        // receiver-list clone and no per-delivery message clone.
+        // Hot-path de-allocation: `order` is moved out of `self` and the
+        // arena handle cloned (one refcount bump) for the duration of
+        // the run, so deliveries can borrow the receiver slice and the
+        // on-air message while `with_ctx` borrows `self` mutably — no
+        // per-transmission receiver-list clone and no per-delivery
+        // message clone.
         let order = std::mem::take(&mut self.order);
-        let neighbors = std::mem::take(&mut self.neighbors);
+        let arena = Arc::clone(&self.arena);
 
         // Round 0: starts.
         for &id in &order {
@@ -204,6 +247,7 @@ impl<M> Network<M> {
         let mut on_air = self.collect_transmissions(&order, 0);
 
         let mut round: Round = 0;
+        let mut early_stopped = false;
         while !on_air.is_empty() && round < max_rounds {
             round += 1;
             let deliveries_before = self.deliveries;
@@ -216,19 +260,19 @@ impl<M> Network<M> {
             // budget of this round's transmissions, greedily in order; a
             // jammed transmission is lost exactly at receivers within the
             // jammer's range.
-            let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&neighbors, &on_air, round);
+            let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&arena, &on_air, round);
             // Deliver everything on the air, in global transmission order.
             for (tx_index, tx) in on_air.iter().enumerate() {
-                for &rid in &neighbors[tx.sender.index()] {
+                for &rid in arena.neighbors(tx.sender) {
                     if self.is_crashed(rid, round) {
                         continue;
                     }
                     if let Some(jammer) = jam_of[tx_index] {
-                        if self.torus.within(
-                            self.torus.coord(jammer),
-                            self.torus.coord(rid),
-                            self.radius,
-                            self.metric,
+                        if arena.torus().within(
+                            arena.torus().coord(jammer),
+                            arena.torus().coord(rid),
+                            arena.radius(),
+                            arena.metric(),
                         ) {
                             self.jammed_deliveries += 1;
                             continue;
@@ -268,14 +312,35 @@ impl<M> Network<M> {
                 deliveries: self.deliveries - deliveries_before,
                 decisions: decided_after - decided_before,
             });
+            // Completion check, after the round's hash folds: the hash
+            // freezes at the same round whether or not early
+            // termination is on, so both modes hash identically.
+            if !self.hash_frozen {
+                if let Some(mask) = &self.completion_mask {
+                    let complete = mask
+                        .iter()
+                        .zip(self.states.iter())
+                        .all(|(&m, st)| !m || st.decision.is_some());
+                    if complete {
+                        self.hash_frozen = true;
+                    }
+                }
+            }
+            // Collect before the early-exit check so everything a
+            // process emitted is classified and counted: per-kind
+            // tallies sum to `messages_sent` in both termination modes.
             on_air = self.collect_transmissions(&order, round);
+            if self.hash_frozen && self.early_termination {
+                early_stopped = !on_air.is_empty();
+                break;
+            }
         }
         self.order = order;
-        self.neighbors = neighbors;
 
         RunStats {
             rounds: round,
             quiescent: on_air.is_empty(),
+            early_stopped,
             messages_sent: self.messages_sent,
             deliveries: self.deliveries,
             lost_deliveries: self.lost_deliveries,
@@ -289,7 +354,7 @@ impl<M> Network<M> {
     /// receiver in its range), earliest first.
     fn assign_jammers(
         &mut self,
-        neighbors: &[Vec<NodeId>],
+        arena: &NeighborTable,
         on_air: &[Transmission<M>],
         round: Round,
     ) -> Vec<Option<NodeId>> {
@@ -297,11 +362,12 @@ impl<M> Network<M> {
         if self.channel.jam_budget == 0 || self.channel.jammers.is_empty() {
             return jam_of;
         }
+        let torus = arena.torus();
         for (j, &jammer) in self.channel.jammers.iter().enumerate() {
             if self.is_crashed(jammer, round) {
                 continue;
             }
-            let jc = self.torus.coord(jammer);
+            let jc = torus.coord(jammer);
             for (i, tx) in on_air.iter().enumerate() {
                 if self.jam_remaining[j] == 0 {
                     break;
@@ -309,10 +375,10 @@ impl<M> Network<M> {
                 if jam_of[i].is_some() || tx.sender == jammer {
                     continue;
                 }
-                let reachable = neighbors[tx.sender.index()].iter().any(|&rid| {
-                    self.torus
-                        .within(jc, self.torus.coord(rid), self.radius, self.metric)
-                });
+                let reachable = arena
+                    .neighbors(tx.sender)
+                    .iter()
+                    .any(|&rid| torus.within(jc, torus.coord(rid), arena.radius(), arena.metric()));
                 if reachable {
                     jam_of[i] = Some(jammer);
                     self.jam_remaining[j] -= 1;
@@ -322,8 +388,13 @@ impl<M> Network<M> {
         jam_of
     }
 
-    /// Folds words into the running trace hash (FNV-1a over bytes).
+    /// Folds words into the running trace hash (FNV-1a over bytes). A
+    /// no-op once the hash froze at the completion round, so early
+    /// termination cannot change the hash.
     fn trace_mix(&mut self, words: &[u64]) {
+        if self.hash_frozen {
+            return;
+        }
         for w in words {
             for byte in w.to_le_bytes() {
                 self.trace_hash ^= u64::from(byte);
@@ -349,7 +420,7 @@ impl<M> Network<M> {
     /// committed a value other than `truth` (Theorem 2 safety); without
     /// the feature the oracle is stored but never consulted.
     pub fn set_safety_oracle(&mut self, truth: Value, faulty: &[NodeId]) {
-        let mut mask = vec![false; self.torus.len()];
+        let mut mask = vec![false; self.arena.len()];
         for f in faulty {
             mask[f.index()] = true;
         }
@@ -433,10 +504,8 @@ impl<M> Network<M> {
         {
             let mut ctx = Ctx {
                 id,
-                coord: self.torus.coord(id),
-                torus: &self.torus,
-                radius: self.radius,
-                metric: self.metric,
+                coord: self.arena.torus().coord(id),
+                arena: &self.arena,
                 round,
                 state: &mut self.states[id.index()],
                 messages_sent: &mut self.messages_sent,
@@ -475,9 +544,7 @@ impl<M> Network<M> {
 impl<M> std::fmt::Debug for Network<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("torus", &self.torus)
-            .field("radius", &self.radius)
-            .field("metric", &self.metric)
+            .field("arena", &self.arena)
             .field("messages_sent", &self.messages_sent)
             .finish_non_exhaustive()
     }

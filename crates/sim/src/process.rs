@@ -1,7 +1,7 @@
 //! The protocol-facing node abstraction.
 
 use crate::{Round, Value};
-use rbcast_grid::{Coord, Metric, NodeId, Torus};
+use rbcast_grid::{Coord, Metric, NeighborTable, NodeId, Torus};
 
 /// A node's protocol logic.
 ///
@@ -47,15 +47,13 @@ impl<M> Default for NodeState<M> {
 pub struct Ctx<'a, M> {
     pub(crate) id: NodeId,
     pub(crate) coord: Coord,
-    pub(crate) torus: &'a Torus,
-    pub(crate) radius: u32,
-    pub(crate) metric: Metric,
+    pub(crate) arena: &'a NeighborTable,
     pub(crate) round: Round,
     pub(crate) state: &'a mut NodeState<M>,
     pub(crate) messages_sent: &'a mut u64,
 }
 
-impl<M> Ctx<'_, M> {
+impl<'a, M> Ctx<'a, M> {
     /// This node's id.
     #[must_use]
     pub fn id(&self) -> NodeId {
@@ -68,22 +66,36 @@ impl<M> Ctx<'_, M> {
         self.coord
     }
 
+    /// The shared topology arena: precomputed CSR neighbor lists and the
+    /// commit-rule ball stencils for this network's `(torus, r, metric)`.
+    #[must_use]
+    pub fn arena(&self) -> &'a NeighborTable {
+        self.arena
+    }
+
+    /// This node's precomputed radius-`r` neighborhood (excluding the
+    /// node itself), in the canonical [`Torus::neighborhood`] order.
+    #[must_use]
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.arena.neighbors(self.id)
+    }
+
     /// The network arena.
     #[must_use]
-    pub fn torus(&self) -> &Torus {
-        self.torus
+    pub fn torus(&self) -> &'a Torus {
+        self.arena.torus()
     }
 
     /// The transmission radius `r`.
     #[must_use]
     pub fn radius(&self) -> u32 {
-        self.radius
+        self.arena.radius()
     }
 
     /// The distance metric in force.
     #[must_use]
     pub fn metric(&self) -> Metric {
-        self.metric
+        self.arena.metric()
     }
 
     /// The current round number.

@@ -26,8 +26,12 @@ pub struct RunStats {
     /// air).
     pub rounds: Round,
     /// True when the run ended because nothing remained on the air;
-    /// false when it hit the round cap.
+    /// false when it stopped early or hit the round cap.
     pub quiescent: bool,
+    /// True when the run stopped because every node in the completion
+    /// mask (the honest nodes) had decided — messages may still have
+    /// been on the air.
+    pub early_stopped: bool,
     /// Total local broadcasts performed.
     pub messages_sent: u64,
     /// Total message deliveries (one per broadcast per alive receiver).
@@ -48,6 +52,8 @@ impl std::fmt::Display for RunStats {
             self.deliveries,
             if self.quiescent {
                 ""
+            } else if self.early_stopped {
+                " (stopped: all honest nodes decided)"
             } else {
                 " (round cap hit)"
             }
@@ -74,6 +80,12 @@ mod tests {
             ..s
         };
         assert!(!q.to_string().contains("round cap hit"));
+        let e = RunStats {
+            early_stopped: true,
+            ..s
+        };
+        assert!(e.to_string().contains("all honest nodes decided"));
+        assert!(!e.to_string().contains("round cap hit"));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   `expect` with an invariant-naming message is the sanctioned escape.
 //! * `nondeterminism` — no `thread_rng` / entropy seeding / wall-clock
 //!   reads outside annotated measurement sites.
+//! * `adhoc-neighborhood` — `torus.neighborhood` scans are confined to
+//!   the grid arena module; everything else reads the shared CSR
+//!   `NeighborTable`.
 //! * `lint-header` — every library crate root carries
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
 //!

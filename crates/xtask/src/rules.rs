@@ -115,6 +115,14 @@ pub fn all_rules() -> &'static [Rule] {
             check: check_raw_thread_spawn,
         },
         Rule {
+            id: "adhoc-neighborhood",
+            summary: "torus.neighborhood scans are confined to the grid arena module \
+                      (hot paths must read the shared CSR NeighborTable; annotate \
+                      audit:allow(adhoc-neighborhood) at cold one-shot sites)",
+            scopes: LIB_SRC,
+            check: check_adhoc_neighborhood,
+        },
+        Rule {
             id: "lint-header",
             summary: "every library crate root must carry #![forbid(unsafe_code)] \
                       and #![warn(missing_docs)]",
@@ -326,6 +334,33 @@ fn check_raw_thread_spawn(file: &SourceFile) -> Vec<(usize, String)> {
     out
 }
 
+/// The one module allowed to scan `torus.neighborhood` directly: the CSR
+/// arena builder whose tables every other crate is expected to read.
+const NEIGHBORHOOD_EXEMPT: &str = "crates/grid/src/arena.rs";
+
+fn check_adhoc_neighborhood(file: &SourceFile) -> Vec<(usize, String)> {
+    if file.rel == Path::new(NEIGHBORHOOD_EXEMPT) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("adhoc-neighborhood") {
+            continue;
+        }
+        if line.code.contains(".neighborhood(") {
+            out.push((
+                line.number,
+                "ad-hoc torus.neighborhood scan outside the arena module: \
+                 it re-derives metric offsets on every call; read the shared \
+                 CSR NeighborTable instead, or annotate \
+                 audit:allow(adhoc-neighborhood) at a cold one-shot site"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 fn check_lint_header(file: &SourceFile) -> Vec<(usize, String)> {
     if file.rel.file_name().and_then(|n| n.to_str()) != Some("lib.rs") {
         return Vec::new();
@@ -463,6 +498,39 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    let h = std::thread::spawn(|| 7);\n}\n",
         );
         assert!(check_raw_thread_spawn(&f).is_empty());
+    }
+
+    #[test]
+    fn adhoc_neighborhood_fires_outside_the_arena() {
+        let f = file(
+            "crates/core/src/scan.rs",
+            "let d = torus.neighborhood(id, r, metric).count();\n\
+             let e = torus.neighborhood(id, r, metric); // audit:allow(adhoc-neighborhood)\n",
+        );
+        let v = check_adhoc_neighborhood(&f);
+        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn adhoc_neighborhood_exempts_the_arena_module() {
+        let f = file(
+            "crates/grid/src/arena.rs",
+            "let targets = torus.neighborhood(id, r, metric);\n",
+        );
+        assert!(check_adhoc_neighborhood(&f).is_empty());
+    }
+
+    #[test]
+    fn adhoc_neighborhood_skips_tests_and_plain_identifiers() {
+        let f = file(
+            "crates/protocols/src/x.rs",
+            "fn fits_single_neighborhood(r: u32) {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t(torus: &Torus) { torus.neighborhood(id, 1, m); }\n\
+             }\n",
+        );
+        assert!(check_adhoc_neighborhood(&f).is_empty());
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct RunSpec {
     pub behavior: FaultKind,
     /// Channel model.
     pub channel: ChannelConfig,
+    /// Whether the run may stop once every honest node has decided
+    /// (default true; `--no-early-term` disables it to measure the full
+    /// tail until quiescence).
+    pub early_termination: bool,
 }
 
 /// Usage text.
@@ -75,6 +79,7 @@ USAGE:
   rbcast run   [--protocol P] [--r N] [--t N] [--metric M] [--placement PL]
                [--behavior B] [--seed N] [--prob F] [--repeats N]
                [--loss F] [--redundancy N] [--spoofing] [--jam N]
+               [--no-early-term]
   rbcast sweep --t-max N [--threads N] [run options]
   rbcast audit --placement PL [--r N] [--t N] [--seed N] [--metric M]
   rbcast help
@@ -87,6 +92,11 @@ USAGE:
   Sweeps fan out over worker threads through the deterministic engine:
   output is byte-identical for every thread count. --threads overrides
   the RBCAST_THREADS environment variable; the default is all cores.
+
+  Runs stop as soon as every honest node has decided (the delivery-trace
+  hash is frozen at that round either way, so determinism gates are
+  unaffected). --no-early-term lets the run idle to quiescence instead,
+  which is what message-complexity measurements need.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -161,6 +171,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, Option<usize>),
     let mut redundancy = 1u32;
     let mut spoofing = false;
     let mut jam = 0u32;
+    let mut early_termination = true;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -187,6 +198,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, Option<usize>),
             "--redundancy" => redundancy = parse_value(&mut it, flag)?,
             "--spoofing" => spoofing = true,
             "--jam" => jam = parse_value(&mut it, flag)?,
+            "--no-early-term" => early_termination = false,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -249,6 +261,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, Option<usize>),
             placement,
             behavior,
             channel,
+            early_termination,
         },
         t_max,
         threads,
@@ -267,7 +280,8 @@ fn build(spec: &RunSpec, t_override: Option<usize>) -> Experiment {
     let mut e = Experiment::new(spec.r, spec.protocol)
         .with_metric(spec.metric)
         .with_fault_kind(spec.behavior)
-        .with_channel(spec.channel.clone());
+        .with_channel(spec.channel.clone())
+        .with_early_termination(spec.early_termination);
     if let Some(t) = t_override.or(spec.t) {
         e = e.with_t(t);
     }
@@ -431,6 +445,18 @@ mod tests {
         assert!(spec.channel.spoofing);
         assert_eq!(spec.channel.jam_budget, 7);
         assert_eq!(spec.channel.seed, 9);
+    }
+
+    #[test]
+    fn early_termination_defaults_on_and_flag_disables_it() {
+        let Command::Run(spec) = parse(&argv("run --r 2")).unwrap() else {
+            panic!("not a run");
+        };
+        assert!(spec.early_termination);
+        let Command::Run(spec) = parse(&argv("run --r 2 --no-early-term")).unwrap() else {
+            panic!("not a run");
+        };
+        assert!(!spec.early_termination);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use rbcast::construct::{paths_u, r_2r_plus_1, worst_case_p};
 use rbcast::flow::ChainPacker;
-use rbcast::grid::{Coord, Metric, Torus};
+use rbcast::grid::{Coord, Metric, NeighborTable, Torus};
 use rbcast::protocols::{CommitRule, EvidenceStore, Geometry};
 
 /// Feed the Fig. 5 construction's chains for one committer into the
@@ -33,12 +33,8 @@ fn constructed_chains_determine_committer() {
         ev.record_chain(committer, true, &relays);
     }
     let me = worst_case_p(r) + offset;
-    let geo = Geometry {
-        torus: &torus,
-        r,
-        metric: Metric::Linf,
-        me,
-    };
+    let arena = NeighborTable::build(&torus, r, Metric::Linf);
+    let geo = Geometry::new(&arena, me);
     let _ = ev.evaluate(&geo);
     assert_eq!(ev.determined().get(&committer), Some(&true));
 }
@@ -97,11 +93,7 @@ fn simplified_witness_commits_via_one_level_rule() {
             .collect();
         ev.record_chain(committer, true, &relays);
     }
-    let geo = Geometry {
-        torus: &torus,
-        r,
-        metric: Metric::Linf,
-        me: worst_case_p(r) + offset,
-    };
+    let arena = NeighborTable::build(&torus, r, Metric::Linf);
+    let geo = Geometry::new(&arena, worst_case_p(r) + offset);
     assert_eq!(ev.evaluate(&geo), Some(true));
 }
