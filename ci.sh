@@ -35,6 +35,30 @@ cargo test -q -p rbcast-core --test determinism --features debug-invariants
 echo "==> thresh_byz smoke (tiny grid through the parallel engine)"
 cargo run -q -p rbcast-bench --bin thresh_byz -- --smoke
 
+echo "==> chaos smoke (injected panics/stalls quarantined, journal well-formed)"
+# Seed 4 deterministically kills tasks in both thresh_byz sweeps (the
+# chaos draw is a pure function of (seed, task, attempt), so this holds
+# at every thread count). The bin must still exit 0 — failures are
+# quarantined, never fatal — and the checkpoint journal must hold one
+# well-formed line per task, including the failed ones.
+rm -rf results/journal
+chaos_out=target/chaos_smoke.out
+RBCAST_CHAOS="panic:0.05,stall:0.02,seed=4" RBCAST_RETRIES=1 \
+    cargo run -q -p rbcast-bench --bin thresh_byz -- --smoke > "$chaos_out" 2>&1 \
+    || { cat "$chaos_out"; echo "chaos smoke: thresh_byz failed fatally"; exit 1; }
+grep -q "^quarantine " "$chaos_out" \
+    || { cat "$chaos_out"; echo "chaos smoke: expected quarantined tasks"; exit 1; }
+journal=results/journal/thresh_byz_achievability.jsonl
+test -s "$journal" \
+    || { echo "chaos smoke: missing checkpoint journal $journal"; exit 1; }
+grep -q '"status":"failed"' "$journal" \
+    || { cat "$journal"; echo "chaos smoke: no failed entry journalled"; exit 1; }
+if grep -v '^{"task":[0-9][0-9]*,"status":"\(ok\|failed\)","attempts":[0-9][0-9]*,' "$journal"; then
+    echo "chaos smoke: malformed journal line(s) above"; exit 1
+fi
+rm -rf results/journal
+echo "chaos smoke passed"
+
 echo "==> sweep_engine smoke (multi-thread throughput >= 85% of serial)"
 cargo bench -q -p rbcast-bench --bench sweep_engine -- --smoke
 

@@ -6,6 +6,7 @@
 
 use rbcast_adversary::Placement;
 use rbcast_bench::{header, rule, Verdicts};
+use rbcast_core::supervisor::{self, Supervised, SupervisorConfig};
 use rbcast_core::{engine, thresholds, Experiment, FaultKind, ProtocolKind};
 use std::time::Instant;
 
@@ -29,19 +30,37 @@ fn main() {
                 .with_fault_kind(FaultKind::Liar)
         })
         .collect();
-    // Engine fan-out with per-run wall time measured inside each task.
-    // Outcomes stay deterministic; only the secs column reflects
-    // scheduling (and contention, when threads > 1).
+    // Supervised fan-out (the generic entry point, since each task also
+    // carries a per-run wall-time measurement). Outcomes stay
+    // deterministic; only the secs column reflects scheduling (and
+    // contention, when threads > 1). A panicking or runaway radius is
+    // quarantined instead of killing the smaller ones' rows.
     let threads = engine::thread_count(None);
-    let timed = engine::run_indexed(&experiments, threads, |_, e| {
+    let config = match SupervisorConfig::from_env() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let timed = supervisor::supervise(&experiments, threads, &config, |_, e| {
         // Measurement-only: timing the run, never feeding back into it.
         let start = Instant::now(); // audit:allow(wall-clock)
         let o = e.run();
-        (o, start.elapsed().as_secs_f64())
+        Ok((o, start.elapsed().as_secs_f64()))
     });
 
-    for (&r, (o, secs)) in rs.iter().zip(&timed) {
+    for (&r, task) in rs.iter().zip(&timed) {
         let t = thresholds::byzantine_max_t(r) as usize;
+        let label = format!("r={r}: all honest correct at t_max = {t}");
+        let (o, secs) = match task {
+            Supervised::Done { value, .. } => value,
+            Supervised::Failed { error, .. } => {
+                println!("{r:>3} (quarantined: {error})");
+                v.skip(&label);
+                continue;
+            }
+        };
         let heard = o
             .message_kinds
             .iter()
@@ -59,10 +78,7 @@ fn main() {
             o.stats.rounds,
             secs
         );
-        v.check(
-            &format!("r={r}: all honest correct at t_max = {t}"),
-            o.all_honest_correct(),
-        );
+        v.check(&label, o.all_honest_correct());
     }
     v.finish()
 }

@@ -30,6 +30,7 @@ pub fn verdict(label: &str, ok: bool) {
 #[derive(Debug, Default)]
 pub struct Verdicts {
     failures: usize,
+    skipped: usize,
     total: usize,
 }
 
@@ -49,12 +50,28 @@ impl Verdicts {
         }
     }
 
+    /// Records and prints a check that could not run because every input
+    /// it needed was quarantined by the sweep supervisor. A skip is
+    /// visible but not a failure: the quarantine report already carries
+    /// the underlying errors, and failing the bin on top of it would
+    /// turn graceful degradation back into all-or-nothing.
+    pub fn skip(&mut self, label: &str) {
+        println!("[SKIP] {label} (inputs quarantined)");
+        self.total += 1;
+        self.skipped += 1;
+    }
+
     /// Prints the summary and exits nonzero on any failure.
     pub fn finish(self) -> ! {
         println!();
+        let note = if self.skipped > 0 {
+            format!(" ({} skipped)", self.skipped)
+        } else {
+            String::new()
+        };
         println!(
-            "{}/{} checks passed",
-            self.total - self.failures,
+            "{}/{} checks passed{note}",
+            self.total - self.failures - self.skipped,
             self.total
         );
         std::process::exit(i32::from(self.failures > 0))

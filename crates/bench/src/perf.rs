@@ -11,10 +11,11 @@
 //! are annotated measurement-only sites, and holding or dropping the
 //! timer never changes an outcome.
 
+use rbcast_core::supervisor::{self, SupervisorConfig, SweepReport, TaskReport};
 use rbcast_core::{engine, Experiment, Outcome};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Timing record for one executed sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,21 +42,85 @@ impl SweepTiming {
     }
 }
 
-/// Runs `experiments` through the deterministic engine on `threads`
-/// workers and times the sweep. Outcomes come back in experiment order —
+/// The supervised results of one sweep: healthy outcomes in experiment
+/// order (quarantined slots are `None`) plus the quarantine report.
+/// Derefs to `[Option<Outcome>]`, so `rows[i]`, `rows.iter().flatten()`
+/// and `chunks(n)` all work directly on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRows {
+    rows: Vec<Option<Outcome>>,
+    /// Quarantined tasks: `(experiment index, error display)`.
+    pub quarantined: Vec<(usize, String)>,
+}
+
+impl std::ops::Deref for SweepRows {
+    type Target = [Option<Outcome>];
+    fn deref(&self) -> &Self::Target {
+        &self.rows
+    }
+}
+
+impl SweepRows {
+    /// True when no task was quarantined.
+    #[must_use]
+    pub fn fully_healthy(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// The supervisor policy every bench sweep runs under: the environment
+/// knobs (`RBCAST_CHAOS`, `RBCAST_RETRIES`, `RBCAST_ROUND_BUDGET`)
+/// applied to the defaults. A malformed knob aborts with exit code 2 —
+/// a typo must not silently disarm a chaos gate.
+fn env_config() -> SupervisorConfig {
+    match SupervisorConfig::from_env() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Where a sweep's checkpoint journal lives:
+/// `results/journal/<label>.jsonl` under the workspace root (anchored
+/// at compile time — `cargo bench`/`cargo test` set a per-crate cwd,
+/// and journals must not scatter with it), with `/` flattened to `_`.
+#[must_use]
+pub fn journal_path(label: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join("journal")
+        .join(format!("{}.jsonl", label.replace('/', "_")))
+}
+
+/// Runs `experiments` under the sweep supervisor on `threads` workers
+/// and times the sweep. Healthy outcomes come back in experiment order —
 /// identical for every thread count — so callers print rows exactly as
-/// the serial loops they replace did.
+/// the serial loops they replace did; failed tasks are quarantined
+/// (reported and journalled) instead of killing the bin. Each sweep
+/// checkpoints to [`journal_path`]`(label)` as tasks complete (best
+/// effort: an unwritable path warns and continues).
 #[must_use]
 pub fn run_sweep_timed(
     label: &str,
     experiments: &[Experiment],
     threads: usize,
-) -> (Vec<Outcome>, SweepTiming) {
+) -> (SweepRows, SweepTiming) {
+    let mut config = env_config();
+    match supervisor::Journal::create(&journal_path(label)) {
+        Ok(journal) => config.journal = Some(journal),
+        Err(e) => eprintln!(
+            "warning: cannot open journal {}: {e}",
+            journal_path(label).display()
+        ),
+    }
     let t0 = std::time::Instant::now(); // audit:allow(wall-clock): sweep measurement
-    let outcomes = engine::run_experiments(experiments, threads);
+    let report = supervisor::run_experiments_supervised(experiments, threads, &config);
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
     (
-        outcomes,
+        rows_of(label, report),
         SweepTiming {
             label: label.to_string(),
             threads,
@@ -65,20 +130,49 @@ pub fn run_sweep_timed(
     )
 }
 
+/// Flattens a supervised report into [`SweepRows`], printing the
+/// quarantine report (if any) so no failure is silent.
+fn rows_of(label: &str, report: SweepReport) -> SweepRows {
+    let quarantined: Vec<(usize, String)> = report
+        .quarantined()
+        .into_iter()
+        .map(|(i, e)| (i, e.to_string()))
+        .collect();
+    for (i, error) in &quarantined {
+        println!("quarantine {label}: task {i}: {error}");
+    }
+    let rows = report
+        .tasks
+        .into_iter()
+        .map(|t| match t {
+            TaskReport::Done { outcome, .. } => Some(outcome),
+            // Bench sweeps never resume; a Resumed slot would mean a
+            // stale resume map leaked in — treat it as unavailable.
+            TaskReport::Resumed { .. } | TaskReport::Failed { .. } => None,
+        })
+        .collect();
+    SweepRows { rows, quarantined }
+}
+
 /// [`run_sweep_timed`] at the ambient thread count
 /// ([`engine::thread_count`]`(None)`, i.e. `RBCAST_THREADS` or all
 /// cores), printing a one-line sweep summary.
 #[must_use]
-pub fn run_sweep(label: &str, experiments: &[Experiment]) -> (Vec<Outcome>, SweepTiming) {
+pub fn run_sweep(label: &str, experiments: &[Experiment]) -> (SweepRows, SweepTiming) {
     let threads = engine::thread_count(None);
-    let (outcomes, timing) = run_sweep_timed(label, experiments, threads);
+    let (rows, timing) = run_sweep_timed(label, experiments, threads);
+    let quarantine_note = if rows.fully_healthy() {
+        String::new()
+    } else {
+        format!(", {} quarantined", rows.quarantined.len())
+    };
     println!(
-        "sweep {label}: {} runs on {threads} thread(s) in {:.1} ms ({:.0} runs/s)",
+        "sweep {label}: {} runs on {threads} thread(s) in {:.1} ms ({:.0} runs/s{quarantine_note})",
         timing.runs,
         timing.wall_ms,
         timing.runs_per_sec()
     );
-    (outcomes, timing)
+    (rows, timing)
 }
 
 /// Parallel scaling efficiency of one sweep against its bin's
@@ -241,10 +335,20 @@ mod tests {
         let experiments: Vec<Experiment> = (1..=2)
             .map(|r| Experiment::new(r, ProtocolKind::Flood))
             .collect();
-        let (outcomes, timing) = run_sweep_timed("test/order", &experiments, 2);
-        assert_eq!(outcomes.len(), 2);
+        let (rows, timing) = run_sweep_timed("test/order", &experiments, 2);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.fully_healthy());
         assert_eq!(timing.runs, 2);
         let serial = engine::run_experiments(&experiments, 1);
-        assert_eq!(outcomes, serial);
+        let healthy: Vec<Outcome> = rows.iter().flatten().cloned().collect();
+        assert_eq!(healthy, serial);
+        std::fs::remove_file(journal_path("test/order")).ok();
+    }
+
+    #[test]
+    fn journal_paths_flatten_labels_and_anchor_at_the_workspace_root() {
+        let p = journal_path("thresh_byz/achievability");
+        assert!(p.ends_with("results/journal/thresh_byz_achievability.jsonl"));
+        assert!(p.is_absolute());
     }
 }

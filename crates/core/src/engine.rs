@@ -17,6 +17,17 @@
 //! * the caller receives `Vec<R>` in input order, so downstream
 //!   printing/aggregation cannot observe scheduling.
 //!
+//! Three entry points share the machinery and differ only in failure
+//! behaviour:
+//!
+//! * [`run_indexed`] — the legacy infallible path: a worker panic is
+//!   re-raised on the calling thread;
+//! * [`try_run_indexed`] — failures come back as a structured
+//!   [`EngineError`] instead of a panic;
+//! * [`run_indexed_partial`] — graceful degradation: every slot a live
+//!   worker filled is returned, missing slots are `None`. This is the
+//!   substrate the [`crate::supervisor`] builds on.
+//!
 //! The executor is std-only (`std::thread::scope`); the
 //! `raw-thread-spawn` audit rule confines `std::thread` spawning to this
 //! module so all parallelism in the workspace flows through it.
@@ -26,7 +37,9 @@
 //! [`std::thread::available_parallelism`].
 
 use crate::{Experiment, Outcome};
+use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "RBCAST_THREADS";
@@ -36,17 +49,81 @@ pub const THREADS_ENV: &str = "RBCAST_THREADS";
 /// result lands.
 const CHUNK: usize = 4;
 
+/// Structured failure of a parallel run — what [`try_run_indexed`]
+/// returns instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A worker thread panicked; the message is recovered from the
+    /// panic payload (the first failed worker observed wins).
+    WorkerPanicked {
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The work queue failed to cover every index exactly once — an
+    /// executor bug, never a task failure. Carries the uncovered
+    /// indices.
+    QueueInvariant {
+        /// Input indices for which no result was produced.
+        missing: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::WorkerPanicked { message } => {
+                write!(f, "worker thread panicked: {message}")
+            }
+            EngineError::QueueInvariant { missing } => write!(
+                f,
+                "work queue invariant violated: {} index(es) never covered \
+                 (first: {:?})",
+                missing.len(),
+                missing.first()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Best-effort stringification of a panic payload (the two shapes
+/// `panic!` actually produces, then a generic fallback).
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Resolves the worker-thread count: `requested` if given (clamped to at
 /// least 1), else the `RBCAST_THREADS` environment variable, else
 /// [`std::thread::available_parallelism`] (1 when unknown).
+///
+/// An `RBCAST_THREADS` value that is unparseable or zero is clamped to 1
+/// — loudly: a one-time stderr warning names the rejected value, so a
+/// typo in the environment can no longer silently serialize a sweep.
 #[must_use]
 pub fn thread_count(requested: Option<usize>) -> usize {
     if let Some(n) = requested {
         return n.max(1);
     }
     if let Ok(raw) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            return n.max(1);
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                static WARNED: Once = Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: {THREADS_ENV}={raw:?} is not a positive \
+                         integer; running with 1 worker thread"
+                    );
+                });
+                return 1;
+            }
         }
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -64,7 +141,9 @@ pub fn thread_count(requested: Option<usize>) -> usize {
 /// # Panics
 ///
 /// Panics propagate from worker threads: if any task panics, the first
-/// worker panic observed is re-raised on the calling thread.
+/// worker panic observed is re-raised on the calling thread. Callers
+/// that need isolation instead of propagation use [`try_run_indexed`]
+/// or [`run_indexed_partial`].
 pub fn run_indexed<T, R, F>(tasks: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -75,7 +154,86 @@ where
     if threads == 1 {
         return tasks.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    let (slots, first_panic) = run_chunked(tasks, threads, &f);
+    if let Some(payload) = first_panic {
+        // audit:allow(panic): re-raising a worker panic verbatim
+        std::panic::resume_unwind(payload);
+    }
+    match collect_full(slots) {
+        Ok(results) => results,
+        // infallible legacy entry point — the invariant error is
+        // surfaced structurally by try_run_indexed
+        // audit:allow(panic)
+        Err(e) => panic!("{e}"),
+    }
+}
 
+/// [`run_indexed`] with structured failure: a worker panic or a
+/// work-queue invariant violation comes back as an [`EngineError`]
+/// instead of unwinding through the caller. On success the results are
+/// complete and in input order, exactly as [`run_indexed`] returns them.
+///
+/// Unlike [`run_indexed`], the single-thread path also runs on a worker
+/// thread so a panicking task is captured rather than propagated — the
+/// error contract is identical at every thread count.
+///
+/// # Errors
+///
+/// [`EngineError::WorkerPanicked`] if any worker died (the first
+/// observed panic's message is reported); [`EngineError::QueueInvariant`]
+/// if the chunked queue failed to cover every index.
+pub fn try_run_indexed<T, R, F>(tasks: &[T], threads: usize, f: F) -> Result<Vec<R>, EngineError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(tasks.len().max(1));
+    let (slots, first_panic) = run_chunked(tasks, threads, &f);
+    if let Some(payload) = first_panic {
+        return Err(EngineError::WorkerPanicked {
+            message: payload_message(payload.as_ref()),
+        });
+    }
+    collect_full(slots)
+}
+
+/// Graceful-degradation variant: every slot some live worker filled is
+/// returned in input order; slots lost to a dead worker (a panicking
+/// task takes down its worker thread, losing that worker's uncollected
+/// chunk results) or to a queue invariant violation are `None` instead
+/// of poisoning the whole run.
+///
+/// This is deliberately coarse — per-*task* isolation (one `None` per
+/// failing task, with a reason) is the [`crate::supervisor`]'s job; this
+/// layer only guarantees the caller gets everything that survived.
+/// Like [`try_run_indexed`], the single-thread path runs on a worker
+/// thread so a panic is contained at every thread count.
+pub fn run_indexed_partial<T, R, F>(tasks: &[T], threads: usize, f: F) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(tasks.len().max(1));
+    run_chunked(tasks, threads, &f).0
+}
+
+/// The shared chunked work-queue machinery: runs every task on `threads`
+/// scoped workers (at least one — the caller normalizes), collects
+/// results by input index, and returns the slot vector together with the
+/// first worker panic payload observed (slots computed by a panicked
+/// worker since its last hand-off are lost, i.e. `None`).
+fn run_chunked<T, R, F>(
+    tasks: &[T],
+    threads: usize,
+    f: &F,
+) -> (Vec<Option<R>>, Option<Box<dyn Any + Send>>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let cursor = AtomicUsize::new(0);
     let worker = |_w: usize| {
         let mut local: Vec<(usize, R)> = Vec::new();
@@ -94,23 +252,40 @@ where
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks.len());
     slots.resize_with(tasks.len(), || None);
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || worker(w))).collect();
         for h in handles {
-            let local = match h.join() {
-                Ok(local) => local,
-                // audit:allow(panic): re-raising a worker panic verbatim
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            for (i, r) in local {
-                slots[i] = Some(r);
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
             }
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("work queue covered every index exactly once"))
-        .collect()
+    (slots, first_panic)
+}
+
+/// Converts a complete slot vector into results, reporting any uncovered
+/// index as the structured queue-invariant error (previously a bare
+/// `expect` panic).
+fn collect_full<R>(slots: Vec<Option<R>>) -> Result<Vec<R>, EngineError> {
+    let missing: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    if !missing.is_empty() {
+        return Err(EngineError::QueueInvariant { missing });
+    }
+    Ok(slots.into_iter().flatten().collect())
 }
 
 /// [`run_indexed`] over a slice of experiments: the deterministic
@@ -137,7 +312,9 @@ pub fn run_experiments_traced(experiments: &[Experiment], threads: usize) -> Vec
 /// could each build the same table (correct but wasted work), and
 /// back-to-back runs of one experiment would rebuild a table whose last
 /// `Arc` died between them.
-fn prewarm_arenas(experiments: &[Experiment]) -> Vec<std::sync::Arc<rbcast_grid::NeighborTable>> {
+pub(crate) fn prewarm_arenas(
+    experiments: &[Experiment],
+) -> Vec<std::sync::Arc<rbcast_grid::NeighborTable>> {
     experiments
         .iter()
         .filter_map(Experiment::arena_guard)
@@ -189,6 +366,84 @@ mod tests {
             assert!(i != 3, "task {i} exploded");
             i
         });
+    }
+
+    #[test]
+    fn try_run_matches_run_indexed_when_healthy() {
+        let tasks: Vec<usize> = (0..17).collect();
+        for threads in [1, 2, 8] {
+            let out = try_run_indexed(&tasks, threads, |_, &t| t * 3).unwrap();
+            assert_eq!(out, tasks.iter().map(|t| t * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_run_reports_worker_panics_structurally() {
+        let tasks: Vec<usize> = (0..8).collect();
+        for threads in [1, 2] {
+            let err = try_run_indexed(&tasks, threads, |i, &t| {
+                assert!(i != 3, "task {i} exploded");
+                t
+            })
+            .unwrap_err();
+            match err {
+                EngineError::WorkerPanicked { message } => {
+                    assert!(message.contains("task 3 exploded"), "{message}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_returns_everything_that_survived() {
+        let tasks: Vec<usize> = (0..32).collect();
+        for threads in [1, 2, 4] {
+            let out = run_indexed_partial(&tasks, threads, |i, &t| {
+                assert!(i != 9, "boom");
+                t * 2
+            });
+            assert_eq!(out.len(), tasks.len());
+            assert!(out[9].is_none());
+            // Whatever made it back is correct and correctly placed.
+            for (i, slot) in out.iter().enumerate() {
+                if let Some(v) = slot {
+                    assert_eq!(*v, i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_is_complete_when_nothing_fails() {
+        let tasks: Vec<usize> = (0..11).collect();
+        let out = run_indexed_partial(&tasks, 3, |_, &t| t + 100);
+        let full: Vec<usize> = out.into_iter().map(Option::unwrap).collect();
+        assert_eq!(full, tasks.iter().map(|t| t + 100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn engine_error_display_names_the_failure() {
+        let p = EngineError::WorkerPanicked {
+            message: "kaput".into(),
+        };
+        assert!(p.to_string().contains("kaput"));
+        let q = EngineError::QueueInvariant {
+            missing: vec![4, 7],
+        };
+        let s = q.to_string();
+        assert!(s.contains('2') && s.contains('4'), "{s}");
+    }
+
+    #[test]
+    fn invalid_threads_env_clamps_to_one_with_warning() {
+        // Runs in-process: the Once means only the first offender warns,
+        // but the clamp itself must hold for every bad shape.
+        for bad in ["zero", "0", "-3", "1.5", ""] {
+            std::env::set_var(THREADS_ENV, bad);
+            assert_eq!(thread_count(None), 1, "RBCAST_THREADS={bad:?}");
+        }
+        std::env::remove_var(THREADS_ENV);
     }
 
     #[test]

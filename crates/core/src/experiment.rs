@@ -144,6 +144,7 @@ pub struct Experiment {
     channel: ChannelConfig,
     shared_arena: bool,
     early_termination: bool,
+    round_budget: Option<u32>,
 }
 
 impl Experiment {
@@ -163,6 +164,7 @@ impl Experiment {
             channel: ChannelConfig::reliable(),
             shared_arena: true,
             early_termination: true,
+            round_budget: None,
         }
     }
 
@@ -244,6 +246,24 @@ impl Experiment {
     pub fn with_early_termination(mut self, on: bool) -> Self {
         self.early_termination = on;
         self
+    }
+
+    /// Arms the supervisor's cooperative watchdog (default: off). A
+    /// budget strictly below `max_rounds` makes the simulator stop at
+    /// the budget with [`rbcast_sim::StopReason::DeadlineExceeded`]
+    /// instead of running to the cap; budgets at or above the cap never
+    /// bind, so a generous budget is byte-identical to no budget.
+    #[must_use]
+    pub fn with_round_budget(mut self, budget: Option<u32>) -> Self {
+        self.round_budget = budget;
+        self
+    }
+
+    /// The configured watchdog budget, if any (the supervisor threads
+    /// its default through experiments that did not set their own).
+    #[must_use]
+    pub fn round_budget(&self) -> Option<u32> {
+        self.round_budget
     }
 
     /// The default fault budget when `with_t` was not called: the
@@ -434,6 +454,7 @@ impl Experiment {
             .collect();
         net.set_completion_mask(&honest_ids);
         net.set_early_termination(self.early_termination);
+        net.set_round_budget(self.round_budget);
         if self.t2_oracle_applies(audited_bound, t) {
             net.set_safety_oracle(self.value, &faults);
         }
@@ -563,6 +584,25 @@ mod tests {
         assert!(kinds.contains(&"SOURCE"));
         assert!(kinds.contains(&"COMMITTED"));
         assert!(kinds.contains(&"HEARD"));
+    }
+
+    #[test]
+    fn round_budget_cuts_a_run_short() {
+        let o = Experiment::new(1, ProtocolKind::Flood)
+            .with_round_budget(Some(1))
+            .run();
+        assert_eq!(
+            o.stats.stop_reason,
+            rbcast_sim::StopReason::DeadlineExceeded
+        );
+        assert!(o.undecided > 0, "{o}");
+        // A budget at the cap never binds: byte-identical to no budget.
+        let capped = Experiment::new(1, ProtocolKind::Flood)
+            .with_round_budget(Some(10_000))
+            .run_traced();
+        let free = Experiment::new(1, ProtocolKind::Flood).run_traced();
+        assert_eq!(capped, free);
+        assert!(free.0.all_honest_correct());
     }
 
     #[test]

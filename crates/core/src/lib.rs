@@ -41,6 +41,7 @@ mod experiment;
 pub mod graphs;
 pub mod percolation;
 pub mod render;
+pub mod supervisor;
 pub mod thresholds;
 
 pub use experiment::{Experiment, FaultKind, Outcome, ProtocolKind};

@@ -1,0 +1,1524 @@
+//! Fault-tolerant sweep execution: panic isolation, deadlines, retry,
+//! checkpoint/resume, and deterministic chaos injection.
+//!
+//! The [`crate::engine`] is deliberately dumb: it fans tasks out and, in
+//! its legacy entry point, re-raises the first worker panic — one bad
+//! `(t, r, seed, adversary)` cell kills a whole frontier sweep and
+//! discards every finished result. This module wraps the engine in a
+//! supervisor that **degrades gracefully instead of failing
+//! atomically**:
+//!
+//! * **Panic isolation** — each task attempt runs under
+//!   `std::panic::catch_unwind` (the `catch-unwind` audit rule confines
+//!   that construct to this module); a panicking task becomes a
+//!   structured [`TaskError::Panicked`], not process death. A panic hook
+//!   shim keeps supervised panics off stderr without hiding anyone
+//!   else's.
+//! * **Cooperative deadlines** — a per-task round budget is threaded
+//!   through [`Experiment::with_round_budget`] into the simulator's run
+//!   loop; a runaway run stops at the budget with
+//!   [`rbcast_sim::StopReason::DeadlineExceeded`] and surfaces as
+//!   [`TaskError::DeadlineExceeded`]. No threads are killed — the
+//!   watchdog is a loop bound, so determinism is untouched.
+//! * **Bounded deterministic retry** — failed attempts are retried up to
+//!   [`SupervisorConfig::max_attempts`] times. Retry seeds are
+//!   [`retry_seed`]`(index, attempt)`, a pure function, so a sweep's
+//!   output stays byte-identical at any thread count no matter which
+//!   worker retries what.
+//! * **Checkpoint journal** — completed tasks append one JSONL line
+//!   (index, status, attempts, outcome digest + summary) to a
+//!   [`Journal`]; a killed sweep resumes via
+//!   [`SupervisorConfig::resume_from`], re-running only failed/missing
+//!   tasks and converging to the uninterrupted output.
+//! * **Graceful degradation** — [`run_experiments_supervised`] always
+//!   returns every healthy result in input order together with a
+//!   quarantine report; it never trades completed work for an error.
+//! * **Chaos injection** — `RBCAST_CHAOS=panic:0.05,stall:0.02,seed=N`
+//!   (test-only) deterministically injects synthetic panics/stalls so CI
+//!   can exercise every supervisor path; draws are a pure function of
+//!   `(chaos seed, task index, attempt)`, so they too are
+//!   thread-count-invariant, and a retry of a chaos-panicked task rolls
+//!   a fresh draw and usually succeeds.
+
+use crate::engine::{self, payload_message};
+use crate::{Experiment, Outcome};
+use rbcast_sim::StopReason;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once};
+
+/// Environment variable holding the chaos-injection spec
+/// (`panic:0.05,stall:0.02,seed=7`; `:` and `=` are interchangeable).
+pub const CHAOS_ENV: &str = "RBCAST_CHAOS";
+
+/// Environment variable overriding the supervisor's attempt bound.
+pub const RETRIES_ENV: &str = "RBCAST_RETRIES";
+
+/// Environment variable arming a default per-task round budget.
+pub const ROUND_BUDGET_ENV: &str = "RBCAST_ROUND_BUDGET";
+
+// ---------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------
+
+/// Why a supervised task failed — the structured replacement for a
+/// propagated panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task panicked; the payload is captured verbatim.
+    Panicked {
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The cooperative watchdog tripped: the run was still live when its
+    /// round budget ran out.
+    DeadlineExceeded {
+        /// The budget that was exhausted.
+        round_budget: u32,
+    },
+    /// The experiment's own `max_rounds` cap was reached and the
+    /// supervisor was configured to treat that as a failure
+    /// ([`SupervisorConfig::fail_on_round_cap`]; off by default, since
+    /// partitioned runs legitimately idle at the cap).
+    RoundCapHit {
+        /// Rounds executed when the cap was hit.
+        rounds: u32,
+    },
+    /// An executor invariant broke (e.g. the work queue never produced a
+    /// result for this index) — a harness bug, not a model outcome.
+    Invariant {
+        /// What broke.
+        message: String,
+    },
+    /// Every attempt failed; wraps the last failure.
+    Retried {
+        /// Total attempts made (= the configured bound).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<TaskError>,
+    },
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked { message } => write!(f, "panicked: {message}"),
+            TaskError::DeadlineExceeded { round_budget } => {
+                write!(f, "deadline exceeded (round budget {round_budget})")
+            }
+            TaskError::RoundCapHit { rounds } => {
+                write!(f, "round cap hit after {rounds} rounds")
+            }
+            TaskError::Invariant { message } => write!(f, "invariant violated: {message}"),
+            TaskError::Retried { attempts, last } => {
+                write!(f, "failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+impl From<engine::EngineError> for TaskError {
+    fn from(e: engine::EngineError) -> Self {
+        match e {
+            engine::EngineError::WorkerPanicked { message } => TaskError::Panicked { message },
+            engine::EngineError::QueueInvariant { .. } => TaskError::Invariant {
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic seeds and chaos
+// ---------------------------------------------------------------------
+
+/// splitmix64 finalizer — the workspace's standard bit mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Mixes a base seed with a task index and attempt number into one
+/// well-distributed u64.
+fn mix(base: u64, index: usize, attempt: u32) -> u64 {
+    let i = u64::try_from(index).unwrap_or(u64::MAX);
+    splitmix(
+        base ^ i
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xFF51_AFD7_ED55_8CCD)),
+    )
+}
+
+/// The derived seed for attempt `attempt` of task `index` — a pure
+/// function of its arguments, so retries are identical no matter which
+/// worker thread performs them or in what order. Attempt 0 is the
+/// original run; each retry gets a fresh but reproducible seed.
+#[must_use]
+pub fn retry_seed(index: usize, attempt: u32) -> u64 {
+    mix(0xA076_1D64_78BD_642F, index, attempt)
+}
+
+/// What the chaos layer injects into one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// A genuine `panic!` raised inside the supervised region.
+    Panic,
+    /// A synthetic stall, surfaced as [`TaskError::DeadlineExceeded`]
+    /// without burning wall-clock time.
+    Stall,
+}
+
+/// Deterministic fault injection (test-only; armed via [`CHAOS_ENV`]).
+///
+/// Probabilities are stored in parts-per-million so drawing never
+/// compares floats; a draw is a pure function of
+/// `(seed, task index, attempt)`, which keeps chaos runs byte-identical
+/// at every thread count and lets retries of a chaos-hit task succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosConfig {
+    panic_ppm: u32,
+    stall_ppm: u32,
+    seed: u64,
+}
+
+impl ChaosConfig {
+    /// Builds a config from probabilities in `[0, 1]` (handy in tests).
+    ///
+    /// # Errors
+    ///
+    /// If either probability is outside `[0, 1]` or they sum past 1.
+    pub fn new(panic_p: f64, stall_p: f64, seed: u64) -> Result<ChaosConfig, String> {
+        let cfg = ChaosConfig {
+            panic_ppm: probability_ppm(panic_p)?,
+            stall_ppm: probability_ppm(stall_p)?,
+            seed,
+        };
+        if cfg.panic_ppm + cfg.stall_ppm > 1_000_000 {
+            return Err("chaos probabilities sum past 1".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// Parses a spec like `panic:0.05,stall:0.02,seed=7`. Keys are
+    /// `panic`, `stall` (probabilities in `[0, 1]`) and `seed` (u64);
+    /// `:` and `=` both separate key from value; unknown keys are
+    /// errors — a typo must not silently disarm a CI chaos gate.
+    ///
+    /// # Errors
+    ///
+    /// On any malformed field, unknown key, or out-of-range probability.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for field in spec.split(',') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field
+                .split_once([':', '='])
+                .ok_or_else(|| format!("chaos field {field:?} is not key:value"))?;
+            let value = value.trim();
+            match key.trim() {
+                "panic" => cfg.panic_ppm = parse_probability(value)?,
+                "stall" => cfg.stall_ppm = parse_probability(value)?,
+                "seed" => {
+                    cfg.seed = value
+                        .parse()
+                        .map_err(|e| format!("chaos seed {value:?}: {e}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown chaos field {other:?} (expected panic, stall, or seed)"
+                    ))
+                }
+            }
+        }
+        if cfg.panic_ppm + cfg.stall_ppm > 1_000_000 {
+            return Err("chaos probabilities sum past 1".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// Reads and parses [`CHAOS_ENV`]. `None` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// If the variable is set but malformed (strict: a broken spec must
+    /// fail loudly, not silently run without chaos).
+    pub fn from_env() -> Result<Option<ChaosConfig>, String> {
+        match std::env::var(CHAOS_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => ChaosConfig::parse(&raw)
+                .map(Some)
+                .map_err(|e| format!("{CHAOS_ENV}: {e}")),
+            _ => Ok(None),
+        }
+    }
+
+    /// The deterministic draw for one attempt of one task.
+    #[must_use]
+    pub fn draw(&self, index: usize, attempt: u32) -> Option<ChaosEvent> {
+        if self.panic_ppm == 0 && self.stall_ppm == 0 {
+            return None;
+        }
+        let roll =
+            u32::try_from(mix(self.seed ^ 0x517C_C1B7_2722_0A95, index, attempt) % 1_000_000)
+                .expect("value mod 1e6 fits in u32");
+        if roll < self.panic_ppm {
+            Some(ChaosEvent::Panic)
+        } else if roll < self.panic_ppm + self.stall_ppm {
+            Some(ChaosEvent::Stall)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses a probability literal into parts-per-million.
+fn parse_probability(value: &str) -> Result<u32, String> {
+    let p: f64 = value
+        .parse()
+        .map_err(|e| format!("probability {value:?}: {e}"))?;
+    probability_ppm(p)
+}
+
+/// Converts a probability in `[0, 1]` to parts-per-million.
+fn probability_ppm(p: f64) -> Result<u32, String> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability {p} outside [0, 1]"));
+    }
+    // In-range by the check above; truncation cannot occur.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok((p * 1_000_000.0).round() as u32)
+}
+
+// ---------------------------------------------------------------------
+// Panic capture
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// True while this thread is inside a supervised `catch_unwind`
+    /// region — the panic hook stays silent for exactly those panics.
+    static SUPERVISED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` under `catch_unwind`, suppressing the default panic banner
+/// for panics raised inside it (they are captured and reported
+/// structurally, so printing them would spam a chaos sweep's stderr).
+/// The hook is installed once and chains to whatever hook was active, so
+/// unsupervised panics keep their normal output.
+fn quiet_catch_unwind<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPERVISED.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    SUPERVISED.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPERVISED.with(|s| s.set(false));
+    result
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint journal
+// ---------------------------------------------------------------------
+
+/// The outcome digest a journal stores for a completed task: enough to
+/// reprint a sweep row and to cross-check convergence, without replaying
+/// the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutcomeSummary {
+    /// Honest nodes that committed the correct value.
+    pub correct: usize,
+    /// Honest nodes that committed a wrong value.
+    pub wrong: usize,
+    /// Honest nodes that never decided.
+    pub undecided: usize,
+    /// Total local broadcasts in the run.
+    pub messages: u64,
+}
+
+impl OutcomeSummary {
+    /// The summary of a computed outcome.
+    #[must_use]
+    pub fn of(outcome: &Outcome) -> OutcomeSummary {
+        OutcomeSummary {
+            correct: outcome.committed_correct,
+            wrong: outcome.committed_wrong,
+            undecided: outcome.undecided,
+            messages: outcome.stats.messages_sent,
+        }
+    }
+}
+
+/// One journal line: the durable record of one task's fate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Task index within the sweep (input order).
+    pub task: usize,
+    /// Whether the task completed.
+    pub ok: bool,
+    /// Attempts spent.
+    pub attempts: u32,
+    /// Delivery-trace hash of the completed run (determinism witness).
+    pub digest: Option<u64>,
+    /// Outcome summary of the completed run.
+    pub summary: Option<OutcomeSummary>,
+    /// Error display for a failed task.
+    pub error: Option<String>,
+}
+
+impl JournalEntry {
+    /// Serialises to one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "{{\"task\":{},\"status\":\"{}\",\"attempts\":{}",
+            self.task,
+            if self.ok { "ok" } else { "failed" },
+            self.attempts
+        );
+        if let Some(d) = self.digest {
+            line.push_str(&format!(",\"digest\":\"{d:#018x}\""));
+        }
+        if let Some(s) = &self.summary {
+            line.push_str(&format!(
+                ",\"correct\":{},\"wrong\":{},\"undecided\":{},\"messages\":{}",
+                s.correct, s.wrong, s.undecided, s.messages
+            ));
+        }
+        if let Some(e) = &self.error {
+            line.push_str(&format!(",\"error\":\"{}\"", escape_json(e)));
+        }
+        line.push('}');
+        line
+    }
+
+    /// Parses one JSONL line (strict: the journal is a recovery record,
+    /// so a corrupt line is an error, not a shrug).
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON, missing required fields, or bad field types.
+    pub fn from_line(line: &str) -> Result<JournalEntry, String> {
+        let fields = parse_flat_json(line)?;
+        let get_num = |key: &str| -> Result<u64, String> {
+            match fields.get(key) {
+                Some(JsonValue::Number(n)) => Ok(*n),
+                Some(JsonValue::String(_)) => Err(format!("field {key:?} must be a number")),
+                None => Err(format!("missing field {key:?}")),
+            }
+        };
+        let task = usize::try_from(get_num("task")?).map_err(|e| format!("task: {e}"))?;
+        let attempts = u32::try_from(get_num("attempts")?).map_err(|e| format!("attempts: {e}"))?;
+        let ok = match fields.get("status") {
+            Some(JsonValue::String(s)) if s == "ok" => true,
+            Some(JsonValue::String(s)) if s == "failed" => false,
+            Some(JsonValue::String(s)) => return Err(format!("unknown status {s:?}")),
+            _ => return Err("missing field \"status\"".to_string()),
+        };
+        let digest = match fields.get("digest") {
+            Some(JsonValue::String(s)) => {
+                let hex = s
+                    .strip_prefix("0x")
+                    .ok_or_else(|| format!("digest {s:?} is not 0x-prefixed hex"))?;
+                Some(u64::from_str_radix(hex, 16).map_err(|e| format!("digest {s:?}: {e}"))?)
+            }
+            Some(JsonValue::Number(_)) => return Err("digest must be a hex string".to_string()),
+            None => None,
+        };
+        let summary = if fields.contains_key("correct") {
+            Some(OutcomeSummary {
+                correct: usize::try_from(get_num("correct")?)
+                    .map_err(|e| format!("correct: {e}"))?,
+                wrong: usize::try_from(get_num("wrong")?).map_err(|e| format!("wrong: {e}"))?,
+                undecided: usize::try_from(get_num("undecided")?)
+                    .map_err(|e| format!("undecided: {e}"))?,
+                messages: get_num("messages")?,
+            })
+        } else {
+            None
+        };
+        let error = match fields.get("error") {
+            Some(JsonValue::String(s)) => Some(s.clone()),
+            Some(JsonValue::Number(_)) => return Err("error must be a string".to_string()),
+            None => None,
+        };
+        if ok && summary.is_none() {
+            return Err("ok entry lacks an outcome summary".to_string());
+        }
+        Ok(JournalEntry {
+            task,
+            ok,
+            attempts,
+            digest,
+            summary,
+            error,
+        })
+    }
+}
+
+/// Append-only JSONL checkpoint journal. Each completed task appends
+/// (and flushes) one [`JournalEntry`] line as it finishes, so a killed
+/// sweep loses at most the in-flight tasks. Line *order* is
+/// scheduling-dependent; the determinism contract lives in the entries
+/// themselves (pure functions of the task), which is why
+/// [`Journal::load`] folds last-entry-wins into an index-keyed map.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal at `path`, making parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// On any I/O failure.
+    pub fn create(path: &Path) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(File::create(path)?),
+        })
+    }
+
+    /// Opens a journal for appending (creating it if absent) — the
+    /// resume path, where prior entries must survive.
+    ///
+    /// # Errors
+    ///
+    /// On any I/O failure.
+    pub fn append_to(path: &Path) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(OpenOptions::new().create(true).append(true).open(path)?),
+        })
+    }
+
+    /// Where this journal lives.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// On any I/O failure.
+    pub fn record(&self, entry: &JournalEntry) -> std::io::Result<()> {
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        writeln!(file, "{}", entry.to_line())?;
+        file.flush()
+    }
+
+    /// Loads a journal into an index-keyed map, last entry per task
+    /// winning (a resumed sweep may re-record a task it re-ran).
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure or any malformed line (reported with its line
+    /// number).
+    pub fn load(path: &Path) -> std::io::Result<BTreeMap<usize, JournalEntry>> {
+        let reader = BufReader::new(File::open(path)?);
+        let mut entries = BTreeMap::new();
+        for (n, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = JournalEntry::from_line(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), n + 1),
+                )
+            })?;
+            entries.insert(entry.task, entry);
+        }
+        Ok(entries)
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The value shapes the journal format uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonValue {
+    Number(u64),
+    String(String),
+}
+
+/// Parses one flat JSON object (string/unsigned-number values only — the
+/// exact shape the journal writes; this is not a general JSON parser,
+/// and stays std-only because the container has no registry access).
+fn parse_flat_json(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    let mut fields = BTreeMap::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        skip_ws(&mut chars);
+        if chars.peek().is_none() {
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::String(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    digits.push(chars.next().expect("peeked digit"));
+                }
+                JsonValue::Number(
+                    digits
+                        .parse()
+                        .map_err(|e| format!("number for {key:?}: {e}"))?,
+                )
+            }
+            other => return Err(format!("unsupported value start {other:?} for key {key:?}")),
+        };
+        if fields.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => {}
+            None => break,
+            Some(c) => return Err(format!("expected ',' between fields, found {c:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses a JSON string literal (cursor at the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".to_string());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("\\u escape {hex:?}: {e}"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The supervisor proper
+// ---------------------------------------------------------------------
+
+/// Per-attempt context handed to a supervised task body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCtx {
+    /// Task index within the sweep (input order).
+    pub index: usize,
+    /// Attempt number, 0-based (0 is the original run).
+    pub attempt: u32,
+    /// [`retry_seed`]`(index, attempt)` — deterministic per-attempt
+    /// entropy for task bodies that want it.
+    pub seed: u64,
+}
+
+/// Supervisor policy: retries, deadlines, chaos, and checkpointing.
+#[derive(Debug, Default)]
+pub struct SupervisorConfig {
+    /// Maximum attempts per task (at least 1; [`SupervisorConfig::new`]
+    /// defaults to 2 — one retry).
+    pub max_attempts: u32,
+    /// Default round budget threaded into experiments that did not set
+    /// their own (`None` disarms the watchdog).
+    pub round_budget: Option<u32>,
+    /// Treat [`rbcast_sim::StopReason::RoundCap`] as a failure. Off by
+    /// default: impossibility experiments legitimately idle at the cap.
+    pub fail_on_round_cap: bool,
+    /// Chaos injection (test-only; `None` in production).
+    pub chaos: Option<ChaosConfig>,
+    /// Checkpoint journal to append completed tasks to.
+    pub journal: Option<Journal>,
+    /// Prior journal state: tasks with an `ok` entry are skipped and
+    /// their stored summaries returned as [`TaskReport::Resumed`].
+    pub resume: BTreeMap<usize, JournalEntry>,
+}
+
+impl SupervisorConfig {
+    /// The default policy: 2 attempts, no watchdog, no chaos, no
+    /// journal.
+    #[must_use]
+    pub fn new() -> SupervisorConfig {
+        SupervisorConfig {
+            max_attempts: 2,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    /// [`SupervisorConfig::new`] with [`CHAOS_ENV`], [`RETRIES_ENV`] and
+    /// [`ROUND_BUDGET_ENV`] applied — the bench binaries' entry point.
+    ///
+    /// # Errors
+    ///
+    /// If any of the variables is set but malformed.
+    pub fn from_env() -> Result<SupervisorConfig, String> {
+        let mut cfg = SupervisorConfig::new();
+        cfg.chaos = ChaosConfig::from_env()?;
+        if let Ok(raw) = std::env::var(RETRIES_ENV) {
+            cfg.max_attempts = raw
+                .trim()
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("{RETRIES_ENV}={raw:?} is not a positive integer"))?;
+        }
+        if let Ok(raw) = std::env::var(ROUND_BUDGET_ENV) {
+            cfg.round_budget = Some(
+                raw.trim()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("{ROUND_BUDGET_ENV}={raw:?} is not a positive integer")
+                    })?,
+            );
+        }
+        Ok(cfg)
+    }
+
+    /// Sets the attempt bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the default round budget.
+    #[must_use]
+    pub fn with_round_budget(mut self, budget: Option<u32>) -> Self {
+        self.round_budget = budget;
+        self
+    }
+
+    /// Sets whether a round-cap stop quarantines the task.
+    #[must_use]
+    pub fn with_fail_on_round_cap(mut self, fail: bool) -> Self {
+        self.fail_on_round_cap = fail;
+        self
+    }
+
+    /// Arms chaos injection.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: Option<ChaosConfig>) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Attaches a checkpoint journal.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Loads prior journal state for resumption.
+    #[must_use]
+    pub fn resume_from(mut self, entries: BTreeMap<usize, JournalEntry>) -> Self {
+        self.resume = entries;
+        self
+    }
+
+    fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+}
+
+/// Outcome of one supervised generic task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Supervised<R> {
+    /// The task completed (possibly after retries).
+    Done {
+        /// Its result.
+        value: R,
+        /// Attempts spent (1 = first try).
+        attempts: u32,
+    },
+    /// Every attempt failed; the task is quarantined.
+    Failed {
+        /// The terminal error ([`TaskError::Retried`] when more than
+        /// one attempt was made).
+        error: TaskError,
+        /// Attempts spent.
+        attempts: u32,
+    },
+}
+
+impl<R> Supervised<R> {
+    /// The completed value, if any.
+    pub fn value(&self) -> Option<&R> {
+        match self {
+            Supervised::Done { value, .. } => Some(value),
+            Supervised::Failed { .. } => None,
+        }
+    }
+}
+
+/// Runs one task under the full supervision ladder: chaos draw →
+/// `catch_unwind` → structured error → bounded retry.
+fn run_one<T, R, F>(config: &SupervisorConfig, index: usize, task: &T, body: &F) -> Supervised<R>
+where
+    F: Fn(&TaskCtx, &T) -> Result<R, TaskError>,
+{
+    let bound = config.attempts();
+    let mut last: Option<TaskError> = None;
+    for attempt in 0..bound {
+        let chaos_event = config.chaos.and_then(|c| c.draw(index, attempt));
+        if matches!(chaos_event, Some(ChaosEvent::Stall)) {
+            // A synthetic stall: what the watchdog would report, without
+            // burning rounds to prove it.
+            last = Some(TaskError::DeadlineExceeded {
+                round_budget: config.round_budget.unwrap_or(0),
+            });
+            continue;
+        }
+        let ctx = TaskCtx {
+            index,
+            attempt,
+            seed: retry_seed(index, attempt),
+        };
+        let caught = quiet_catch_unwind(|| {
+            if matches!(chaos_event, Some(ChaosEvent::Panic)) {
+                // deliberate — chaos mode exercises the real unwind
+                // path, not a simulated one: audit:allow(panic)
+                panic!("chaos: injected panic (task {index}, attempt {attempt})");
+            }
+            body(&ctx, task)
+        });
+        match caught {
+            Ok(Ok(value)) => {
+                return Supervised::Done {
+                    value,
+                    attempts: attempt + 1,
+                }
+            }
+            Ok(Err(e)) => last = Some(e),
+            Err(payload) => {
+                last = Some(TaskError::Panicked {
+                    message: payload_message(payload.as_ref()),
+                });
+            }
+        }
+    }
+    let last = last.unwrap_or(TaskError::Invariant {
+        message: "zero attempts configured".to_string(),
+    });
+    let error = if bound > 1 {
+        TaskError::Retried {
+            attempts: bound,
+            last: Box::new(last),
+        }
+    } else {
+        last
+    };
+    Supervised::Failed {
+        error,
+        attempts: bound,
+    }
+}
+
+/// Supervises an arbitrary task list on the deterministic engine: each
+/// task body runs under panic isolation with bounded deterministic
+/// retry, and the result vector is in input order with one
+/// [`Supervised`] cell per task — never fewer. Journalling and resume
+/// are experiment-shaped concerns and live in
+/// [`run_experiments_supervised`]; this entry point applies
+/// `max_attempts` and `chaos` only.
+pub fn supervise<T, R, F>(
+    tasks: &[T],
+    threads: usize,
+    config: &SupervisorConfig,
+    body: F,
+) -> Vec<Supervised<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&TaskCtx, &T) -> Result<R, TaskError> + Sync,
+{
+    let slots = engine::run_indexed_partial(tasks, threads, |i, t| run_one(config, i, t, &body));
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or(Supervised::Failed {
+                error: TaskError::Invariant {
+                    message: "engine produced no result for this task \
+                              (worker lost before hand-off)"
+                        .to_string(),
+                },
+                attempts: 0,
+            })
+        })
+        .collect()
+}
+
+/// One task's slot in a supervised sweep report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskReport {
+    /// Computed this run.
+    Done {
+        /// The experiment's outcome.
+        outcome: Outcome,
+        /// Delivery-trace hash (the determinism witness and journal
+        /// digest).
+        digest: u64,
+        /// Attempts spent.
+        attempts: u32,
+    },
+    /// Skipped: the resume journal already holds a completed record.
+    Resumed {
+        /// The stored summary (sweep rows reprint from this).
+        summary: OutcomeSummary,
+        /// The stored digest.
+        digest: Option<u64>,
+    },
+    /// Quarantined after exhausting its attempts.
+    Failed {
+        /// The terminal error.
+        error: TaskError,
+        /// Attempts spent.
+        attempts: u32,
+    },
+}
+
+impl TaskReport {
+    /// The computed outcome, if this task ran to completion this run.
+    #[must_use]
+    pub fn outcome(&self) -> Option<&Outcome> {
+        match self {
+            TaskReport::Done { outcome, .. } => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// The row summary, whether computed or resumed.
+    #[must_use]
+    pub fn summary(&self) -> Option<OutcomeSummary> {
+        match self {
+            TaskReport::Done { outcome, .. } => Some(OutcomeSummary::of(outcome)),
+            TaskReport::Resumed { summary, .. } => Some(*summary),
+            TaskReport::Failed { .. } => None,
+        }
+    }
+
+    /// The digest, whether computed or resumed.
+    #[must_use]
+    pub fn digest(&self) -> Option<u64> {
+        match self {
+            TaskReport::Done { digest, .. } => Some(*digest),
+            TaskReport::Resumed { digest, .. } => *digest,
+            TaskReport::Failed { .. } => None,
+        }
+    }
+}
+
+/// A supervised sweep's full report: one [`TaskReport`] per experiment,
+/// in input order — completed results are never withheld because other
+/// tasks failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-task reports, indexed like the input experiments.
+    pub tasks: Vec<TaskReport>,
+}
+
+impl SweepReport {
+    /// The quarantined tasks: `(input index, error)` pairs.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<(usize, &TaskError)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t {
+                TaskReport::Failed { error, .. } => Some((i, error)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when every task completed (computed or resumed).
+    #[must_use]
+    pub fn fully_healthy(&self) -> bool {
+        self.quarantined().is_empty()
+    }
+
+    /// Healthy outcomes in input order, `None` for quarantined or
+    /// resumed-without-recompute slots — the shape the bench harness
+    /// consumes.
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<Option<&Outcome>> {
+        self.tasks.iter().map(TaskReport::outcome).collect()
+    }
+}
+
+/// The supervised counterpart of [`engine::run_experiments`]: runs every
+/// experiment under panic isolation, the configured watchdog budget, and
+/// bounded retry; journals completions as they happen; honours a resume
+/// map; and always returns a full-length, input-ordered report.
+///
+/// Healthy slots are byte-identical to what the unsupervised engine
+/// produces for the same experiments — supervision only adds an
+/// envelope, never perturbs a run.
+#[must_use]
+pub fn run_experiments_supervised(
+    experiments: &[Experiment],
+    threads: usize,
+    config: &SupervisorConfig,
+) -> SweepReport {
+    // Thread the default round budget into experiments lacking one.
+    let prepared: Vec<Experiment> = experiments
+        .iter()
+        .map(|e| {
+            if e.round_budget().is_none() && config.round_budget.is_some() {
+                e.clone().with_round_budget(config.round_budget)
+            } else {
+                e.clone()
+            }
+        })
+        .collect();
+    let _arenas = engine::prewarm_arenas(&prepared);
+
+    let journal_sick = AtomicBool::new(false);
+    let record = |entry: &JournalEntry| {
+        if let Some(journal) = &config.journal {
+            if let Err(e) = journal.record(entry) {
+                // Journalling is a convenience, not a correctness
+                // dependency: warn once, keep sweeping.
+                if !journal_sick.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: checkpoint journal {} unwritable: {e}",
+                        journal.path().display()
+                    );
+                }
+            }
+        }
+    };
+
+    let body = |_ctx: &TaskCtx, e: &Experiment| -> Result<(Outcome, u64), TaskError> {
+        let (outcome, digest) = e.run_traced();
+        match outcome.stats.stop_reason {
+            StopReason::DeadlineExceeded => Err(TaskError::DeadlineExceeded {
+                round_budget: e.round_budget().unwrap_or(outcome.stats.rounds),
+            }),
+            StopReason::RoundCap if config.fail_on_round_cap => Err(TaskError::RoundCapHit {
+                rounds: outcome.stats.rounds,
+            }),
+            _ => Ok((outcome, digest)),
+        }
+    };
+
+    let slots = engine::run_indexed_partial(&prepared, threads, |i, e| {
+        if let Some(entry) = config.resume.get(&i) {
+            if entry.ok {
+                if let Some(summary) = entry.summary {
+                    return TaskReport::Resumed {
+                        summary,
+                        digest: entry.digest,
+                    };
+                }
+            }
+        }
+        let report = match run_one(config, i, e, &body) {
+            Supervised::Done {
+                value: (outcome, digest),
+                attempts,
+            } => TaskReport::Done {
+                outcome,
+                digest,
+                attempts,
+            },
+            Supervised::Failed { error, attempts } => TaskReport::Failed { error, attempts },
+        };
+        match &report {
+            TaskReport::Done {
+                outcome,
+                digest,
+                attempts,
+            } => record(&JournalEntry {
+                task: i,
+                ok: true,
+                attempts: *attempts,
+                digest: Some(*digest),
+                summary: Some(OutcomeSummary::of(outcome)),
+                error: None,
+            }),
+            TaskReport::Failed { error, attempts } => record(&JournalEntry {
+                task: i,
+                ok: false,
+                attempts: *attempts,
+                digest: None,
+                summary: None,
+                error: Some(error.to_string()),
+            }),
+            TaskReport::Resumed { .. } => {}
+        }
+        report
+    });
+
+    SweepReport {
+        tasks: slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or(TaskReport::Failed {
+                    error: TaskError::Invariant {
+                        message: "engine produced no result for this task \
+                                  (worker lost before hand-off)"
+                            .to_string(),
+                    },
+                    attempts: 0,
+                })
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolKind;
+
+    #[test]
+    fn retry_seed_is_pure_and_attempt_sensitive() {
+        assert_eq!(retry_seed(7, 0), retry_seed(7, 0));
+        assert_ne!(retry_seed(7, 0), retry_seed(7, 1));
+        assert_ne!(retry_seed(7, 0), retry_seed(8, 0));
+    }
+
+    #[test]
+    fn chaos_parse_accepts_both_separators() {
+        let a = ChaosConfig::parse("panic:0.05,stall:0.02,seed=9").expect("valid spec");
+        let b = ChaosConfig::parse("panic=0.05, stall=0.02, seed:9").expect("valid spec");
+        assert_eq!(a, b);
+        assert_eq!(a.panic_ppm, 50_000);
+        assert_eq!(a.stall_ppm, 20_000);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn chaos_parse_rejects_garbage() {
+        assert!(ChaosConfig::parse("panic:1.5").is_err());
+        assert!(ChaosConfig::parse("panic:-0.1").is_err());
+        assert!(ChaosConfig::parse("panics:0.1").is_err());
+        assert!(ChaosConfig::parse("panic").is_err());
+        assert!(ChaosConfig::parse("seed:abc").is_err());
+        assert!(ChaosConfig::parse("panic:0.7,stall:0.7").is_err());
+    }
+
+    #[test]
+    fn chaos_draw_is_deterministic_and_roughly_calibrated() {
+        let chaos = ChaosConfig::new(0.05, 0.02, 42).expect("valid probabilities");
+        let hits: Vec<_> = (0..10_000).map(|i| chaos.draw(i, 0)).collect();
+        assert_eq!(
+            hits,
+            (0..10_000).map(|i| chaos.draw(i, 0)).collect::<Vec<_>>()
+        );
+        let panics = hits
+            .iter()
+            .filter(|h| **h == Some(ChaosEvent::Panic))
+            .count();
+        let stalls = hits
+            .iter()
+            .filter(|h| **h == Some(ChaosEvent::Stall))
+            .count();
+        assert!((300..=700).contains(&panics), "panics: {panics}");
+        assert!((100..=350).contains(&stalls), "stalls: {stalls}");
+        // A different attempt re-rolls (retries can escape chaos).
+        assert!((0..10_000).any(|i| chaos.draw(i, 0) != chaos.draw(i, 1)));
+    }
+
+    #[test]
+    fn disarmed_chaos_never_fires() {
+        let chaos = ChaosConfig::default();
+        assert!((0..1_000).all(|i| chaos.draw(i, 0).is_none()));
+    }
+
+    #[test]
+    fn supervise_isolates_panics_and_returns_the_rest() {
+        let tasks: Vec<u32> = (0..20).collect();
+        let config = SupervisorConfig::new().with_max_attempts(1);
+        for threads in [1, 2, 8] {
+            let out = supervise(&tasks, threads, &config, |_, &t| {
+                // audit:allow(panic): in_test
+                assert!(t != 13, "unlucky task");
+                Ok(t * 2)
+            });
+            assert_eq!(out.len(), tasks.len());
+            for (i, s) in out.iter().enumerate() {
+                if i == 13 {
+                    match s {
+                        Supervised::Failed {
+                            error: TaskError::Panicked { message },
+                            attempts: 1,
+                        } => assert!(message.contains("unlucky"), "{message}"),
+                        other => panic!("expected panic quarantine, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(s.value(), Some(&(u32::try_from(i).expect("small") * 2)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_wrap_the_last_error() {
+        let out = supervise(
+            &[0u32],
+            1,
+            &SupervisorConfig::new().with_max_attempts(3),
+            |ctx, _| -> Result<u32, TaskError> {
+                Err(TaskError::Invariant {
+                    message: format!("attempt {}", ctx.attempt),
+                })
+            },
+        );
+        match &out[0] {
+            Supervised::Failed {
+                error: TaskError::Retried { attempts: 3, last },
+                attempts: 3,
+            } => {
+                assert_eq!(
+                    **last,
+                    TaskError::Invariant {
+                        message: "attempt 2".to_string()
+                    }
+                );
+            }
+            other => panic!("expected retried failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_flaky_task_succeeds_on_retry() {
+        let out = supervise(
+            &[0u32],
+            1,
+            &SupervisorConfig::new().with_max_attempts(2),
+            |ctx, _| {
+                // audit:allow(panic): in_test
+                assert!(ctx.attempt != 0, "first attempt always dies");
+                Ok(ctx.seed)
+            },
+        );
+        match &out[0] {
+            Supervised::Done { value, attempts: 2 } => assert_eq!(*value, retry_seed(0, 1)),
+            other => panic!("expected second-attempt success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_both_entry_shapes() {
+        let ok = JournalEntry {
+            task: 4,
+            ok: true,
+            attempts: 2,
+            digest: Some(0x0123_4567_89ab_cdef),
+            summary: Some(OutcomeSummary {
+                correct: 140,
+                wrong: 0,
+                undecided: 4,
+                messages: 512,
+            }),
+            error: None,
+        };
+        let failed = JournalEntry {
+            task: 5,
+            ok: false,
+            attempts: 2,
+            digest: None,
+            summary: None,
+            error: Some("panicked: chaos \"quoted\"\nline2 \\ backslash".to_string()),
+        };
+        for entry in [&ok, &failed] {
+            let line = entry.to_line();
+            assert_eq!(&JournalEntry::from_line(&line).expect("roundtrip"), entry);
+        }
+    }
+
+    #[test]
+    fn journal_parsing_is_strict() {
+        assert!(JournalEntry::from_line("not json").is_err());
+        assert!(JournalEntry::from_line("{\"task\":1}").is_err());
+        assert!(
+            JournalEntry::from_line("{\"task\":1,\"status\":\"maybe\",\"attempts\":1}").is_err()
+        );
+        // ok entries must carry a summary (resume reprints rows from it)
+        assert!(JournalEntry::from_line("{\"task\":1,\"status\":\"ok\",\"attempts\":1}").is_err());
+    }
+
+    #[test]
+    fn journal_records_and_reloads() {
+        let dir = std::env::temp_dir().join("rbcast-supervisor-test");
+        let path = dir.join("journal-roundtrip.jsonl");
+        let journal = Journal::create(&path).expect("create journal");
+        for task in 0..3usize {
+            journal
+                .record(&JournalEntry {
+                    task,
+                    ok: task != 1,
+                    attempts: 1,
+                    digest: (task != 1).then_some(7),
+                    summary: (task != 1).then_some(OutcomeSummary {
+                        correct: 1,
+                        wrong: 0,
+                        undecided: 0,
+                        messages: 9,
+                    }),
+                    error: (task == 1).then(|| "boom".to_string()),
+                })
+                .expect("record");
+        }
+        // Task 1 re-recorded ok: last entry wins on load.
+        journal
+            .record(&JournalEntry {
+                task: 1,
+                ok: true,
+                attempts: 2,
+                digest: Some(8),
+                summary: Some(OutcomeSummary {
+                    correct: 1,
+                    wrong: 0,
+                    undecided: 0,
+                    messages: 9,
+                }),
+                error: None,
+            })
+            .expect("record");
+        let loaded = Journal::load(&path).expect("load");
+        assert_eq!(loaded.len(), 3);
+        assert!(loaded[&1].ok);
+        assert_eq!(loaded[&1].attempts, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn supervised_experiments_match_the_plain_engine() {
+        let experiments: Vec<Experiment> = (0..4u64)
+            .map(|seed| {
+                Experiment::new(1, ProtocolKind::Flood)
+                    .with_t(2)
+                    .with_placement(rbcast_adversary::Placement::RandomLocal {
+                        t: 2,
+                        seed,
+                        attempts: 40,
+                    })
+            })
+            .collect();
+        let plain = engine::run_experiments_traced(&experiments, 2);
+        let report = run_experiments_supervised(&experiments, 2, &SupervisorConfig::new());
+        assert!(report.fully_healthy());
+        for (task, (outcome, hash)) in report.tasks.iter().zip(&plain) {
+            assert_eq!(task.outcome(), Some(outcome));
+            assert_eq!(task.digest(), Some(*hash));
+        }
+    }
+
+    #[test]
+    fn deadline_exceeded_tasks_are_quarantined_not_fatal() {
+        let experiments: Vec<Experiment> = vec![
+            Experiment::new(1, ProtocolKind::Flood),
+            // Budget 1 cannot finish a flood on the default torus.
+            Experiment::new(1, ProtocolKind::Flood).with_round_budget(Some(1)),
+            Experiment::new(1, ProtocolKind::Flood),
+        ];
+        let config = SupervisorConfig::new().with_max_attempts(1);
+        let report = run_experiments_supervised(&experiments, 2, &config);
+        assert_eq!(report.quarantined().len(), 1);
+        let (index, error) = report.quarantined()[0];
+        assert_eq!(index, 1);
+        assert_eq!(*error, TaskError::DeadlineExceeded { round_budget: 1 });
+        // The healthy neighbours are untouched.
+        assert!(report.tasks[0]
+            .outcome()
+            .is_some_and(Outcome::all_honest_correct));
+        assert!(report.tasks[2]
+            .outcome()
+            .is_some_and(Outcome::all_honest_correct));
+    }
+
+    #[test]
+    fn resume_skips_completed_tasks_and_reruns_failures() {
+        let experiments: Vec<Experiment> = (0..3)
+            .map(|_| Experiment::new(1, ProtocolKind::Flood))
+            .collect();
+        // A journal claiming task 0 finished and task 1 failed.
+        let mut resume = BTreeMap::new();
+        resume.insert(
+            0,
+            JournalEntry {
+                task: 0,
+                ok: true,
+                attempts: 1,
+                digest: Some(0xdead),
+                summary: Some(OutcomeSummary {
+                    correct: 999,
+                    wrong: 0,
+                    undecided: 0,
+                    messages: 1,
+                }),
+                error: None,
+            },
+        );
+        resume.insert(
+            1,
+            JournalEntry {
+                task: 1,
+                ok: false,
+                attempts: 2,
+                digest: None,
+                summary: None,
+                error: Some("panicked: chaos".to_string()),
+            },
+        );
+        let config = SupervisorConfig::new().resume_from(resume);
+        let report = run_experiments_supervised(&experiments, 2, &config);
+        // Task 0: reprinted from the journal verbatim (even the bogus
+        // summary — resume trusts its checkpoint).
+        match &report.tasks[0] {
+            TaskReport::Resumed { summary, digest } => {
+                assert_eq!(summary.correct, 999);
+                assert_eq!(*digest, Some(0xdead));
+            }
+            other => panic!("expected resumed task, got {other:?}"),
+        }
+        // Tasks 1 (failed) and 2 (missing) were recomputed.
+        assert!(report.tasks[1].outcome().is_some());
+        assert!(report.tasks[2].outcome().is_some());
+    }
+
+    #[test]
+    fn chaos_run_quarantines_deterministically_and_healthy_rows_match() {
+        let experiments: Vec<Experiment> = (0..24u64)
+            .map(|seed| {
+                Experiment::new(1, ProtocolKind::Flood)
+                    .with_t(2)
+                    .with_placement(rbcast_adversary::Placement::RandomLocal {
+                        t: 2,
+                        seed,
+                        attempts: 40,
+                    })
+            })
+            .collect();
+        // High rates + no retry so quarantines certainly appear.
+        let chaos = ChaosConfig::new(0.25, 0.15, 1).expect("valid probabilities");
+        let config = SupervisorConfig::new()
+            .with_max_attempts(1)
+            .with_chaos(Some(chaos));
+        let baseline = engine::run_experiments_traced(&experiments, 1);
+        let reports: Vec<SweepReport> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| run_experiments_supervised(&experiments, threads, &config))
+            .collect();
+        assert!(
+            !reports[0].fully_healthy(),
+            "chaos at 25%/15% over 24 tasks must quarantine something"
+        );
+        for report in &reports {
+            // Identical quarantine set at every thread count…
+            assert_eq!(
+                report
+                    .quarantined()
+                    .iter()
+                    .map(|(i, _)| *i)
+                    .collect::<Vec<_>>(),
+                reports[0]
+                    .quarantined()
+                    .iter()
+                    .map(|(i, _)| *i)
+                    .collect::<Vec<_>>()
+            );
+            // …and healthy slots byte-identical to the fault-free run.
+            for (i, task) in report.tasks.iter().enumerate() {
+                if let TaskReport::Done {
+                    outcome, digest, ..
+                } = task
+                {
+                    assert_eq!((outcome, *digest), (&baseline[i].0, baseline[i].1));
+                }
+            }
+        }
+        // With a retry allowed, strictly fewer (usually zero) quarantines.
+        let retrying = SupervisorConfig::new()
+            .with_max_attempts(2)
+            .with_chaos(Some(chaos));
+        let retried = run_experiments_supervised(&experiments, 2, &retrying);
+        assert!(retried.quarantined().len() < reports[0].quarantined().len());
+    }
+}

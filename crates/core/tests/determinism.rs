@@ -9,6 +9,7 @@
 //! this test doubles as the engine-level replay gate in CI.
 
 use rbcast_adversary::Placement;
+use rbcast_core::supervisor::{self, Journal, SupervisorConfig, TaskReport};
 use rbcast_core::{engine, percolation, Experiment, FaultKind, ProtocolKind};
 use rbcast_grid::Torus;
 
@@ -113,6 +114,101 @@ fn early_termination_freezes_the_same_hash() {
                 "early termination must never lengthen run {i}"
             );
         }
+    }
+}
+
+#[test]
+fn supervised_sweep_is_byte_identical_to_the_plain_engine_at_1_2_8_threads() {
+    // With chaos disabled, supervision is a pure envelope: every task
+    // completes on the first attempt and both the outcomes and the
+    // journal digests must equal the unsupervised engine's traced run —
+    // at every thread count.
+    let experiments = sweep_grid();
+    let baseline = engine::run_experiments_traced(&experiments, 1);
+    let config = SupervisorConfig::new();
+    for threads in [1usize, 2, 8] {
+        let report = supervisor::run_experiments_supervised(&experiments, threads, &config);
+        assert!(report.fully_healthy());
+        for (i, (task, (outcome, hash))) in report.tasks.iter().zip(&baseline).enumerate() {
+            let TaskReport::Done {
+                outcome: got,
+                digest,
+                attempts,
+            } = task
+            else {
+                panic!("task {i} did not complete at {threads} threads");
+            };
+            assert_eq!(got, outcome, "outcome {i} diverged at {threads} threads");
+            assert_eq!(digest, hash, "digest {i} diverged at {threads} threads");
+            assert_eq!(*attempts, 1, "task {i} needed retries without chaos");
+        }
+    }
+}
+
+#[test]
+fn killed_and_resumed_sweep_converges_on_the_straight_through_rows() {
+    // Simulate a sweep killed partway: a journal holding only a prefix
+    // of the completed tasks. Resuming must re-run exactly the missing
+    // tasks and end with every row's summary and digest equal to the
+    // uninterrupted run's — at every thread count.
+    let experiments = sweep_grid();
+    let dir = std::env::temp_dir().join("rbcast_determinism_resume");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+
+    let full = supervisor::run_experiments_supervised(&experiments, 1, &SupervisorConfig::new());
+    assert!(full.fully_healthy());
+    let want: Vec<_> = full
+        .tasks
+        .iter()
+        .map(|t| (t.summary(), t.digest()))
+        .collect();
+
+    for threads in [1usize, 2, 8] {
+        let path = dir.join(format!("killed_t{threads}.jsonl"));
+
+        // The "killed" journal: only the even-index tasks made it.
+        {
+            let journal = Journal::create(&path).expect("journal is creatable");
+            let partial = SupervisorConfig::new().with_journal(journal);
+            let survivors: Vec<Experiment> = experiments.iter().step_by(2).cloned().collect();
+            let _ = supervisor::run_experiments_supervised(&survivors, threads, &partial);
+        }
+        // Re-key the surviving entries to their original indices, as a
+        // kill at a chunk boundary would have left them.
+        let survived = Journal::load(&path).expect("journal is readable");
+        let remapped: std::collections::BTreeMap<usize, _> = survived
+            .into_iter()
+            .map(|(i, mut e)| {
+                e.task = i * 2;
+                (i * 2, e)
+            })
+            .collect();
+
+        let resumed = supervisor::run_experiments_supervised(
+            &experiments,
+            threads,
+            &SupervisorConfig::new().resume_from(remapped),
+        );
+        assert!(resumed.fully_healthy());
+        let mut recomputed = 0;
+        for (i, task) in resumed.tasks.iter().enumerate() {
+            assert_eq!(
+                (task.summary(), task.digest()),
+                want[i],
+                "row {i} diverged after resume at {threads} threads"
+            );
+            match task {
+                TaskReport::Resumed { .. } => assert_eq!(i % 2, 0, "odd row {i} was resumed"),
+                TaskReport::Done { .. } => recomputed += 1,
+                TaskReport::Failed { .. } => panic!("row {i} failed"),
+            }
+        }
+        assert_eq!(
+            recomputed,
+            experiments.len() / 2,
+            "resume must re-run exactly the missing tasks at {threads} threads"
+        );
+        std::fs::remove_file(&path).expect("journal is removable");
     }
 }
 

@@ -66,7 +66,7 @@ pub use channel::ChannelConfig;
 pub use harness::Harness;
 pub use network::Network;
 pub use process::{Ctx, Process};
-pub use stats::{RoundReport, RunStats};
+pub use stats::{RoundReport, RunStats, StopReason};
 
 /// The broadcast payload domain: the paper's message is a binary value.
 pub type Value = bool;

@@ -2,7 +2,7 @@
 
 use crate::channel::delivery_lost;
 use crate::process::NodeState;
-use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, Value};
+use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, StopReason, Value};
 use rbcast_grid::{Metric, NeighborTable, NodeId, TdmaSchedule, Torus};
 use std::sync::Arc;
 
@@ -68,6 +68,11 @@ pub struct Network<M> {
     /// — and, with [`Network::set_early_termination`], the run stops.
     completion_mask: Option<Vec<bool>>,
     early_termination: bool,
+    /// Cooperative per-run deadline set by the supervisor (see
+    /// [`Network::set_round_budget`]): the watchdog that turns a runaway
+    /// run into a structured `DeadlineExceeded` verdict instead of
+    /// letting it idle all the way to `max_rounds`.
+    round_budget: Option<Round>,
     /// Set at the end of the round in which every masked node has
     /// decided. From then on `trace_mix` is a no-op, so a run that stops
     /// early and one that idles to quiescence hash identically.
@@ -76,6 +81,7 @@ pub struct Network<M> {
     deliveries: u64,
     lost_deliveries: u64,
     jammed_deliveries: u64,
+    jammed_transmissions: u64,
 }
 
 impl<M> Network<M> {
@@ -147,11 +153,13 @@ impl<M> Network<M> {
             kind_counts: std::collections::BTreeMap::new(),
             completion_mask: None,
             early_termination: false,
+            round_budget: None,
             hash_frozen: false,
             messages_sent: 0,
             deliveries: 0,
             lost_deliveries: 0,
             jammed_deliveries: 0,
+            jammed_transmissions: 0,
         }
     }
 
@@ -207,6 +215,19 @@ impl<M> Network<M> {
         self.early_termination = on;
     }
 
+    /// Installs the supervisor's cooperative deadline: the run is cut
+    /// off after `budget` rounds even if messages remain on the air, and
+    /// [`RunStats::stop_reason`] reports
+    /// [`StopReason::DeadlineExceeded`] so the caller can distinguish a
+    /// watchdog trip from the experiment's own `max_rounds` cap. A
+    /// budget at or above `max_rounds` never binds (the cap wins and is
+    /// reported as [`StopReason::RoundCap`]); a budget generous enough
+    /// for the run to finish changes nothing at all — neither the trace
+    /// hash nor any decision.
+    pub fn set_round_budget(&mut self, budget: Option<Round>) {
+        self.round_budget = budget;
+    }
+
     /// Schedules a crash-stop fault: the node performs no actions (no
     /// callbacks, no transmissions) from round `round` onward. `round 0`
     /// means the node never participates.
@@ -248,7 +269,11 @@ impl<M> Network<M> {
 
         let mut round: Round = 0;
         let mut early_stopped = false;
-        while !on_air.is_empty() && round < max_rounds {
+        // The watchdog deadline binds only below the experiment's own
+        // cap; at or above it the cap is the limiting factor.
+        let deadline = self.round_budget.filter(|&b| b < max_rounds);
+        let cap = deadline.unwrap_or(max_rounds);
+        while !on_air.is_empty() && round < cap {
             round += 1;
             let deliveries_before = self.deliveries;
             let decided_before = self
@@ -261,6 +286,7 @@ impl<M> Network<M> {
             // jammed transmission is lost exactly at receivers within the
             // jammer's range.
             let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&arena, &on_air, round);
+            self.jammed_transmissions += jam_of.iter().flatten().count() as u64;
             // Deliver everything on the air, in global transmission order.
             for (tx_index, tx) in on_air.iter().enumerate() {
                 for &rid in arena.neighbors(tx.sender) {
@@ -337,14 +363,26 @@ impl<M> Network<M> {
         }
         self.order = order;
 
+        let quiescent = on_air.is_empty();
+        let stop_reason = if quiescent {
+            StopReason::Quiescent
+        } else if early_stopped {
+            StopReason::AllDecided
+        } else if deadline.is_some_and(|b| round >= b) {
+            StopReason::DeadlineExceeded
+        } else {
+            StopReason::RoundCap
+        };
         RunStats {
             rounds: round,
-            quiescent: on_air.is_empty(),
+            quiescent,
             early_stopped,
+            stop_reason,
             messages_sent: self.messages_sent,
             deliveries: self.deliveries,
             lost_deliveries: self.lost_deliveries,
             jammed_deliveries: self.jammed_deliveries,
+            jammed_transmissions: self.jammed_transmissions,
         }
     }
 
@@ -898,6 +936,144 @@ mod tests {
         net.run(5);
         let id = torus.id(Coord::new(0, 0));
         assert_eq!(net.decision(id), Some((true, 0)));
+    }
+
+    /// A talker that broadcasts one fresh message at the end of every
+    /// round, forever (for watchdog and jamming tests that need
+    /// sustained traffic).
+    struct Chatter;
+    impl Process<u32> for Chatter {
+        fn on_start(&mut self, _: &mut Ctx<'_, u32>) {}
+        fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32) {}
+        fn on_round_end(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.broadcast(ctx.round());
+        }
+    }
+
+    #[test]
+    fn round_budget_trips_the_watchdog() {
+        let torus = Torus::new(12, 12);
+        let talker = torus.id(Coord::new(5, 5));
+        let mut net = Network::new(torus, 2, Metric::Linf, |id| {
+            if id == talker {
+                Box::new(Chatter) as Box<dyn Process<u32>>
+            } else {
+                Box::new(Recorder {
+                    echo: false,
+                    start_value: None,
+                    log: Rc::new(RefCell::new(Vec::new())),
+                    echoed: false,
+                })
+            }
+        });
+        net.set_round_budget(Some(3));
+        let stats = net.run(100);
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.stop_reason, StopReason::DeadlineExceeded);
+        assert!(!stats.quiescent);
+        assert!(!stats.early_stopped);
+    }
+
+    #[test]
+    fn round_budget_at_or_above_the_cap_never_binds() {
+        let run_with = |budget: Option<Round>| {
+            let torus = Torus::new(12, 12);
+            let talker = torus.id(Coord::new(5, 5));
+            let mut net = Network::new(torus, 2, Metric::Linf, |id| {
+                if id == talker {
+                    Box::new(Chatter) as Box<dyn Process<u32>>
+                } else {
+                    Box::new(Recorder {
+                        echo: false,
+                        start_value: None,
+                        log: Rc::new(RefCell::new(Vec::new())),
+                        echoed: false,
+                    })
+                }
+            });
+            net.set_round_budget(budget);
+            let stats = net.run(5);
+            (stats, net.trace_hash())
+        };
+        let (capped, capped_hash) = run_with(None);
+        assert_eq!(capped.stop_reason, StopReason::RoundCap);
+        // budget == cap and budget > cap: the cap wins, reason unchanged
+        for budget in [5, 50] {
+            let (stats, hash) = run_with(Some(budget));
+            assert_eq!(stats, capped);
+            assert_eq!(hash, capped_hash);
+        }
+    }
+
+    #[test]
+    fn generous_round_budget_changes_nothing() {
+        let run_with = |budget: Option<Round>| {
+            let (mut net, _torus, _log) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+            net.set_round_budget(budget);
+            let stats = net.run(30);
+            (stats, net.trace_hash())
+        };
+        let baseline = run_with(None);
+        assert!(baseline.0.quiescent);
+        assert_eq!(run_with(Some(25)), baseline);
+    }
+
+    #[test]
+    fn jammed_transmissions_exactly_match_the_budget_spent() {
+        // One jammer with a 2-collision battery against a talker that
+        // broadcasts every round: the battery is exhausted mid-run, and
+        // the delivery-destroyed counters must account for exactly the
+        // budget spent — no more, no less.
+        let torus = Torus::new(12, 12);
+        let talker = torus.id(Coord::new(5, 5));
+        let jammer = torus.id(Coord::new(6, 5));
+        let budget = 2u32;
+        let channel = ChannelConfig::reliable().with_jammers(vec![jammer], budget);
+        let mut net = Network::new_with_channel(torus.clone(), 2, Metric::Linf, channel, |id| {
+            if id == talker {
+                Box::new(Chatter) as Box<dyn Process<u32>>
+            } else {
+                Box::new(Recorder {
+                    echo: false,
+                    start_value: None,
+                    log: Rc::new(RefCell::new(Vec::new())),
+                    echoed: false,
+                })
+            }
+        });
+        let rounds = 5u32;
+        let stats = net.run(rounds);
+        assert_eq!(stats.rounds, rounds);
+        // One broadcast per round-end 0..=rounds; the final one is
+        // collected but the cap stops the run before it is delivered.
+        assert_eq!(stats.messages_sent, u64::from(rounds) + 1);
+        let delivered_txs = u64::from(rounds);
+
+        // Deliberate collisions: exactly the budget spent, since traffic
+        // outlasted the battery.
+        assert_eq!(stats.jammed_transmissions, u64::from(budget));
+
+        // Each jammed transmission is destroyed at exactly the receivers
+        // within BOTH the sender's and the jammer's range.
+        let in_both = torus
+            .node_ids()
+            .filter(|&id| id != talker)
+            .filter(|&id| {
+                torus.within(torus.coord(talker), torus.coord(id), 2, Metric::Linf)
+                    && torus.within(torus.coord(jammer), torus.coord(id), 2, Metric::Linf)
+            })
+            .count() as u64;
+        assert!(in_both > 0);
+        assert_eq!(stats.jammed_deliveries, u64::from(budget) * in_both);
+
+        // Loss vs deliberate collision never double-count: the channel
+        // is loss-free, so every non-jammed delivery arrived.
+        assert_eq!(stats.lost_deliveries, 0);
+        let receivers_per_tx = 24; // (2r+1)² − 1 on the reliable channel
+        assert_eq!(
+            stats.deliveries + stats.jammed_deliveries,
+            delivered_txs * receivers_per_tx
+        );
     }
 
     #[test]

@@ -19,6 +19,28 @@ pub struct RoundReport {
     pub decisions: u64,
 }
 
+/// Why a simulation run stopped — the structured form of the old
+/// `quiescent` / `early_stopped` boolean pair, extended with the
+/// supervisor's cooperative deadline (see
+/// [`crate::Network::set_round_budget`]). The booleans are kept on
+/// [`RunStats`] for compatibility; they are always consistent with this
+/// reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// Nothing remained on the air.
+    #[default]
+    Quiescent,
+    /// Every node in the completion mask (the honest set) had decided
+    /// and early termination was enabled.
+    AllDecided,
+    /// The experiment's own `max_rounds` cap was reached — a legitimate
+    /// model outcome (e.g. partitioned runs idle forever).
+    RoundCap,
+    /// The supervisor's round budget was exhausted before the run could
+    /// finish: the watchdog verdict for a runaway task.
+    DeadlineExceeded,
+}
+
 /// Statistics of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
@@ -32,6 +54,9 @@ pub struct RunStats {
     /// mask (the honest nodes) had decided — messages may still have
     /// been on the air.
     pub early_stopped: bool,
+    /// Why the run stopped (the structured superset of the two booleans
+    /// above, distinguishing the round cap from a supervisor deadline).
+    pub stop_reason: StopReason,
     /// Total local broadcasts performed.
     pub messages_sent: u64,
     /// Total message deliveries (one per broadcast per alive receiver).
@@ -40,6 +65,10 @@ pub struct RunStats {
     pub lost_deliveries: u64,
     /// Deliveries destroyed by deliberate collisions (§X jamming).
     pub jammed_deliveries: u64,
+    /// Transmissions destroyed by deliberate collisions — exactly the
+    /// jam budget spent, since each assigned jam costs one unit of a
+    /// jammer's battery.
+    pub jammed_transmissions: u64,
 }
 
 impl std::fmt::Display for RunStats {
@@ -50,12 +79,11 @@ impl std::fmt::Display for RunStats {
             self.rounds,
             self.messages_sent,
             self.deliveries,
-            if self.quiescent {
-                ""
-            } else if self.early_stopped {
-                " (stopped: all honest nodes decided)"
-            } else {
-                " (round cap hit)"
+            match self.stop_reason {
+                StopReason::Quiescent => "",
+                StopReason::AllDecided => " (stopped: all honest nodes decided)",
+                StopReason::RoundCap => " (round cap hit)",
+                StopReason::DeadlineExceeded => " (deadline: round budget exhausted)",
             }
         )
     }
@@ -70,6 +98,7 @@ mod tests {
         let s = RunStats {
             rounds: 5,
             quiescent: false,
+            stop_reason: StopReason::RoundCap,
             messages_sent: 10,
             deliveries: 40,
             ..RunStats::default()
@@ -77,15 +106,27 @@ mod tests {
         assert!(s.to_string().contains("round cap hit"));
         let q = RunStats {
             quiescent: true,
+            stop_reason: StopReason::Quiescent,
             ..s
         };
         assert!(!q.to_string().contains("round cap hit"));
         let e = RunStats {
             early_stopped: true,
+            stop_reason: StopReason::AllDecided,
             ..s
         };
         assert!(e.to_string().contains("all honest nodes decided"));
         assert!(!e.to_string().contains("round cap hit"));
+        let d = RunStats {
+            stop_reason: StopReason::DeadlineExceeded,
+            ..s
+        };
+        assert!(d.to_string().contains("round budget exhausted"));
+    }
+
+    #[test]
+    fn default_stop_reason_is_quiescent() {
+        assert_eq!(RunStats::default().stop_reason, StopReason::Quiescent);
     }
 
     #[test]

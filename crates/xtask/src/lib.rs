@@ -12,6 +12,11 @@
 //!   `expect` with an invariant-naming message is the sanctioned escape.
 //! * `nondeterminism` — no `thread_rng` / entropy seeding / wall-clock
 //!   reads outside annotated measurement sites.
+//! * `raw-thread-spawn` — raw `std::thread` use is confined to
+//!   `rbcast-core::engine`, the deterministic sweep executor.
+//! * `catch-unwind` — `catch_unwind` is confined to
+//!   `rbcast-core::supervisor`, so panic isolation always classifies,
+//!   retries, and journals the failure.
 //! * `adhoc-neighborhood` — `torus.neighborhood` scans are confined to
 //!   the grid arena module; everything else reads the shared CSR
 //!   `NeighborTable`.

@@ -115,6 +115,14 @@ pub fn all_rules() -> &'static [Rule] {
             check: check_raw_thread_spawn,
         },
         Rule {
+            id: "catch-unwind",
+            summary: "catch_unwind is confined to rbcast-core's supervisor module \
+                      (panic isolation must flow through the supervisor so failures \
+                      are classified, retried, and journalled uniformly)",
+            scopes: CLOCK_SRC,
+            check: check_catch_unwind,
+        },
+        Rule {
             id: "adhoc-neighborhood",
             summary: "torus.neighborhood scans are confined to the grid arena module \
                       (hot paths must read the shared CSR NeighborTable; annotate \
@@ -334,6 +342,36 @@ fn check_raw_thread_spawn(file: &SourceFile) -> Vec<(usize, String)> {
     out
 }
 
+/// The one module allowed to call `catch_unwind`: the supervised
+/// execution layer every other crate is expected to route fallible
+/// fan-out through.
+const UNWIND_EXEMPT: &str = "crates/core/src/supervisor.rs";
+
+fn check_catch_unwind(file: &SourceFile) -> Vec<(usize, String)> {
+    if file.rel == Path::new(UNWIND_EXEMPT) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("catch-unwind") {
+            continue;
+        }
+        if has_token(&line.code, "catch_unwind") {
+            out.push((
+                line.number,
+                "catch_unwind outside rbcast-core::supervisor: swallowing a \
+                 panic in place hides the failure from the quarantine report \
+                 and the checkpoint journal; run the task through \
+                 supervisor::supervise / run_experiments_supervised instead \
+                 (or annotate audit:allow(catch-unwind) with an isolation \
+                 argument)"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 /// The one module allowed to scan `torus.neighborhood` directly: the CSR
 /// arena builder whose tables every other crate is expected to read.
 const NEIGHBORHOOD_EXEMPT: &str = "crates/grid/src/arena.rs";
@@ -498,6 +536,39 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    let h = std::thread::spawn(|| 7);\n}\n",
         );
         assert!(check_raw_thread_spawn(&f).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_fires_outside_the_supervisor() {
+        let f = file(
+            "crates/core/src/engine.rs",
+            "let r = std::panic::catch_unwind(|| 7);\n\
+             let s = panic::catch_unwind(f); // audit:allow(catch-unwind)\n",
+        );
+        let v = check_catch_unwind(&f);
+        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn catch_unwind_exempts_the_supervisor_module() {
+        let f = file(
+            "crates/core/src/supervisor.rs",
+            "let r = std::panic::catch_unwind(AssertUnwindSafe(f));\n",
+        );
+        assert!(check_catch_unwind(&f).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_skips_test_mods_and_longer_identifiers() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "fn no_catch_unwind_here() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { let _ = std::panic::catch_unwind(|| 1); }\n\
+             }\n",
+        );
+        assert!(check_catch_unwind(&f).is_empty());
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! grammar and `rbcast help` for usage.
 
 use crate::adversary::{local_fault_bound, Placement};
+use crate::core::supervisor::{Journal, SupervisorConfig, TaskReport};
 use crate::core::{engine, thresholds, Experiment, FaultKind, ProtocolKind};
 use crate::grid::{Metric, Torus};
 use crate::sim::ChannelConfig;
+use std::path::PathBuf;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +35,8 @@ pub enum Command {
         spec: RunSpec,
         /// Inclusive sweep end.
         t_max: usize,
-        /// Worker threads (`None` = `RBCAST_THREADS` or all cores).
-        threads: Option<usize>,
+        /// Supervision options (threads, journal, resume, retries…).
+        opts: SweepOpts,
     },
     /// Audit a placement's local fault bound.
     Audit {
@@ -45,6 +47,25 @@ pub enum Command {
         /// Metric.
         metric: Metric,
     },
+}
+
+/// Sweep-only supervision knobs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepOpts {
+    /// Worker threads (`None` = `RBCAST_THREADS` or all cores).
+    pub threads: Option<usize>,
+    /// Checkpoint journal to write (`--journal`). No default path: the
+    /// sweep journals only when asked to.
+    pub journal: Option<PathBuf>,
+    /// Journal to resume from (`--resume`): completed tasks are skipped
+    /// and their stored rows reprinted; failures re-run. New completions
+    /// are appended to the same file, so repeated resumes converge.
+    pub resume: Option<PathBuf>,
+    /// Attempts per task (`--retries`; `None` = `RBCAST_RETRIES` or 2).
+    pub retries: Option<u32>,
+    /// Per-task round budget (`--round-budget`; `None` =
+    /// `RBCAST_ROUND_BUDGET` or unbounded).
+    pub round_budget: Option<u32>,
 }
 
 /// Everything needed to run one experiment from the CLI.
@@ -80,7 +101,8 @@ USAGE:
                [--behavior B] [--seed N] [--prob F] [--repeats N]
                [--loss F] [--redundancy N] [--spoofing] [--jam N]
                [--no-early-term]
-  rbcast sweep --t-max N [--threads N] [run options]
+  rbcast sweep --t-max N [--threads N] [--journal FILE] [--resume FILE]
+               [--retries N] [--round-budget N] [run options]
   rbcast audit --placement PL [--r N] [--t N] [--seed N] [--metric M]
   rbcast help
 
@@ -92,6 +114,15 @@ USAGE:
   Sweeps fan out over worker threads through the deterministic engine:
   output is byte-identical for every thread count. --threads overrides
   the RBCAST_THREADS environment variable; the default is all cores.
+
+  Sweeps run supervised: a panicking or deadline-blown run is retried
+  (--retries attempts per task, default 2) and then quarantined — its
+  row is reported as such while every healthy row prints normally, and
+  the process exits 2. --round-budget arms a per-run watchdog.
+  --journal FILE appends one JSON line per completed or failed task;
+  --resume FILE reloads such a journal, reprints the completed rows
+  without re-running them, re-runs only the failures, and appends new
+  completions to the same file, so repeated resumes converge.
 
   Runs stop as soon as every honest node has decided (the delivery-trace
   hash is frozen at that round either way, so determinism gates are
@@ -124,13 +155,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "run" => Ok(Command::Run(parse_run(rest)?.0)),
         "sweep" => {
-            let (spec, t_max, threads) = parse_run(rest)?;
+            let (spec, t_max, opts) = parse_run(rest)?;
             let t_max = t_max.ok_or("sweep requires --t-max")?;
-            Ok(Command::Sweep {
-                spec,
-                t_max,
-                threads,
-            })
+            Ok(Command::Sweep { spec, t_max, opts })
         }
         "audit" => {
             let (spec, _, _) = parse_run(rest)?;
@@ -155,12 +182,12 @@ fn parse_value<T: std::str::FromStr>(
 }
 
 #[allow(clippy::too_many_lines)]
-fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, Option<usize>), String> {
+fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), String> {
     let mut r = 2u32;
     let mut protocol = "indirect-simplified".to_string();
     let mut t: Option<usize> = None;
     let mut t_max: Option<usize> = None;
-    let mut threads: Option<usize> = None;
+    let mut opts = SweepOpts::default();
     let mut metric = Metric::Linf;
     let mut placement_name: Option<String> = None;
     let mut behavior_name = "silent".to_string();
@@ -180,7 +207,13 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, Option<usize>),
             "--protocol" => protocol = parse_value(&mut it, flag)?,
             "--t" => t = Some(parse_value(&mut it, flag)?),
             "--t-max" => t_max = Some(parse_value(&mut it, flag)?),
-            "--threads" => threads = Some(parse_value(&mut it, flag)?),
+            "--threads" => opts.threads = Some(parse_value(&mut it, flag)?),
+            "--journal" => {
+                opts.journal = Some(PathBuf::from(parse_value::<String>(&mut it, flag)?))
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(parse_value::<String>(&mut it, flag)?)),
+            "--retries" => opts.retries = Some(parse_value(&mut it, flag)?),
+            "--round-budget" => opts.round_budget = Some(parse_value(&mut it, flag)?),
             "--metric" => {
                 let m: String = parse_value(&mut it, flag)?;
                 metric = match m.as_str() {
@@ -264,7 +297,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, Option<usize>),
             early_termination,
         },
         t_max,
-        threads,
+        opts,
     ))
 }
 
@@ -322,45 +355,7 @@ pub fn execute(cmd: &Command) -> i32 {
             println!("{outcome}");
             i32::from(!outcome.all_honest_correct())
         }
-        Command::Sweep {
-            spec,
-            t_max,
-            threads,
-        } => {
-            println!(
-                "{:>4} {:>9} {:>7} {:>10} {:>12}",
-                "t", "correct", "wrong", "undecided", "broadcasts"
-            );
-            let ts: Vec<usize> = (spec.t.unwrap_or(0)..=*t_max).collect();
-            let experiments: Vec<Experiment> = ts
-                .iter()
-                .map(|&t| {
-                    // re-derive the placement at this t for budgeted kinds
-                    let mut spec_t = spec.clone();
-                    if let Some(Placement::FrontierCluster { .. }) = spec_t.placement {
-                        spec_t.placement = Some(Placement::FrontierCluster { t });
-                    }
-                    if let Some(Placement::RandomLocal { seed, attempts, .. }) = spec_t.placement {
-                        spec_t.placement = Some(Placement::RandomLocal { t, seed, attempts });
-                    }
-                    build(&spec_t, Some(t))
-                })
-                .collect();
-            // Deterministic engine fan-out: rows print in t order and are
-            // byte-identical for every thread count.
-            let outcomes = engine::run_experiments(&experiments, engine::thread_count(*threads));
-            let mut worst = 0;
-            for (t, o) in ts.iter().zip(&outcomes) {
-                println!(
-                    "{:>4} {:>9} {:>7} {:>10} {:>12}",
-                    t, o.committed_correct, o.committed_wrong, o.undecided, o.stats.messages_sent
-                );
-                if !o.all_honest_correct() {
-                    worst = 1;
-                }
-            }
-            worst
-        }
+        Command::Sweep { spec, t_max, opts } => execute_sweep(spec, *t_max, opts),
         Command::Audit {
             r,
             placement,
@@ -377,6 +372,108 @@ pub fn execute(cmd: &Command) -> i32 {
             0
         }
     }
+}
+
+/// Builds the supervisor policy for a sweep: the environment knobs
+/// (`RBCAST_CHAOS`, `RBCAST_RETRIES`, `RBCAST_ROUND_BUDGET`) overridden
+/// by the explicit flags, plus journal/resume wiring. `--resume` implies
+/// appending new completions to the same file, so repeated resumes of an
+/// interrupted sweep converge.
+fn sweep_config(opts: &SweepOpts) -> Result<SupervisorConfig, String> {
+    let mut config = SupervisorConfig::from_env()?;
+    if let Some(n) = opts.retries {
+        config = config.with_max_attempts(n);
+    }
+    if opts.round_budget.is_some() {
+        config = config.with_round_budget(opts.round_budget);
+    }
+    if let Some(path) = &opts.resume {
+        let entries = Journal::load(path)
+            .map_err(|e| format!("cannot load resume journal {}: {e}", path.display()))?;
+        config = config.resume_from(entries);
+    }
+    if let Some(path) = opts.journal.as_ref().or(opts.resume.as_ref()) {
+        let journal = if opts.resume.is_some() {
+            Journal::append_to(path)
+        } else {
+            Journal::create(path)
+        };
+        config = config.with_journal(
+            journal.map_err(|e| format!("cannot open journal {}: {e}", path.display()))?,
+        );
+    }
+    Ok(config)
+}
+
+/// The supervised sweep: one row per `t`, recomputed, resumed, or
+/// quarantined in place. Exit codes: 0 — every row completed with all
+/// honest nodes correct; 1 — some completed row has wrong or undecided
+/// honest nodes; 2 — at least one task was quarantined, or the
+/// supervision config itself is malformed.
+fn execute_sweep(spec: &RunSpec, t_max: usize, opts: &SweepOpts) -> i32 {
+    let config = match sweep_config(opts) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    println!(
+        "{:>4} {:>9} {:>7} {:>10} {:>12}",
+        "t", "correct", "wrong", "undecided", "broadcasts"
+    );
+    let ts: Vec<usize> = (spec.t.unwrap_or(0)..=t_max).collect();
+    let experiments: Vec<Experiment> = ts
+        .iter()
+        .map(|&t| {
+            // re-derive the placement at this t for budgeted kinds
+            let mut spec_t = spec.clone();
+            if let Some(Placement::FrontierCluster { .. }) = spec_t.placement {
+                spec_t.placement = Some(Placement::FrontierCluster { t });
+            }
+            if let Some(Placement::RandomLocal { seed, attempts, .. }) = spec_t.placement {
+                spec_t.placement = Some(Placement::RandomLocal { t, seed, attempts });
+            }
+            build(&spec_t, Some(t))
+        })
+        .collect();
+    // Supervised deterministic fan-out: rows print in t order and are
+    // byte-identical for every thread count; a quarantined row never
+    // withholds the healthy ones.
+    let threads = engine::thread_count(opts.threads);
+    let report =
+        crate::core::supervisor::run_experiments_supervised(&experiments, threads, &config);
+    let mut worst = 0;
+    for (t, task) in ts.iter().zip(&report.tasks) {
+        if let TaskReport::Failed { error, .. } = task {
+            println!("{t:>4} (quarantined: {error})");
+        } else {
+            // Done rows summarise their outcome; Resumed rows reprint
+            // the journal's stored summary byte-identically.
+            let Some(s) = task.summary() else { continue };
+            println!(
+                "{:>4} {:>9} {:>7} {:>10} {:>12}",
+                t, s.correct, s.wrong, s.undecided, s.messages
+            );
+            if s.wrong > 0 || s.undecided > 0 {
+                worst = 1;
+            }
+        }
+    }
+    let quarantined = report.quarantined();
+    if !quarantined.is_empty() {
+        eprintln!(
+            "quarantined {} of {} tasks:",
+            quarantined.len(),
+            report.tasks.len()
+        );
+        for (i, error) in &quarantined {
+            eprintln!("  t={}: {error}", ts[*i]);
+        }
+        worst = 2;
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -472,12 +569,28 @@ mod tests {
 
     #[test]
     fn sweep_parses_threads() {
-        let Command::Sweep { threads, .. } =
+        let Command::Sweep { opts, .. } =
             parse(&argv("sweep --t-max 2 --threads 3 --placement cluster")).unwrap()
         else {
             panic!("not a sweep");
         };
-        assert_eq!(threads, Some(3));
+        assert_eq!(opts.threads, Some(3));
+    }
+
+    #[test]
+    fn sweep_parses_supervision_flags() {
+        let Command::Sweep { opts, .. } = parse(&argv(
+            "sweep --t-max 2 --journal a.jsonl --resume b.jsonl --retries 3 --round-budget 40",
+        ))
+        .unwrap() else {
+            panic!("not a sweep");
+        };
+        assert_eq!(opts.journal, Some(PathBuf::from("a.jsonl")));
+        assert_eq!(opts.resume, Some(PathBuf::from("b.jsonl")));
+        assert_eq!(opts.retries, Some(3));
+        assert_eq!(opts.round_budget, Some(40));
+        assert!(parse(&argv("sweep --t-max 2 --retries many")).is_err());
+        assert!(parse(&argv("sweep --t-max 2 --round-budget -1")).is_err());
     }
 
     #[test]
@@ -551,5 +664,74 @@ mod tests {
     fn execute_audit() {
         let cmd = parse(&argv("audit --placement checker-strips --r 1")).unwrap();
         assert_eq!(execute(&cmd), 0);
+    }
+
+    #[test]
+    fn execute_sweep_quarantines_on_an_impossible_round_budget() {
+        // A one-round budget trips the watchdog on every t: each task is
+        // quarantined (after the default retry) and the sweep exits 2.
+        let cmd = parse(&argv(
+            "sweep --protocol flood --r 1 --t 0 --t-max 1 --placement cluster \
+             --behavior crash --round-budget 1 --threads 1",
+        ))
+        .unwrap();
+        assert_eq!(execute(&cmd), 2);
+    }
+
+    #[test]
+    fn execute_sweep_journals_and_resumes_without_recomputing() {
+        use crate::core::supervisor::Journal;
+
+        let path = std::env::temp_dir().join("rbcast_cli_sweep_journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let base = format!(
+            "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster \
+             --behavior crash --threads 1 --journal {}",
+            path.display()
+        );
+        assert_eq!(execute(&parse(&argv(&base)).unwrap()), 0);
+        let entries = Journal::load(&path).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.values().all(|e| e.ok));
+
+        // Resuming reprints every row from the journal; nothing is
+        // recomputed, so nothing new is appended either.
+        let before = std::fs::read_to_string(&path).unwrap();
+        let resume = format!(
+            "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster \
+             --behavior crash --threads 1 --resume {}",
+            path.display()
+        );
+        assert_eq!(execute(&parse(&argv(&resume)).unwrap()), 0);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn execute_sweep_resume_converges_on_a_partial_journal() {
+        use crate::core::supervisor::Journal;
+
+        // Seed the journal with only t=1 completed: the resume run must
+        // compute t=0 and t=2, append them, and end fully healthy.
+        let path = std::env::temp_dir().join("rbcast_cli_sweep_partial.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(
+            &path,
+            "{\"task\":1,\"status\":\"ok\",\"attempts\":1,\
+             \"correct\":7,\"wrong\":0,\"undecided\":0,\"messages\":9}\n",
+        )
+        .unwrap();
+        let resume = format!(
+            "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster \
+             --behavior crash --threads 1 --resume {}",
+            path.display()
+        );
+        assert_eq!(execute(&parse(&argv(&resume)).unwrap()), 0);
+        let entries = Journal::load(&path).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.values().all(|e| e.ok));
+        // the seeded row was trusted verbatim, not recomputed
+        assert_eq!(entries[&1].summary.unwrap().correct, 7);
+        let _ = std::fs::remove_file(&path);
     }
 }
