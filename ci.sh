@@ -53,11 +53,24 @@ test -s "$journal" \
     || { echo "chaos smoke: missing checkpoint journal $journal"; exit 1; }
 grep -q '"status":"failed"' "$journal" \
     || { cat "$journal"; echo "chaos smoke: no failed entry journalled"; exit 1; }
-if grep -v '^{"task":[0-9][0-9]*,"status":"\(ok\|failed\)","attempts":[0-9][0-9]*,' "$journal"; then
+# Every line is a task entry, except an optional leading sweep-spec
+# fingerprint header (written by `rbcast sweep`, checked on --resume).
+if grep -v '^{"task":[0-9][0-9]*,"status":"\(ok\|failed\)","attempts":[0-9][0-9]*,' "$journal" \
+    | grep -v '^{"fingerprint":"0x[0-9a-f]*","tasks":[0-9][0-9]*}$' | grep .; then
     echo "chaos smoke: malformed journal line(s) above"; exit 1
 fi
 rm -rf results/journal
 echo "chaos smoke passed"
+
+echo "==> trace smoke (rbcast run --trace emits well-formed JSONL)"
+trace_out=target/trace_smoke.jsonl
+cargo run -q --bin rbcast -- run --protocol cpa --r 1 --t 2 --trace "$trace_out" > /dev/null
+test -s "$trace_out" || { echo "trace smoke: empty trace"; exit 1; }
+if grep -v '^{"ev":"[a-z_]*","round":[0-9][0-9]*[,}]' "$trace_out" | grep -q .; then
+    echo "trace smoke: malformed JSONL line(s)"; exit 1
+fi
+rm -f "$trace_out"
+echo "trace smoke passed"
 
 echo "==> sweep_engine smoke (multi-thread throughput >= 85% of serial)"
 cargo bench -q -p rbcast-bench --bench sweep_engine -- --smoke

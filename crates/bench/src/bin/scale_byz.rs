@@ -7,8 +7,7 @@
 use rbcast_adversary::Placement;
 use rbcast_bench::{header, rule, Verdicts};
 use rbcast_core::supervisor::{self, Supervised, SupervisorConfig};
-use rbcast_core::{engine, thresholds, Experiment, FaultKind, ProtocolKind};
-use std::time::Instant;
+use rbcast_core::{engine, obs, thresholds, Experiment, FaultKind, ProtocolKind};
 
 fn main() {
     header("Scaling the exact threshold (indirect-simplified, liar cluster)");
@@ -45,9 +44,9 @@ fn main() {
     };
     let timed = supervisor::supervise(&experiments, threads, &config, |_, e| {
         // Measurement-only: timing the run, never feeding back into it.
-        let start = Instant::now(); // audit:allow(wall-clock)
+        let start = obs::Stopwatch::start();
         let o = e.run();
-        Ok((o, start.elapsed().as_secs_f64()))
+        Ok((o, start.elapsed_ms() / 1000.0))
     });
 
     for (&r, task) in rs.iter().zip(&timed) {

@@ -23,7 +23,7 @@ fn main() {
     for r in 1..=2u32 {
         let torus = Torus::for_radius(r);
         let g = Graph::from_torus(&torus, r, Metric::Linf);
-        for t in 0..=(2 * r * r / 3) as usize {
+        for t in 0..=rbcast_core::thresholds::cpa_guaranteed_t(r) as usize {
             for placement in [
                 Placement::FrontierCluster { t },
                 Placement::RandomLocal {

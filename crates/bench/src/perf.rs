@@ -7,9 +7,14 @@
 //! (hand-rolled — the workspace is offline and carries no serde) so the
 //! baseline can be checked in and diffed across PRs.
 //!
-//! Timing lives here and nowhere near the simulation: wall-clock reads
-//! are annotated measurement-only sites, and holding or dropping the
-//! timer never changes an outcome.
+//! Timing lives here and nowhere near the simulation: stopwatches come
+//! from [`rbcast_core::obs`] (the only module allowed to read the wall
+//! clock), and holding or dropping the timer never changes an outcome.
+//! The emitted document also carries the process-wide [`obs`] metrics
+//! and span-timing snapshots, so a bench run records *what* the sweeps
+//! did (deliveries, retries, arena traffic) next to how long they took.
+//!
+//! [`obs`]: rbcast_core::obs
 
 use rbcast_core::supervisor::{self, SupervisorConfig, SweepReport, TaskReport};
 use rbcast_core::{engine, Experiment, Outcome};
@@ -116,9 +121,9 @@ pub fn run_sweep_timed(
             journal_path(label).display()
         ),
     }
-    let t0 = std::time::Instant::now(); // audit:allow(wall-clock): sweep measurement
+    let t0 = rbcast_core::obs::Stopwatch::start();
     let report = supervisor::run_experiments_supervised(experiments, threads, &config);
-    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let wall_ms = t0.elapsed_ms();
     (
         rows_of(label, report),
         SweepTiming {
@@ -197,9 +202,11 @@ pub fn scaling_efficiency(t: &SweepTiming, all: &[SweepTiming]) -> Option<f64> {
 
 /// Serialises timings to the `BENCH_sweep.json` document: the default
 /// thread count, one record per sweep (with its [`scaling_efficiency`]),
-/// and per-bin totals (keyed by the label's `<bin>/` prefix). Key order
-/// is sorted, floats are fixed to three decimals — the output is
-/// byte-stable for identical inputs.
+/// per-bin totals (keyed by the label's `<bin>/` prefix), the
+/// [`rbcast_core::obs::metrics_snapshot`] counter readings, and the
+/// [`rbcast_core::obs::timings_snapshot`] span aggregates. Key order is
+/// sorted, floats are fixed to three decimals — the output is
+/// byte-stable for identical inputs and identical counter state.
 #[must_use]
 pub fn to_json(default_threads: usize, timings: &[SweepTiming]) -> String {
     let mut bins: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
@@ -212,7 +219,7 @@ pub fn to_json(default_threads: usize, timings: &[SweepTiming]) -> String {
 
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-sweep/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-sweep/v3\",");
     let _ = writeln!(s, "  \"default_threads\": {default_threads},");
     s.push_str("  \"sweeps\": [\n");
     for (i, t) in timings.iter().enumerate() {
@@ -240,6 +247,26 @@ pub fn to_json(default_threads: usize, timings: &[SweepTiming]) -> String {
             json_escape(bin)
         );
         s.push_str(if i + 1 < bins.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  },\n");
+    let metrics = rbcast_core::obs::metrics_snapshot();
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let _ = write!(s, "    \"{}\": {value}", json_escape(name));
+        s.push_str(if i + 1 < metrics.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  },\n");
+    let spans = rbcast_core::obs::timings_snapshot();
+    s.push_str("  \"timings\": {\n");
+    for (i, (name, stat)) in spans.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    \"{}\": {{\"count\": {}, \"total_ms\": {:.3}}}",
+            json_escape(name),
+            stat.count,
+            stat.total_ms()
+        );
+        s.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
     }
     s.push_str("  }\n}\n");
     s
@@ -286,15 +313,22 @@ mod tests {
             timing("cpa/a", 4, 4, 10.0),
         ];
         let j = to_json(4, &t);
-        assert!(j.contains("\"schema\": \"rbcast-bench-sweep/v2\""));
+        assert!(j.contains("\"schema\": \"rbcast-bench-sweep/v3\""));
         assert!(j.contains("\"default_threads\": 4"));
         assert!(j.contains("\"label\": \"byz/a\", \"threads\": 4, \"runs\": 32"));
         assert!(j.contains("\"byz\": {\"runs\": 40, \"wall_ms\": 125.000}"));
         assert!(j.contains("\"cpa\": {\"runs\": 4, \"wall_ms\": 10.000}"));
         // no threads-1 sweep in either bin → efficiency is null
         assert!(j.contains("\"scaling_efficiency\": null"));
-        // byte-stable: same input, same string
-        assert_eq!(j, to_json(4, &t));
+        // v3 carries the observability snapshots
+        assert!(j.contains("\"metrics\": {"));
+        assert!(j.contains("\"flow/augmentations\": "));
+        assert!(j.contains("\"timings\": {"));
+        // byte-stable for the timing-derived part (the trailing metrics /
+        // timings blocks read live process counters, which sibling tests
+        // running in parallel may bump between the two calls)
+        let stable = |s: &str| s.split("\"metrics\"").next().map(str::to_owned);
+        assert_eq!(stable(&j), stable(&to_json(4, &t)));
     }
 
     #[test]

@@ -25,9 +25,20 @@ pub fn half_up(r: u32) -> u32 {
 }
 
 /// The largest `t` Theorem 6 guarantees CPA tolerates: `⌊⅔·r²⌋`.
+///
+/// The canonical definition lives in `rbcast-core::thresholds`
+/// (`cpa_guaranteed_t`); this crate sits below `rbcast-core`, so it
+/// keeps a local copy for its exact-arithmetic stage proofs, and a
+/// dev-dependency test pins the two to agree.
+///
+/// # Panics
+///
+/// Panics if `⌊⅔·r²⌋` exceeds `u32::MAX` (the stage arithmetic here is
+/// 32-bit; the core definition covers the full `u32` radius range).
 #[must_use]
 pub fn cpa_max_t(r: u32) -> u32 {
-    2 * r * r / 3
+    let t = 2u64 * u64::from(r) * u64::from(r) / 3;
+    u32::try_from(t).expect("⅔·r² exceeds u32 for this radius")
 }
 
 /// The commit threshold CPA needs when `t = ⌊⅔r²⌋`: `2t + 1`.
@@ -133,6 +144,18 @@ mod tests {
         assert_eq!(cpa_max_t(2), 2); // ⌊8/3⌋
         assert_eq!(cpa_max_t(3), 6);
         assert_eq!(cpa_max_t(6), 24);
+    }
+
+    #[test]
+    fn cpa_max_t_matches_the_canonical_threshold() {
+        // The workspace's single source of truth for Theorem 6.
+        for r in 1..=2_000 {
+            assert_eq!(
+                u64::from(cpa_max_t(r)),
+                rbcast_core::thresholds::cpa_guaranteed_t(r),
+                "r={r}"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@ use rbcast_grid::{Metric, NeighborTable, Torus};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 
+// Cache traffic is reported through the metrics registry as
+// `arena/hits` / `arena/misses` (diagnostics only — totals never feed
+// anything hashed or journaled).
+
 /// `(width, height, radius, metric tag)` — `Metric` is not `Ord`, so it
 /// is encoded as a stable discriminant.
 type Key = (u32, u32, u32, u8);
@@ -42,13 +46,20 @@ fn registry() -> &'static Mutex<BTreeMap<Key, Weak<NeighborTable>>> {
 /// Panics if the torus cannot host the radius (see
 /// [`NeighborTable::build`]).
 pub(crate) fn shared(torus: &Torus, r: u32, metric: Metric) -> Arc<NeighborTable> {
+    static HITS: OnceLock<crate::obs::Counter> = OnceLock::new();
+    static MISSES: OnceLock<crate::obs::Counter> = OnceLock::new();
     let key = (torus.width(), torus.height(), r, metric_tag(metric));
     // Tables are immutable, so a panic while holding the lock cannot
     // leave entries half-written — recover rather than propagate.
     let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(table) = map.get(&key).and_then(Weak::upgrade) {
+        HITS.get_or_init(|| crate::obs::counter("arena/hits"))
+            .incr();
         return table;
     }
+    MISSES
+        .get_or_init(|| crate::obs::counter("arena/misses"))
+        .incr();
     let built = Arc::new(NeighborTable::build(torus, r, metric));
     map.retain(|_, w| w.strong_count() > 0);
     map.insert(key, Arc::downgrade(&built));
@@ -77,6 +88,23 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(b.radius(), 2);
         assert_eq!(c.metric(), Metric::L2);
+    }
+
+    #[test]
+    fn cache_traffic_is_counted() {
+        let hits = crate::obs::counter("arena/hits");
+        let misses = crate::obs::counter("arena/misses");
+        let (h0, m0) = (hits.get(), misses.get());
+        // A geometry no other test uses: the first request must miss,
+        // the second (while the first guard is alive) must hit.
+        let torus = Torus::new(21, 21);
+        let a = shared(&torus, 1, Metric::L2);
+        let _b = shared(&torus, 1, Metric::L2);
+        drop(a);
+        // Counters are process-global and tests run concurrently, so
+        // only lower bounds are stable.
+        assert!(misses.get() > m0, "first build must count as a miss");
+        assert!(hits.get() > h0, "second lookup must count as a hit");
     }
 
     #[test]

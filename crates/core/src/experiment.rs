@@ -8,6 +8,7 @@ use rbcast_protocols::{
 };
 use rbcast_sim::{ChannelConfig, Network, Process, RunStats, Value};
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Which protocol the honest nodes run.
@@ -145,6 +146,7 @@ pub struct Experiment {
     shared_arena: bool,
     early_termination: bool,
     round_budget: Option<u32>,
+    trace_path: Option<PathBuf>,
 }
 
 impl Experiment {
@@ -165,6 +167,7 @@ impl Experiment {
             shared_arena: true,
             early_termination: true,
             round_budget: None,
+            trace_path: None,
         }
     }
 
@@ -266,6 +269,19 @@ impl Experiment {
         self.round_budget
     }
 
+    /// Streams the run's structured trace events to `path` as JSONL
+    /// (default: no trace). Event payloads are pure functions of
+    /// simulation state, so the file is byte-identical for identical
+    /// experiments regardless of thread count, and
+    /// [`crate::obs::replay_hash`] re-derives the run's delivery-trace
+    /// hash from it. Under `debug-invariants` only the first of the two
+    /// determinism replicas writes the file.
+    #[must_use]
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
     /// The default fault budget when `with_t` was not called: the
     /// maximum the chosen protocol is proven to tolerate at this radius.
     fn default_t(&self) -> usize {
@@ -291,8 +307,9 @@ impl Experiment {
     /// # Panics
     ///
     /// Panics if the arena cannot host the radius (see
-    /// [`Torus::supports_radius`]), or — under `debug-invariants` — if a
-    /// runtime invariant is violated.
+    /// [`Torus::supports_radius`]), if a configured trace file cannot be
+    /// created, or — under `debug-invariants` — if a runtime invariant
+    /// is violated.
     #[must_use]
     pub fn run(&self) -> Outcome {
         self.run_traced().0
@@ -313,7 +330,9 @@ impl Experiment {
             // The two determinism runs are independent; execute them
             // concurrently on the deterministic engine (2 fixed tasks →
             // index-ordered results, so the comparison itself is stable).
-            let mut runs = crate::engine::run_indexed(&[(), ()], 2, |_, ()| self.run_once());
+            // Only replica 0 may write the trace file — the replay is a
+            // shadow run, not a second observation.
+            let mut runs = crate::engine::run_indexed(&[(), ()], 2, |i, ()| self.run_once(i == 0));
             let (replay, replay_hash) = runs.pop().expect("engine returned both replicas");
             let (outcome, hash) = runs.pop().expect("engine returned both replicas");
             assert_eq!(
@@ -329,7 +348,7 @@ impl Experiment {
             (outcome, hash)
         }
         #[cfg(not(feature = "debug-invariants"))]
-        self.run_once()
+        self.run_once(true)
     }
 
     /// Whether Theorem 2's safety guarantee is provably in force, i.e.
@@ -373,8 +392,10 @@ impl Experiment {
     }
 
     /// One full simulation, returning the outcome and the simulator's
-    /// delivery-trace hash.
-    fn run_once(&self) -> (Outcome, u64) {
+    /// delivery-trace hash. `primary` is false for the `debug-invariants`
+    /// shadow replica, which must not write the trace file.
+    fn run_once(&self, primary: bool) -> (Outcome, u64) {
+        let _span = crate::obs::span("experiment/run");
         let torus = self.resolve_torus();
         let arena = if self.shared_arena {
             crate::arena_cache::shared(&torus, self.r, self.metric)
@@ -463,7 +484,19 @@ impl Experiment {
                 net.crash_at(f, 0);
             }
         }
+        if primary {
+            if let Some(path) = &self.trace_path {
+                let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                    // audit:allow(panic) an unwritable trace path is caller misconfiguration
+                    panic!("cannot create trace file {}: {e}", path.display())
+                });
+                net.set_trace_sink(Box::new(crate::obs::JsonlSink::new(
+                    std::io::BufWriter::new(file),
+                )));
+            }
+        }
         let stats = net.run(self.max_rounds);
+        record_run_metrics(&stats);
         let message_kinds: Vec<(&'static str, u64)> =
             net.kind_counts().iter().map(|(&k, &v)| (k, v)).collect();
 
@@ -494,6 +527,30 @@ impl Experiment {
         };
         (outcome, net.trace_hash())
     }
+}
+
+/// Folds one run's simulator statistics into the process-wide metrics
+/// registry (`sim/*` counters). Handles are resolved once so the
+/// registry lock is not taken per run.
+fn record_run_metrics(stats: &RunStats) {
+    use std::sync::OnceLock;
+    static SIM: OnceLock<[crate::obs::Counter; 6]> = OnceLock::new();
+    let [runs, rounds, messages, deliveries, jammed, lost] = SIM.get_or_init(|| {
+        [
+            crate::obs::counter("sim/runs"),
+            crate::obs::counter("sim/rounds"),
+            crate::obs::counter("sim/messages"),
+            crate::obs::counter("sim/deliveries"),
+            crate::obs::counter("sim/jammed-deliveries"),
+            crate::obs::counter("sim/lost-deliveries"),
+        ]
+    });
+    runs.incr();
+    rounds.add(u64::from(stats.rounds));
+    messages.add(stats.messages_sent);
+    deliveries.add(stats.deliveries);
+    jammed.add(stats.jammed_deliveries);
+    lost.add(stats.lost_deliveries);
 }
 
 #[cfg(test)]
@@ -603,6 +660,39 @@ mod tests {
         let free = Experiment::new(1, ProtocolKind::Flood).run_traced();
         assert_eq!(capped, free);
         assert!(free.0.all_honest_correct());
+    }
+
+    #[test]
+    fn trace_file_replays_to_the_run_hash() {
+        let path = std::env::temp_dir().join("rbcast-test-experiment-trace.jsonl");
+        let (outcome, hash) = Experiment::new(1, ProtocolKind::Flood)
+            .with_trace_path(&path)
+            .run_traced();
+        let text = std::fs::read_to_string(&path).expect("trace file written");
+        assert!(!text.is_empty());
+        assert_eq!(
+            crate::obs::replay_hash(&text),
+            Ok(hash),
+            "JSONL stream must re-derive the run's delivery-trace hash"
+        );
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"ev\":\"delivery\""))
+                .count() as u64,
+            outcome.stats.deliveries,
+            "one delivery event per counted delivery"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sim_metrics_accumulate_across_runs() {
+        let deliveries = crate::obs::counter("sim/deliveries");
+        let runs = crate::obs::counter("sim/runs");
+        let (d0, r0) = (deliveries.get(), runs.get());
+        let o = Experiment::new(1, ProtocolKind::Flood).run();
+        assert!(runs.get() > r0);
+        assert!(deliveries.get() >= d0 + o.stats.deliveries);
     }
 
     #[test]

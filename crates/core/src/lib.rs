@@ -14,7 +14,10 @@
 //!   node faults, connecting crash-stop broadcast to site percolation);
 //! * [`engine`] — the deterministic parallel sweep executor (results
 //!   collected by input index, so output is byte-identical for every
-//!   thread count).
+//!   thread count);
+//! * [`obs`] — the deterministic observability layer: structured trace
+//!   events, a metrics registry, and the workspace's only sanctioned
+//!   wall-clock timing.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@ pub mod complexity;
 pub mod engine;
 mod experiment;
 pub mod graphs;
+pub mod obs;
 pub mod percolation;
 pub mod render;
 pub mod supervisor;

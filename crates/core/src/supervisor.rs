@@ -366,6 +366,34 @@ impl OutcomeSummary {
     }
 }
 
+/// Per-task simulator metrics journaled alongside the outcome summary —
+/// the per-task slice of the process-wide metrics registry
+/// (`crate::obs`), durable so a resumed sweep can still aggregate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskMetrics {
+    /// Rounds the run executed.
+    pub rounds: u32,
+    /// Message deliveries.
+    pub deliveries: u64,
+    /// Deliveries destroyed by jamming.
+    pub jammed: u64,
+    /// Deliveries destroyed by channel loss.
+    pub lost: u64,
+}
+
+impl TaskMetrics {
+    /// The metrics of a computed outcome.
+    #[must_use]
+    pub fn of(outcome: &Outcome) -> TaskMetrics {
+        TaskMetrics {
+            rounds: outcome.stats.rounds,
+            deliveries: outcome.stats.deliveries,
+            jammed: outcome.stats.jammed_deliveries,
+            lost: outcome.stats.lost_deliveries,
+        }
+    }
+}
+
 /// One journal line: the durable record of one task's fate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalEntry {
@@ -379,6 +407,8 @@ pub struct JournalEntry {
     pub digest: Option<u64>,
     /// Outcome summary of the completed run.
     pub summary: Option<OutcomeSummary>,
+    /// Per-task simulator metrics (absent in pre-metrics journals).
+    pub metrics: Option<TaskMetrics>,
     /// Error display for a failed task.
     pub error: Option<String>,
 }
@@ -400,6 +430,12 @@ impl JournalEntry {
             line.push_str(&format!(
                 ",\"correct\":{},\"wrong\":{},\"undecided\":{},\"messages\":{}",
                 s.correct, s.wrong, s.undecided, s.messages
+            ));
+        }
+        if let Some(m) = &self.metrics {
+            line.push_str(&format!(
+                ",\"rounds\":{},\"deliveries\":{},\"jammed\":{},\"lost\":{}",
+                m.rounds, m.deliveries, m.jammed, m.lost
             ));
         }
         if let Some(e) = &self.error {
@@ -454,6 +490,16 @@ impl JournalEntry {
         } else {
             None
         };
+        let metrics = if fields.contains_key("rounds") {
+            Some(TaskMetrics {
+                rounds: u32::try_from(get_num("rounds")?).map_err(|e| format!("rounds: {e}"))?,
+                deliveries: get_num("deliveries")?,
+                jammed: get_num("jammed")?,
+                lost: get_num("lost")?,
+            })
+        } else {
+            None
+        };
         let error = match fields.get("error") {
             Some(JsonValue::String(s)) => Some(s.clone()),
             Some(JsonValue::Number(_)) => return Err("error must be a string".to_string()),
@@ -468,9 +514,84 @@ impl JournalEntry {
             attempts,
             digest,
             summary,
+            metrics,
             error,
         })
     }
+}
+
+/// The journal's header line: a fingerprint of the sweep specification,
+/// written when the journal is created so a resume against the journal
+/// of a *different* sweep is refused instead of silently splicing
+/// incompatible checkpoints (the task indices would alias unrelated
+/// experiments). Legacy journals have no header and skip the check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// [`sweep_fingerprint`] of the experiment list.
+    pub fingerprint: u64,
+    /// Number of tasks in the sweep.
+    pub tasks: usize,
+}
+
+impl JournalHeader {
+    /// Serialises to one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"fingerprint\":\"{:#018x}\",\"tasks\":{}}}",
+            self.fingerprint, self.tasks
+        )
+    }
+
+    /// Parses a header line.
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON or missing/mistyped fields.
+    pub fn from_line(line: &str) -> Result<JournalHeader, String> {
+        let fields = parse_flat_json(line)?;
+        let fingerprint = match fields.get("fingerprint") {
+            Some(JsonValue::String(s)) => {
+                let hex = s
+                    .strip_prefix("0x")
+                    .ok_or_else(|| format!("fingerprint {s:?} is not 0x-prefixed hex"))?;
+                u64::from_str_radix(hex, 16).map_err(|e| format!("fingerprint {s:?}: {e}"))?
+            }
+            Some(JsonValue::Number(_)) => {
+                return Err("fingerprint must be a hex string".to_string())
+            }
+            None => return Err("missing field \"fingerprint\"".to_string()),
+        };
+        let tasks = match fields.get("tasks") {
+            Some(JsonValue::Number(n)) => usize::try_from(*n).map_err(|e| format!("tasks: {e}"))?,
+            Some(JsonValue::String(_)) => return Err("tasks must be a number".to_string()),
+            None => return Err("missing field \"tasks\"".to_string()),
+        };
+        Ok(JournalHeader { fingerprint, tasks })
+    }
+}
+
+/// FNV-1a fingerprint of a sweep specification: folds every experiment's
+/// full configuration (its `Debug` rendering — dims, radius, metric,
+/// protocol, `t`, placement, fault kind, channel, budgets) plus the task
+/// count. Two sweeps fingerprint equal iff their experiment lists are
+/// configured identically, which is exactly when their journals are
+/// interchangeable.
+#[must_use]
+pub fn sweep_fingerprint(experiments: &[Experiment]) -> u64 {
+    let mut hash = crate::obs::FNV_OFFSET;
+    let mut fold = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(crate::obs::FNV_PRIME);
+    };
+    for e in experiments {
+        for b in format!("{e:?}").bytes() {
+            fold(b);
+        }
+        // Record separator: "AB","C" must not collide with "A","BC".
+        fold(0xff);
+    }
+    hash
 }
 
 /// Append-only JSONL checkpoint journal. Each completed task appends
@@ -502,6 +623,44 @@ impl Journal {
             path: path.to_path_buf(),
             file: Mutex::new(File::create(path)?),
         })
+    }
+
+    /// [`Journal::create`], then writes `header` as the first line, so
+    /// later resumes can verify they are resuming the same sweep.
+    ///
+    /// # Errors
+    ///
+    /// On any I/O failure.
+    pub fn create_with_header(path: &Path, header: &JournalHeader) -> std::io::Result<Journal> {
+        let journal = Journal::create(path)?;
+        {
+            let mut file = journal
+                .file
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            writeln!(file, "{}", header.to_line())?;
+            file.flush()?;
+        }
+        Ok(journal)
+    }
+
+    /// Reads the header of the journal at `path`, if it has one.
+    /// `Ok(None)` for headerless (pre-fingerprint) journals — those
+    /// resume without the cross-check.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure opening or reading the file.
+    pub fn read_header(path: &Path) -> std::io::Result<Option<JournalHeader>> {
+        let reader = BufReader::new(File::open(path)?);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Ok(JournalHeader::from_line(&line).ok());
+        }
+        Ok(None)
     }
 
     /// Opens a journal for appending (creating it if absent) — the
@@ -555,6 +714,11 @@ impl Journal {
         for (n, line) in reader.lines().enumerate() {
             let line = line?;
             if line.trim().is_empty() {
+                continue;
+            }
+            // Header lines are not task entries; the fingerprint
+            // cross-check reads them via [`Journal::read_header`].
+            if n == 0 && JournalHeader::from_line(&line).is_ok() {
                 continue;
             }
             let entry = JournalEntry::from_line(&line).map_err(|e| {
@@ -1043,6 +1207,18 @@ pub fn run_experiments_supervised(
     threads: usize,
     config: &SupervisorConfig,
 ) -> SweepReport {
+    use std::sync::OnceLock;
+    static COUNTERS: OnceLock<[crate::obs::Counter; 4]> = OnceLock::new();
+    let [done_c, retries_c, quarantined_c, resumed_c] = COUNTERS.get_or_init(|| {
+        [
+            crate::obs::counter("supervisor/tasks"),
+            crate::obs::counter("supervisor/retries"),
+            crate::obs::counter("supervisor/quarantined"),
+            crate::obs::counter("supervisor/resumed"),
+        ]
+    });
+    let _span = crate::obs::span("sweep/supervised");
+
     // Thread the default round budget into experiments lacking one.
     let prepared: Vec<Experiment> = experiments
         .iter()
@@ -1089,6 +1265,7 @@ pub fn run_experiments_supervised(
         if let Some(entry) = config.resume.get(&i) {
             if entry.ok {
                 if let Some(summary) = entry.summary {
+                    resumed_c.incr();
                     return TaskReport::Resumed {
                         summary,
                         digest: entry.digest,
@@ -1112,22 +1289,32 @@ pub fn run_experiments_supervised(
                 outcome,
                 digest,
                 attempts,
-            } => record(&JournalEntry {
-                task: i,
-                ok: true,
-                attempts: *attempts,
-                digest: Some(*digest),
-                summary: Some(OutcomeSummary::of(outcome)),
-                error: None,
-            }),
-            TaskReport::Failed { error, attempts } => record(&JournalEntry {
-                task: i,
-                ok: false,
-                attempts: *attempts,
-                digest: None,
-                summary: None,
-                error: Some(error.to_string()),
-            }),
+            } => {
+                done_c.incr();
+                retries_c.add(u64::from(attempts.saturating_sub(1)));
+                record(&JournalEntry {
+                    task: i,
+                    ok: true,
+                    attempts: *attempts,
+                    digest: Some(*digest),
+                    summary: Some(OutcomeSummary::of(outcome)),
+                    metrics: Some(TaskMetrics::of(outcome)),
+                    error: None,
+                });
+            }
+            TaskReport::Failed { error, attempts } => {
+                quarantined_c.incr();
+                retries_c.add(u64::from(attempts.saturating_sub(1)));
+                record(&JournalEntry {
+                    task: i,
+                    ok: false,
+                    attempts: *attempts,
+                    digest: None,
+                    summary: None,
+                    metrics: None,
+                    error: Some(error.to_string()),
+                });
+            }
             TaskReport::Resumed { .. } => {}
         }
         report
@@ -1296,6 +1483,12 @@ mod tests {
                 undecided: 4,
                 messages: 512,
             }),
+            metrics: Some(TaskMetrics {
+                rounds: 17,
+                deliveries: 480,
+                jammed: 3,
+                lost: 1,
+            }),
             error: None,
         };
         let failed = JournalEntry {
@@ -1304,6 +1497,7 @@ mod tests {
             attempts: 2,
             digest: None,
             summary: None,
+            metrics: None,
             error: Some("panicked: chaos \"quoted\"\nline2 \\ backslash".to_string()),
         };
         for entry in [&ok, &failed] {
@@ -1341,6 +1535,7 @@ mod tests {
                         undecided: 0,
                         messages: 9,
                     }),
+                    metrics: None,
                     error: (task == 1).then(|| "boom".to_string()),
                 })
                 .expect("record");
@@ -1358,6 +1553,7 @@ mod tests {
                     undecided: 0,
                     messages: 9,
                 }),
+                metrics: None,
                 error: None,
             })
             .expect("record");
@@ -1366,6 +1562,67 @@ mod tests {
         assert!(loaded[&1].ok);
         assert_eq!(loaded[&1].attempts, 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_fingerprint_is_spec_sensitive() {
+        let a = vec![Experiment::new(1, ProtocolKind::Flood)];
+        let b = vec![Experiment::new(2, ProtocolKind::Flood)];
+        let c = vec![Experiment::new(1, ProtocolKind::Cpa)];
+        let aa = vec![
+            Experiment::new(1, ProtocolKind::Flood),
+            Experiment::new(1, ProtocolKind::Flood),
+        ];
+        assert_eq!(sweep_fingerprint(&a), sweep_fingerprint(&a));
+        assert_ne!(sweep_fingerprint(&a), sweep_fingerprint(&b), "radius");
+        assert_ne!(sweep_fingerprint(&a), sweep_fingerprint(&c), "protocol");
+        assert_ne!(sweep_fingerprint(&a), sweep_fingerprint(&aa), "task count");
+        assert_ne!(
+            sweep_fingerprint(&a),
+            sweep_fingerprint(&[a[0].clone().with_t(1)]),
+            "fault budget"
+        );
+    }
+
+    #[test]
+    fn journal_header_roundtrips_and_load_skips_it() {
+        let header = JournalHeader {
+            fingerprint: 0x0123_4567_89ab_cdef,
+            tasks: 3,
+        };
+        assert_eq!(
+            JournalHeader::from_line(&header.to_line()).expect("roundtrip"),
+            header
+        );
+        assert!(JournalHeader::from_line("{\"tasks\":3}").is_err());
+        assert!(JournalHeader::from_line("{\"fingerprint\":\"0xzz\",\"tasks\":3}").is_err());
+
+        let dir = std::env::temp_dir().join("rbcast-supervisor-test");
+        let path = dir.join("journal-header.jsonl");
+        let journal = Journal::create_with_header(&path, &header).expect("create");
+        let entry = JournalEntry {
+            task: 0,
+            ok: false,
+            attempts: 1,
+            digest: None,
+            summary: None,
+            metrics: None,
+            error: Some("boom".to_string()),
+        };
+        journal.record(&entry).expect("record");
+        assert_eq!(Journal::read_header(&path).expect("read"), Some(header));
+        let loaded = Journal::load(&path).expect("load");
+        assert_eq!(loaded.len(), 1, "the header line is not a task entry");
+        assert_eq!(loaded[&0], entry);
+
+        // Headerless (legacy) journals read back `None` and still load.
+        let legacy = dir.join("journal-legacy.jsonl");
+        let j = Journal::create(&legacy).expect("create");
+        j.record(&entry).expect("record");
+        assert_eq!(Journal::read_header(&legacy).expect("read"), None);
+        assert_eq!(Journal::load(&legacy).expect("load").len(), 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&legacy).ok();
     }
 
     #[test]
@@ -1433,6 +1690,7 @@ mod tests {
                     undecided: 0,
                     messages: 1,
                 }),
+                metrics: None,
                 error: None,
             },
         );
@@ -1444,6 +1702,7 @@ mod tests {
                 attempts: 2,
                 digest: None,
                 summary: None,
+                metrics: None,
                 error: Some("panicked: chaos".to_string()),
             },
         );

@@ -53,9 +53,18 @@ pub fn crash_impossible_t(r: u32) -> u64 {
 
 /// Largest `t` Theorem 6 guarantees the simple protocol (CPA) tolerates:
 /// `⌊⅔·r²⌋`.
+///
+/// This is the *single* definition of the bound — call sites must not
+/// inline the formula. The product is formed in `u128` so the division
+/// by 3 happens before any narrowing: exact for every `u32` radius.
+///
+/// # Panics
+///
+/// Never panics: `2·r² / 3` for `r ≤ u32::MAX` always fits in `u64`.
 #[must_use]
 pub fn cpa_guaranteed_t(r: u32) -> u64 {
-    2 * u64::from(r) * u64::from(r) / 3
+    let twice_r_squared = 2u128 * u128::from(r) * u128::from(r);
+    u64::try_from(twice_r_squared / 3).expect("2r²/3 fits in u64 for all u32 radii")
 }
 
 /// Koo's earlier CPA achievability bound, `½(r(r+√(r/2)+1))`, which
@@ -133,6 +142,22 @@ mod tests {
         for r in 1..=100 {
             assert!(cpa_guaranteed_t(r) <= byzantine_max_t(r), "r={r}");
         }
+    }
+
+    #[test]
+    fn cpa_guarantee_survives_extreme_radii() {
+        // The naive u64 product 2·r² overflows for r ≥ 2³¹·√2; the u128
+        // intermediate keeps the floor exact all the way to u32::MAX.
+        assert_eq!(cpa_guaranteed_t(1), 0);
+        assert_eq!(cpa_guaranteed_t(2), 2);
+        assert_eq!(cpa_guaranteed_t(3), 6);
+        assert_eq!(
+            cpa_guaranteed_t(u32::MAX),
+            ((2u128 * u128::from(u32::MAX) * u128::from(u32::MAX)) / 3) as u64
+        );
+        // Monotonic in r around the overflow frontier.
+        let big = 3_037_000_499; // ⌊√(u64::MAX/2)⌋ — last r safe for u64 math
+        assert!(cpa_guaranteed_t(big) < cpa_guaranteed_t(big + 1));
     }
 
     #[test]

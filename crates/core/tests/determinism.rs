@@ -213,6 +213,62 @@ fn killed_and_resumed_sweep_converges_on_the_straight_through_rows() {
 }
 
 #[test]
+fn trace_jsonl_byte_identical_across_thread_counts_and_supervision() {
+    // The observability contract: the serialized event stream is a pure
+    // function of the simulation, so per-task JSONL traces must be
+    // byte-identical at every worker-thread count AND under the
+    // supervisor envelope — and each stream must re-derive the engine's
+    // FNV delivery-trace hash.
+    let dir = std::env::temp_dir().join("rbcast_determinism_traces");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let traced = |tag: &str| -> Vec<Experiment> {
+        sweep_grid()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| e.with_trace_path(dir.join(format!("{tag}-task{i}.jsonl"))))
+            .collect()
+    };
+    let read = |tag: &str, i: usize| -> String {
+        std::fs::read_to_string(dir.join(format!("{tag}-task{i}.jsonl"))).expect("trace written")
+    };
+
+    let experiments = traced("t1");
+    let hashed = engine::run_experiments_traced(&experiments, 1);
+    let baseline: Vec<String> = (0..experiments.len()).map(|i| read("t1", i)).collect();
+    for (i, ((_, hash), text)) in hashed.iter().zip(&baseline).enumerate() {
+        assert_eq!(
+            rbcast_core::obs::replay_hash(text),
+            Ok(*hash),
+            "task {i}: trace replay diverged from the engine's own hash"
+        );
+    }
+
+    for threads in [2usize, 8] {
+        let tag = format!("t{threads}");
+        let _ = engine::run_experiments_traced(&traced(&tag), threads);
+        for (i, want) in baseline.iter().enumerate() {
+            assert_eq!(
+                *want,
+                read(&tag, i),
+                "task {i} trace diverged at {threads} threads"
+            );
+        }
+    }
+
+    let report =
+        supervisor::run_experiments_supervised(&traced("sup"), 2, &SupervisorConfig::new());
+    assert!(report.fully_healthy());
+    for (i, want) in baseline.iter().enumerate() {
+        assert_eq!(
+            *want,
+            read("sup", i),
+            "task {i} trace diverged under supervision"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("trace dir is removable");
+}
+
+#[test]
 fn percolation_rows_identical_across_thread_counts() {
     let torus = Torus::for_radius(1);
     let ps = [0.0, 0.2, 0.4];

@@ -162,6 +162,7 @@ impl FlowNetwork {
                     break;
                 }
                 flow += f;
+                crate::stats::count_augmentation();
                 if flow >= target {
                     break;
                 }

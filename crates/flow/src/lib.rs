@@ -34,6 +34,7 @@
 mod dinic;
 mod disjoint;
 mod packing;
+pub mod stats;
 
 pub use dinic::{EdgeId, FlowNetwork};
 pub use disjoint::{

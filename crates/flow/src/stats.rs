@@ -1,0 +1,41 @@
+//! Process-wide instrumentation counters.
+//!
+//! The flow crate sits below the observability layer
+//! (`rbcast-core::obs`), so it cannot register counters there directly;
+//! instead it maintains its own monotonic atomics, which the registry
+//! reads when taking a metrics snapshot. The counters are diagnostics
+//! only — nothing deterministic (hashes, journals, outcomes) may read
+//! them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static AUGMENTATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one augmenting path routed by Dinic's algorithm.
+pub(crate) fn count_augmentation() {
+    AUGMENTATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total augmenting paths routed by [`crate::FlowNetwork`] since process
+/// start, across all threads. Monotonic.
+#[must_use]
+pub fn augmentations_total() -> u64 {
+    AUGMENTATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowNetwork;
+
+    #[test]
+    fn augmentations_advance_with_flow() {
+        let before = augmentations_total();
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 1, 1);
+        assert_eq!(net.max_flow(0, 1), 2);
+        // Other tests run concurrently, so only a lower bound is stable.
+        assert!(augmentations_total() >= before + 2);
+    }
+}

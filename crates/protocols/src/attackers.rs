@@ -200,7 +200,7 @@ mod tests {
         let mut net = Network::new(torus, 1, Metric::Linf, |_| silent());
         let stats = net.run(10);
         assert_eq!(stats.messages_sent, 0);
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
     }
 
     #[test]

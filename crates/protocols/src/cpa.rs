@@ -64,6 +64,9 @@ impl Cpa {
     fn commit(&mut self, ctx: &mut Ctx<'_, Msg>, v: Value) {
         if !self.committed {
             self.committed = true;
+            // Trace the vote count behind the commit (0 when the commit
+            // came straight from the source's own broadcast).
+            ctx.note("commit-votes", self.votes[usize::from(v)] as u64);
             ctx.decide(v);
             ctx.broadcast(Msg::Committed(v));
         }
@@ -136,7 +139,7 @@ mod tests {
     fn fault_free_cpa_completes_at_theorem6_budget() {
         for r in 1..=2u32 {
             let torus = Torus::for_radius(r);
-            let t = (2 * r * r / 3) as usize;
+            let t = rbcast_core::thresholds::cpa_guaranteed_t(r) as usize;
             let net = run_cpa(&torus, r, t, &[]);
             for id in torus.node_ids() {
                 assert_eq!(net.decision(id).map(|(v, _)| v), Some(true), "r={r} {id}");

@@ -114,7 +114,7 @@ mod tests {
         });
         let stats = net.run(1_000);
         assert_eq!(stats.messages_sent, torus.len() as u64);
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
     }
 
     #[test]

@@ -292,6 +292,9 @@ impl Process<Msg> for Indirect {
         }
         let geo = Geometry::new(ctx.arena(), ctx.coord());
         if let Some(v) = self.evidence.evaluate(&geo) {
+            // Trace how much evidence the commit rested on: the number of
+            // distinct chains recorded when the rule first fired.
+            ctx.note("commit-evidence", self.evidence.chain_count() as u64);
             self.commit(ctx, v);
         }
     }

@@ -83,7 +83,7 @@ mod tests {
             Box::new(PersistentFlood::new(p, 2)) as Box<dyn Process<Msg>>
         });
         let stats = net.run(1_000);
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
         for id in torus.node_ids() {
             assert_eq!(net.decision(id).map(|(v, _)| v), Some(true));
         }

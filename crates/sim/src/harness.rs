@@ -101,6 +101,12 @@ impl<M> Harness<M> {
         self.state.decision.map(|(v, _)| v)
     }
 
+    /// Takes the protocol-level trace notes recorded via
+    /// [`Ctx::note`] since the last drain.
+    pub fn drain_notes(&mut self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut self.state.notes)
+    }
+
     /// Total broadcasts the process has performed.
     #[must_use]
     pub fn messages_sent(&self) -> u64 {

@@ -49,7 +49,7 @@
 //!     Box::new(Flood { origin: id == source, done: false }) as Box<dyn Process<bool>>
 //! });
 //! let stats = net.run(100);
-//! assert!(stats.quiescent);
+//! assert!(stats.quiescent());
 //! assert!(net.decisions().iter().all(|d| d.map(|(v, _)| v) == Some(true)));
 //! ```
 
@@ -61,6 +61,7 @@ mod harness;
 mod network;
 mod process;
 mod stats;
+pub mod trace;
 
 pub use channel::ChannelConfig;
 pub use harness::Harness;

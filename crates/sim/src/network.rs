@@ -2,12 +2,10 @@
 
 use crate::channel::delivery_lost;
 use crate::process::NodeState;
+use crate::trace::{TraceEvent, TraceSink, FNV_OFFSET};
 use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, StopReason, Value};
 use rbcast_grid::{Metric, NeighborTable, NodeId, TdmaSchedule, Torus};
 use std::sync::Arc;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// The T2 ground truth a run is audited against: the source's value and
 /// the set of faulty nodes. Only consulted under `debug-invariants`.
@@ -82,6 +80,14 @@ pub struct Network<M> {
     lost_deliveries: u64,
     jammed_deliveries: u64,
     jammed_transmissions: u64,
+    /// Optional structured-event consumer (see [`crate::trace`]). `None`
+    /// is the null sink: non-hashed events are never even constructed,
+    /// so an untraced run pays only a branch per site.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Which nodes' decisions have already produced a
+    /// [`TraceEvent::Decision`] (maintained only while a sink is
+    /// installed).
+    decided_seen: Vec<bool>,
 }
 
 impl<M> Network<M> {
@@ -160,6 +166,8 @@ impl<M> Network<M> {
             lost_deliveries: 0,
             jammed_deliveries: 0,
             jammed_transmissions: 0,
+            sink: None,
+            decided_seen: Vec::new(),
         }
     }
 
@@ -245,6 +253,26 @@ impl<M> Network<M> {
     /// Runs the simulation until quiescence or `max_rounds`, returning
     /// run statistics.
     pub fn run(&mut self, max_rounds: Round) -> RunStats {
+        // A network may be run more than once (processes, decisions,
+        // crash schedules, and jam batteries persist); everything that
+        // describes *a run* — history, counters, the trace hash and its
+        // freeze — restarts from zero so `history.len() == stats.rounds`
+        // and per-kind tallies hold for every run, not just the first.
+        self.history.clear();
+        self.trace_hash = FNV_OFFSET;
+        self.hash_frozen = false;
+        self.messages_sent = 0;
+        self.deliveries = 0;
+        self.lost_deliveries = 0;
+        self.jammed_deliveries = 0;
+        self.jammed_transmissions = 0;
+        self.kind_counts.clear();
+        self.decided_seen = if self.sink.is_some() {
+            vec![false; self.arena.len()]
+        } else {
+            Vec::new()
+        };
+
         // Hot-path de-allocation: `order` is moved out of `self` and the
         // arena handle cloned (one refcount bump) for the duration of
         // the run, so deliveries can borrow the receiver slice and the
@@ -265,6 +293,9 @@ impl<M> Network<M> {
                 self.with_ctx(id, 0, |proc, ctx| proc.on_round_end(ctx));
             }
         }
+        // Round-0 decisions (e.g. a source committing at start-up)
+        // predate the first delivery round; surface them in the stream.
+        self.scan_decisions(0);
         let mut on_air = self.collect_transmissions(&order, 0);
 
         let mut round: Round = 0;
@@ -287,8 +318,22 @@ impl<M> Network<M> {
             // jammer's range.
             let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&arena, &on_air, round);
             self.jammed_transmissions += jam_of.iter().flatten().count() as u64;
+            if self.tracing() {
+                self.emit(TraceEvent::RoundStart {
+                    round,
+                    on_air: on_air.len() as u64,
+                });
+            }
             // Deliver everything on the air, in global transmission order.
             for (tx_index, tx) in on_air.iter().enumerate() {
+                if self.tracing() {
+                    self.emit(TraceEvent::Transmission {
+                        round,
+                        index: tx_index as u64,
+                        sender: tx.sender.index() as u64,
+                        claimed: tx.claimed.index() as u64,
+                    });
+                }
                 for &rid in arena.neighbors(tx.sender) {
                     if self.is_crashed(rid, round) {
                         continue;
@@ -301,20 +346,35 @@ impl<M> Network<M> {
                             arena.metric(),
                         ) {
                             self.jammed_deliveries += 1;
+                            if self.tracing() {
+                                self.emit(TraceEvent::Jammed {
+                                    round,
+                                    index: tx_index as u64,
+                                    receiver: rid.index() as u64,
+                                    jammer: jammer.index() as u64,
+                                });
+                            }
                             continue;
                         }
                     }
                     if delivery_lost(&self.channel, round, tx_index, rid) {
                         self.lost_deliveries += 1;
+                        if self.tracing() {
+                            self.emit(TraceEvent::Lost {
+                                round,
+                                index: tx_index as u64,
+                                receiver: rid.index() as u64,
+                            });
+                        }
                         continue;
                     }
                     self.deliveries += 1;
-                    self.trace_mix(&[
-                        u64::from(round),
-                        tx_index as u64,
-                        rid.index() as u64,
-                        tx.claimed.index() as u64,
-                    ]);
+                    self.emit(TraceEvent::Delivery {
+                        round,
+                        index: tx_index as u64,
+                        receiver: rid.index() as u64,
+                        claimed: tx.claimed.index() as u64,
+                    });
                     self.with_ctx(rid, round, |proc, ctx| {
                         proc.on_message(ctx, tx.claimed, &tx.msg);
                     });
@@ -325,12 +385,24 @@ impl<M> Network<M> {
                     self.with_ctx(id, round, |proc, ctx| proc.on_round_end(ctx));
                 }
             }
-            let decided_after = self
-                .states
-                .iter()
-                .filter(|st| st.decision.is_some())
-                .count() as u64;
-            self.trace_mix(&[u64::from(round), decided_after]);
+            let decided_after = self.scan_decisions(round);
+            // Completion check, before the round-end fold so the event
+            // can carry the freeze marker — but applied only *after*
+            // folding, so the hash freezes at the same round whether or
+            // not early termination is on and both modes hash
+            // identically.
+            let frozen_after = self.hash_frozen
+                || self.completion_mask.as_ref().is_some_and(|mask| {
+                    mask.iter()
+                        .zip(self.states.iter())
+                        .all(|(&m, st)| !m || st.decision.is_some())
+                });
+            self.emit(TraceEvent::RoundEnd {
+                round,
+                decided: decided_after,
+                frozen: frozen_after,
+            });
+            self.hash_frozen = frozen_after;
             self.check_safety(round);
             self.history.push(RoundReport {
                 round,
@@ -338,20 +410,6 @@ impl<M> Network<M> {
                 deliveries: self.deliveries - deliveries_before,
                 decisions: decided_after - decided_before,
             });
-            // Completion check, after the round's hash folds: the hash
-            // freezes at the same round whether or not early
-            // termination is on, so both modes hash identically.
-            if !self.hash_frozen {
-                if let Some(mask) = &self.completion_mask {
-                    let complete = mask
-                        .iter()
-                        .zip(self.states.iter())
-                        .all(|(&m, st)| !m || st.decision.is_some());
-                    if complete {
-                        self.hash_frozen = true;
-                    }
-                }
-            }
             // Collect before the early-exit check so everything a
             // process emitted is classified and counted: per-kind
             // tallies sum to `messages_sent` in both termination modes.
@@ -362,9 +420,11 @@ impl<M> Network<M> {
             }
         }
         self.order = order;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.flush();
+        }
 
-        let quiescent = on_air.is_empty();
-        let stop_reason = if quiescent {
+        let stop_reason = if on_air.is_empty() {
             StopReason::Quiescent
         } else if early_stopped {
             StopReason::AllDecided
@@ -375,8 +435,6 @@ impl<M> Network<M> {
         };
         RunStats {
             rounds: round,
-            quiescent,
-            early_stopped,
             stop_reason,
             messages_sent: self.messages_sent,
             deliveries: self.deliveries,
@@ -384,6 +442,67 @@ impl<M> Network<M> {
             jammed_deliveries: self.jammed_deliveries,
             jammed_transmissions: self.jammed_transmissions,
         }
+    }
+
+    /// True while a trace sink is installed. Sites that emit non-hashed
+    /// events guard on this so the null sink costs one branch and no
+    /// event construction.
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The single funnel for trace events: folds the event's hash
+    /// contribution (unless the hash is frozen) and forwards it to the
+    /// sink. Routing every fold through here is what keeps the FNV hash
+    /// and the event stream structurally incapable of diverging.
+    fn emit(&mut self, event: TraceEvent) {
+        if !self.hash_frozen {
+            event.fold_into(&mut self.trace_hash);
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&event);
+        }
+    }
+
+    /// Counts decided nodes and, while tracing, emits a
+    /// [`TraceEvent::Decision`] for each node not yet seen decided — in
+    /// node-index order, so the stream is deterministic.
+    fn scan_decisions(&mut self, round: Round) -> u64 {
+        if !self.tracing() {
+            return self
+                .states
+                .iter()
+                .filter(|st| st.decision.is_some())
+                .count() as u64;
+        }
+        let mut decided = 0u64;
+        let mut fresh: Vec<(u64, Value)> = Vec::new();
+        for (i, st) in self.states.iter().enumerate() {
+            if let Some((v, _)) = st.decision {
+                decided += 1;
+                if !self.decided_seen[i] {
+                    fresh.push((i as u64, v));
+                }
+            }
+        }
+        for (node, value) in fresh {
+            self.decided_seen[node as usize] = true;
+            self.emit(TraceEvent::Decision { round, node, value });
+        }
+        decided
+    }
+
+    /// Installs a structured trace sink receiving every event of the
+    /// next (and any later) [`Network::run`] — see [`crate::trace`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any (e.g. to
+    /// inspect a [`crate::trace::MemorySink`] after a run).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
     }
 
     /// Greedy jammer assignment for one round: each jammer, in listed
@@ -424,21 +543,6 @@ impl<M> Network<M> {
             }
         }
         jam_of
-    }
-
-    /// Folds words into the running trace hash (FNV-1a over bytes). A
-    /// no-op once the hash froze at the completion round, so early
-    /// termination cannot change the hash.
-    fn trace_mix(&mut self, words: &[u64]) {
-        if self.hash_frozen {
-            return;
-        }
-        for w in words {
-            for byte in w.to_le_bytes() {
-                self.trace_hash ^= u64::from(byte);
-                self.trace_hash = self.trace_hash.wrapping_mul(FNV_PRIME);
-            }
-        }
     }
 
     /// Order-sensitive digest of the run so far: every delivery
@@ -551,6 +655,21 @@ impl<M> Network<M> {
             f(proc.as_mut(), &mut ctx);
         }
         self.processes[id.index()] = Some(proc);
+        // Forward any notes the callback queued. Taking the vec is free
+        // when empty; events are constructed only while tracing.
+        if !self.states[id.index()].notes.is_empty() {
+            let notes = std::mem::take(&mut self.states[id.index()].notes);
+            if self.tracing() {
+                for (label, value) in notes {
+                    self.emit(TraceEvent::Note {
+                        round,
+                        node: id.index() as u64,
+                        label,
+                        value,
+                    });
+                }
+            }
+        }
     }
 
     /// Drains outboxes in transmission order; crashed nodes stay silent.
@@ -643,7 +762,7 @@ mod tests {
     fn broadcast_reaches_exactly_the_neighborhood() {
         let (mut net, torus, log) = recorder_net(&[(Coord::new(5, 5), 7)], false);
         let stats = net.run(10);
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
         assert_eq!(stats.messages_sent, 1);
         // (2r+1)² − 1 = 24 receivers
         assert_eq!(stats.deliveries, 24);
@@ -660,7 +779,7 @@ mod tests {
     fn echo_cascade_counts() {
         let (mut net, _torus, _log) = recorder_net(&[(Coord::new(5, 5), 0)], true);
         let stats = net.run(30);
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
         // the echo wave washes over the whole torus: the initial
         // broadcast plus one echo from every node (the initiator echoes
         // too, once it hears its neighbors' echoes)
@@ -675,7 +794,7 @@ mod tests {
         let stats = net.run(30);
         // the victim never echoes; everyone else still does
         assert_eq!(stats.messages_sent, 1 + 143);
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
     }
 
     #[test]
@@ -685,7 +804,7 @@ mod tests {
         net.crash_at(victim, 2); // after delivery round 1
         let stats = net.run(10);
         assert_eq!(stats.deliveries, 24); // still heard it in round 1
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
     }
 
     #[test]
@@ -713,7 +832,7 @@ mod tests {
         let (mut net, _, _) = recorder_net(&[], false);
         let stats = net.run(10);
         assert_eq!(stats.rounds, 0);
-        assert!(stats.quiescent);
+        assert!(stats.quiescent());
         assert_eq!(stats.messages_sent, 0);
     }
 
@@ -735,7 +854,7 @@ mod tests {
         });
         let stats = net.run(5);
         assert_eq!(stats.rounds, 5);
-        assert!(!stats.quiescent);
+        assert!(!stats.quiescent());
     }
 
     #[test]
@@ -970,8 +1089,8 @@ mod tests {
         let stats = net.run(100);
         assert_eq!(stats.rounds, 3);
         assert_eq!(stats.stop_reason, StopReason::DeadlineExceeded);
-        assert!(!stats.quiescent);
-        assert!(!stats.early_stopped);
+        assert!(!stats.quiescent());
+        assert!(!stats.early_stopped());
     }
 
     #[test]
@@ -1014,7 +1133,7 @@ mod tests {
             (stats, net.trace_hash())
         };
         let baseline = run_with(None);
-        assert!(baseline.0.quiescent);
+        assert!(baseline.0.quiescent());
         assert_eq!(run_with(Some(25)), baseline);
     }
 
@@ -1074,6 +1193,169 @@ mod tests {
             stats.deliveries + stats.jammed_deliveries,
             delivered_txs * receivers_per_tx
         );
+    }
+
+    /// Test sink sharing its event log with the test body (the network
+    /// owns the sink for the duration of the run).
+    struct SharedSink(Rc<RefCell<Vec<crate::trace::TraceEvent>>>);
+    impl crate::trace::TraceSink for SharedSink {
+        fn record(&mut self, event: &crate::trace::TraceEvent) {
+            self.0.borrow_mut().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn second_run_starts_with_fresh_accounting() {
+        // Regression: `run` used to accumulate `history` and every
+        // per-run counter across calls, so a second run violated
+        // `history.len() == stats.rounds`.
+        let (mut net, _torus, _log) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+        net.set_classifier(|&m| if m == 7 { "seed" } else { "echo" });
+        let first = net.run(30);
+        assert_eq!(net.history().len() as u32, first.rounds);
+
+        // Processes keep their state (everyone has echoed already), so
+        // the rerun is just the initiator's fresh broadcast.
+        let second = net.run(30);
+        assert_eq!(
+            net.history().len() as u32,
+            second.rounds,
+            "stale history survived into the second run"
+        );
+        assert_eq!(second.messages_sent, 1);
+        assert_eq!(second.deliveries, 24);
+        assert!(second.quiescent());
+        assert_eq!(
+            net.history().iter().map(|h| h.deliveries).sum::<u64>(),
+            second.deliveries
+        );
+        // Per-kind tallies restart too: they must sum to the run's own
+        // message count, not the lifetime total.
+        assert_eq!(
+            net.kind_counts().values().sum::<u64>(),
+            second.messages_sent
+        );
+    }
+
+    #[test]
+    fn second_run_rederives_a_fresh_trace_hash() {
+        // Two networks, same inputs: one run twice, one run once. The
+        // second run of the first must hash exactly like the single run
+        // of the second (given identical process state at run start —
+        // here no process mutates itself).
+        let (mut twice, _t1, _l1) = recorder_net(&[(Coord::new(5, 5), 7)], false);
+        twice.run(10);
+        let h1 = twice.trace_hash();
+        twice.run(10);
+        assert_eq!(
+            twice.trace_hash(),
+            h1,
+            "identical reruns must produce identical fresh hashes"
+        );
+        let (mut once, _t2, _l2) = recorder_net(&[(Coord::new(5, 5), 7)], false);
+        once.run(10);
+        assert_eq!(twice.trace_hash(), once.trace_hash());
+    }
+
+    #[test]
+    fn trace_stream_rederives_the_legacy_hash() {
+        use crate::trace::{replay_hash, replay_hash_events};
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let (mut net, _torus, _log) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+        net.set_trace_sink(Box::new(SharedSink(events.clone())));
+        let stats = net.run(30);
+        let events = events.borrow();
+        assert!(!events.is_empty());
+        assert_eq!(replay_hash_events(&events), net.trace_hash());
+        let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        assert_eq!(replay_hash(&jsonl).expect("well-formed"), net.trace_hash());
+        // The stream's deliveries are exactly the counted ones.
+        let delivered = events
+            .iter()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::Delivery { .. }))
+            .count() as u64;
+        assert_eq!(delivered, stats.deliveries);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_hash_or_stats() {
+        let (mut plain, _t1, _l1) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+        let plain_stats = plain.run(30);
+        let (mut traced, _t2, _l2) = recorder_net(&[(Coord::new(5, 5), 7)], true);
+        traced.set_trace_sink(Box::new(SharedSink(Rc::new(RefCell::new(Vec::new())))));
+        let traced_stats = traced.run(30);
+        assert_eq!(plain_stats, traced_stats);
+        assert_eq!(plain.trace_hash(), traced.trace_hash());
+    }
+
+    #[test]
+    fn decisions_appear_once_in_the_stream_even_at_round_zero() {
+        struct DecideAtStart;
+        impl Process<u32> for DecideAtStart {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.decide(true);
+                ctx.broadcast(1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32) {}
+        }
+        let torus = Torus::new(12, 12);
+        let n = torus.len();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(torus, 2, Metric::Linf, |_| {
+            Box::new(DecideAtStart) as Box<dyn Process<u32>>
+        });
+        net.set_trace_sink(Box::new(SharedSink(events.clone())));
+        net.run(5);
+        let decisions: Vec<_> = events
+            .borrow()
+            .iter()
+            .filter_map(|e| match *e {
+                crate::trace::TraceEvent::Decision { round, node, value } => {
+                    Some((round, node, value))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), n, "every node decides exactly once");
+        assert!(decisions
+            .iter()
+            .all(|&(round, _, value)| round == 0 && value));
+    }
+
+    #[test]
+    fn protocol_notes_reach_the_sink() {
+        struct Noter;
+        impl Process<u32> for Noter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.broadcast(1);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, m: &u32) {
+                ctx.note("heard", u64::from(*m));
+            }
+        }
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let torus = Torus::new(12, 12);
+        let mut net = Network::new(torus, 2, Metric::Linf, |_| {
+            Box::new(Noter) as Box<dyn Process<u32>>
+        });
+        net.set_trace_sink(Box::new(SharedSink(events.clone())));
+        let stats = net.run(5);
+        let notes = events
+            .borrow()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    crate::trace::TraceEvent::Note {
+                        label: "heard",
+                        value: 1,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        // one note per delivery (every process notes every message)
+        assert_eq!(notes, stats.deliveries);
     }
 
     #[test]

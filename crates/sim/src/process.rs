@@ -29,6 +29,9 @@ pub(crate) struct NodeState<M> {
     /// identity only matters under the §X spoofing relaxation.
     pub outbox: Vec<(NodeId, M)>,
     pub decision: Option<(Value, Round)>,
+    /// Protocol-level trace notes queued by [`Ctx::note`], drained by
+    /// the driver after every callback.
+    pub notes: Vec<(&'static str, u64)>,
 }
 
 impl<M> Default for NodeState<M> {
@@ -36,6 +39,7 @@ impl<M> Default for NodeState<M> {
         NodeState {
             outbox: Vec::new(),
             decision: None,
+            notes: Vec::new(),
         }
     }
 }
@@ -129,6 +133,16 @@ impl<'a, M> Ctx<'a, M> {
         if self.state.decision.is_none() {
             self.state.decision = Some((v, self.round));
         }
+    }
+
+    /// Records a protocol-level trace note — e.g. "commit evidence
+    /// accepted" with the chain count that satisfied the rule. Notes are
+    /// forwarded to the network's trace sink (when one is installed) as
+    /// [`crate::trace::TraceEvent::Note`]; they never contribute to the
+    /// delivery-trace hash, so annotating a protocol cannot perturb
+    /// determinism checks.
+    pub fn note(&mut self, label: &'static str, value: u64) {
+        self.state.notes.push((label, value));
     }
 
     /// The value this node has decided, if any.

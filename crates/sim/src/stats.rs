@@ -19,12 +19,12 @@ pub struct RoundReport {
     pub decisions: u64,
 }
 
-/// Why a simulation run stopped — the structured form of the old
-/// `quiescent` / `early_stopped` boolean pair, extended with the
-/// supervisor's cooperative deadline (see
-/// [`crate::Network::set_round_budget`]). The booleans are kept on
-/// [`RunStats`] for compatibility; they are always consistent with this
-/// reason.
+/// Why a simulation run stopped — the single source of truth, covering
+/// quiescence, early termination, the experiment's own round cap, and
+/// the supervisor's cooperative deadline (see
+/// [`crate::Network::set_round_budget`]). The legacy `quiescent` /
+/// `early_stopped` booleans are derived views: [`RunStats::quiescent`]
+/// and [`RunStats::early_stopped`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StopReason {
     /// Nothing remained on the air.
@@ -47,15 +47,7 @@ pub struct RunStats {
     /// Rounds executed (a round exists only when messages were on the
     /// air).
     pub rounds: Round,
-    /// True when the run ended because nothing remained on the air;
-    /// false when it stopped early or hit the round cap.
-    pub quiescent: bool,
-    /// True when the run stopped because every node in the completion
-    /// mask (the honest nodes) had decided — messages may still have
-    /// been on the air.
-    pub early_stopped: bool,
-    /// Why the run stopped (the structured superset of the two booleans
-    /// above, distinguishing the round cap from a supervisor deadline).
+    /// Why the run stopped.
     pub stop_reason: StopReason,
     /// Total local broadcasts performed.
     pub messages_sent: u64,
@@ -69,6 +61,24 @@ pub struct RunStats {
     /// jam budget spent, since each assigned jam costs one unit of a
     /// jammer's battery.
     pub jammed_transmissions: u64,
+}
+
+impl RunStats {
+    /// True when the run ended because nothing remained on the air;
+    /// false when it stopped early or hit a cap. Derived from
+    /// [`RunStats::stop_reason`].
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.stop_reason == StopReason::Quiescent
+    }
+
+    /// True when the run stopped because every node in the completion
+    /// mask (the honest nodes) had decided — messages may still have
+    /// been on the air. Derived from [`RunStats::stop_reason`].
+    #[must_use]
+    pub fn early_stopped(&self) -> bool {
+        self.stop_reason == StopReason::AllDecided
+    }
 }
 
 impl std::fmt::Display for RunStats {
@@ -97,7 +107,6 @@ mod tests {
     fn display_mentions_cap_when_not_quiescent() {
         let s = RunStats {
             rounds: 5,
-            quiescent: false,
             stop_reason: StopReason::RoundCap,
             messages_sent: 10,
             deliveries: 40,
@@ -105,13 +114,11 @@ mod tests {
         };
         assert!(s.to_string().contains("round cap hit"));
         let q = RunStats {
-            quiescent: true,
             stop_reason: StopReason::Quiescent,
             ..s
         };
         assert!(!q.to_string().contains("round cap hit"));
         let e = RunStats {
-            early_stopped: true,
             stop_reason: StopReason::AllDecided,
             ..s
         };
@@ -122,6 +129,22 @@ mod tests {
             ..s
         };
         assert!(d.to_string().contains("round budget exhausted"));
+    }
+
+    #[test]
+    fn booleans_are_pure_views_of_the_stop_reason() {
+        let mut s = RunStats::default();
+        let table = [
+            (StopReason::Quiescent, true, false),
+            (StopReason::AllDecided, false, true),
+            (StopReason::RoundCap, false, false),
+            (StopReason::DeadlineExceeded, false, false),
+        ];
+        for (reason, quiescent, early) in table {
+            s.stop_reason = reason;
+            assert_eq!(s.quiescent(), quiescent, "{reason:?}");
+            assert_eq!(s.early_stopped(), early, "{reason:?}");
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   `expect` with an invariant-naming message is the sanctioned escape.
 //! * `nondeterminism` — no `thread_rng` / entropy seeding / wall-clock
 //!   reads outside annotated measurement sites.
+//! * `obs-wallclock` — raw `Instant::now` / `SystemTime` reads are
+//!   confined to `rbcast-core::obs`; everything else times through
+//!   `obs::span` or `obs::Stopwatch`.
 //! * `raw-thread-spawn` — raw `std::thread` use is confined to
 //!   `rbcast-core::engine`, the deterministic sweep executor.
 //! * `catch-unwind` — `catch_unwind` is confined to

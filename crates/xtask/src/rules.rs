@@ -107,6 +107,14 @@ pub fn all_rules() -> &'static [Rule] {
             check: check_nondeterminism,
         },
         Rule {
+            id: "obs-wallclock",
+            summary: "raw wall-clock reads (Instant::now / SystemTime) are confined \
+                      to rbcast-core's obs module (time through obs::span or \
+                      obs::Stopwatch so measurement stays out of hashed state)",
+            scopes: CLOCK_SRC,
+            check: check_obs_wallclock,
+        },
+        Rule {
             id: "raw-thread-spawn",
             summary: "raw std::thread spawn/scope is confined to rbcast-core's engine \
                       module (all parallelism must flow through engine::run_indexed \
@@ -311,6 +319,35 @@ fn check_nondeterminism(file: &SourceFile) -> Vec<(usize, String)> {
     out
 }
 
+/// The one module allowed to read the wall clock: the observability
+/// layer whose `span`/`Stopwatch` primitives every other crate is
+/// expected to time through.
+const OBS_EXEMPT: &str = "crates/core/src/obs.rs";
+
+fn check_obs_wallclock(file: &SourceFile) -> Vec<(usize, String)> {
+    if file.rel == Path::new(OBS_EXEMPT) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for line in &file.lines {
+        if line.in_test || line.allows("obs-wallclock") {
+            continue;
+        }
+        if line.code.contains("Instant::now") || has_token(&line.code, "SystemTime") {
+            out.push((
+                line.number,
+                "raw wall-clock read outside rbcast-core::obs: ad-hoc timing \
+                 scatters Instant through code that must stay replayable; \
+                 time through obs::span(\"area/op\") or obs::Stopwatch (or \
+                 annotate audit:allow(obs-wallclock) explaining why the \
+                 measurement cannot route through obs)"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 /// The one module allowed to touch `std::thread` directly: the
 /// deterministic sweep executor every other crate is expected to use.
 const THREAD_EXEMPT: &str = "crates/core/src/engine.rs";
@@ -507,6 +544,40 @@ mod tests {
             "// thread_rng is banned here\nlet s = \"Instant::now\";\n",
         );
         assert!(check_nondeterminism(&f).is_empty());
+    }
+
+    #[test]
+    fn obs_wallclock_fires_outside_obs_and_respects_allow() {
+        let f = file(
+            "crates/bench/src/perf.rs",
+            "let t0 = std::time::Instant::now();\n\
+             let t = SystemTime::now(); // audit:allow(obs-wallclock)\n\
+             let sw = obs::Stopwatch::start();\n",
+        );
+        let v = check_obs_wallclock(&f);
+        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn obs_wallclock_exempts_the_obs_module() {
+        let f = file(
+            "crates/core/src/obs.rs",
+            "start: Instant::now(),\nlet t = SystemTime::now();\n",
+        );
+        assert!(check_obs_wallclock(&f).is_empty());
+    }
+
+    #[test]
+    fn obs_wallclock_skips_tests_and_longer_identifiers() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "struct MySystemTimeLike;\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { let _ = std::time::Instant::now(); }\n\
+             }\n",
+        );
+        assert!(check_obs_wallclock(&f).is_empty());
     }
 
     #[test]

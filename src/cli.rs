@@ -11,8 +11,8 @@
 //! grammar and `rbcast help` for usage.
 
 use crate::adversary::{local_fault_bound, Placement};
-use crate::core::supervisor::{Journal, SupervisorConfig, TaskReport};
-use crate::core::{engine, thresholds, Experiment, FaultKind, ProtocolKind};
+use crate::core::supervisor::{self, Journal, JournalHeader, SupervisorConfig, TaskReport};
+use crate::core::{engine, obs, thresholds, Experiment, FaultKind, ProtocolKind};
 use crate::grid::{Metric, Torus};
 use crate::sim::ChannelConfig;
 use std::path::PathBuf;
@@ -66,6 +66,15 @@ pub struct SweepOpts {
     /// Per-task round budget (`--round-budget`; `None` =
     /// `RBCAST_ROUND_BUDGET` or unbounded).
     pub round_budget: Option<u32>,
+    /// Directory for per-task trace streams (`--trace-dir`): task `i`
+    /// writes `task-<i>.jsonl`. Trace payloads are pure functions of
+    /// simulation state, so the files are byte-identical at any thread
+    /// count.
+    pub trace_dir: Option<PathBuf>,
+    /// Print the per-phase wall-clock timing table after the sweep
+    /// (`--timings`). Timing is diagnostics only — it never feeds the
+    /// journal, the rows, or the exit code.
+    pub timings: bool,
 }
 
 /// Everything needed to run one experiment from the CLI.
@@ -89,6 +98,9 @@ pub struct RunSpec {
     /// (default true; `--no-early-term` disables it to measure the full
     /// tail until quiescence).
     pub early_termination: bool,
+    /// Stream the run's structured trace events to this file as JSONL
+    /// (`--trace`).
+    pub trace: Option<PathBuf>,
 }
 
 /// Usage text.
@@ -100,9 +112,10 @@ USAGE:
   rbcast run   [--protocol P] [--r N] [--t N] [--metric M] [--placement PL]
                [--behavior B] [--seed N] [--prob F] [--repeats N]
                [--loss F] [--redundancy N] [--spoofing] [--jam N]
-               [--no-early-term]
+               [--no-early-term] [--trace FILE]
   rbcast sweep --t-max N [--threads N] [--journal FILE] [--resume FILE]
-               [--retries N] [--round-budget N] [run options]
+               [--retries N] [--round-budget N] [--trace-dir DIR]
+               [--timings] [run options]
   rbcast audit --placement PL [--r N] [--t N] [--seed N] [--metric M]
   rbcast help
 
@@ -128,6 +141,20 @@ USAGE:
   hash is frozen at that round either way, so determinism gates are
   unaffected). --no-early-term lets the run idle to quiescence instead,
   which is what message-complexity measurements need.
+
+  --trace FILE streams the run's structured events (rounds,
+  transmissions, deliveries, jams, losses, decisions, protocol notes) as
+  one JSON object per line; the simulator's delivery-trace hash is
+  derivable from the stream, and the file is byte-identical for the same
+  experiment at any thread count. --trace-dir DIR does the same per
+  sweep task (task-<i>.jsonl). --timings prints a wall-clock per-phase
+  table after the sweep; timing never feeds anything deterministic.
+
+  Journals created by this version begin with a header line
+  fingerprinting the sweep specification; --resume refuses a journal
+  whose fingerprint does not match the requested sweep (exit 2), since
+  its task indices would alias unrelated experiments. Headerless
+  journals from older versions resume without the check.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -157,6 +184,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "sweep" => {
             let (spec, t_max, opts) = parse_run(rest)?;
             let t_max = t_max.ok_or("sweep requires --t-max")?;
+            if spec.trace.is_some() {
+                return Err("sweep traces per task: use --trace-dir DIR, not --trace".to_string());
+            }
             Ok(Command::Sweep { spec, t_max, opts })
         }
         "audit" => {
@@ -199,6 +229,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
     let mut spoofing = false;
     let mut jam = 0u32;
     let mut early_termination = true;
+    let mut trace: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -214,6 +245,11 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
             "--resume" => opts.resume = Some(PathBuf::from(parse_value::<String>(&mut it, flag)?)),
             "--retries" => opts.retries = Some(parse_value(&mut it, flag)?),
             "--round-budget" => opts.round_budget = Some(parse_value(&mut it, flag)?),
+            "--trace" => trace = Some(PathBuf::from(parse_value::<String>(&mut it, flag)?)),
+            "--trace-dir" => {
+                opts.trace_dir = Some(PathBuf::from(parse_value::<String>(&mut it, flag)?));
+            }
+            "--timings" => opts.timings = true,
             "--metric" => {
                 let m: String = parse_value(&mut it, flag)?;
                 metric = match m.as_str() {
@@ -295,6 +331,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
             behavior,
             channel,
             early_termination,
+            trace,
         },
         t_max,
         opts,
@@ -320,6 +357,9 @@ fn build(spec: &RunSpec, t_override: Option<usize>) -> Experiment {
     }
     if let Some(p) = &spec.placement {
         e = e.with_placement(p.clone());
+    }
+    if let Some(path) = &spec.trace {
+        e = e.with_trace_path(path.clone());
     }
     e
 }
@@ -379,7 +419,12 @@ pub fn execute(cmd: &Command) -> i32 {
 /// by the explicit flags, plus journal/resume wiring. `--resume` implies
 /// appending new completions to the same file, so repeated resumes of an
 /// interrupted sweep converge.
-fn sweep_config(opts: &SweepOpts) -> Result<SupervisorConfig, String> {
+///
+/// `header` fingerprints the sweep being executed: a fresh journal is
+/// created with it as its first line, and a resume journal carrying a
+/// *different* header is refused — its task indices would alias
+/// unrelated experiments. Headerless (older) journals resume unchecked.
+fn sweep_config(opts: &SweepOpts, header: &JournalHeader) -> Result<SupervisorConfig, String> {
     let mut config = SupervisorConfig::from_env()?;
     if let Some(n) = opts.retries {
         config = config.with_max_attempts(n);
@@ -388,6 +433,22 @@ fn sweep_config(opts: &SweepOpts) -> Result<SupervisorConfig, String> {
         config = config.with_round_budget(opts.round_budget);
     }
     if let Some(path) = &opts.resume {
+        let prior = Journal::read_header(path)
+            .map_err(|e| format!("cannot read resume journal {}: {e}", path.display()))?;
+        if let Some(prior) = prior {
+            if prior != *header {
+                return Err(format!(
+                    "resume journal {} records a different sweep \
+                     (fingerprint {:#018x}, {} tasks; this sweep is {:#018x}, {} tasks) — \
+                     refusing to splice checkpoints across specifications",
+                    path.display(),
+                    prior.fingerprint,
+                    prior.tasks,
+                    header.fingerprint,
+                    header.tasks,
+                ));
+            }
+        }
         let entries = Journal::load(path)
             .map_err(|e| format!("cannot load resume journal {}: {e}", path.display()))?;
         config = config.resume_from(entries);
@@ -396,7 +457,7 @@ fn sweep_config(opts: &SweepOpts) -> Result<SupervisorConfig, String> {
         let journal = if opts.resume.is_some() {
             Journal::append_to(path)
         } else {
-            Journal::create(path)
+            Journal::create_with_header(path, header)
         };
         config = config.with_journal(
             journal.map_err(|e| format!("cannot open journal {}: {e}", path.display()))?,
@@ -411,20 +472,8 @@ fn sweep_config(opts: &SweepOpts) -> Result<SupervisorConfig, String> {
 /// honest nodes; 2 — at least one task was quarantined, or the
 /// supervision config itself is malformed.
 fn execute_sweep(spec: &RunSpec, t_max: usize, opts: &SweepOpts) -> i32 {
-    let config = match sweep_config(opts) {
-        Ok(config) => config,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return 2;
-        }
-    };
-
-    println!(
-        "{:>4} {:>9} {:>7} {:>10} {:>12}",
-        "t", "correct", "wrong", "undecided", "broadcasts"
-    );
     let ts: Vec<usize> = (spec.t.unwrap_or(0)..=t_max).collect();
-    let experiments: Vec<Experiment> = ts
+    let mut experiments: Vec<Experiment> = ts
         .iter()
         .map(|&t| {
             // re-derive the placement at this t for budgeted kinds
@@ -438,6 +487,37 @@ fn execute_sweep(spec: &RunSpec, t_max: usize, opts: &SweepOpts) -> i32 {
             build(&spec_t, Some(t))
         })
         .collect();
+
+    // The fingerprint covers the sweep specification, not where its
+    // traces go — computed before trace paths are attached, so a resume
+    // may redirect --trace-dir without being refused.
+    let header = JournalHeader {
+        fingerprint: supervisor::sweep_fingerprint(&experiments),
+        tasks: experiments.len(),
+    };
+    let config = match sweep_config(opts, &header) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if let Some(dir) = &opts.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create trace dir {}: {e}", dir.display());
+            return 2;
+        }
+        for (i, e) in experiments.iter_mut().enumerate() {
+            *e = e
+                .clone()
+                .with_trace_path(dir.join(format!("task-{i}.jsonl")));
+        }
+    }
+
+    println!(
+        "{:>4} {:>9} {:>7} {:>10} {:>12}",
+        "t", "correct", "wrong", "undecided", "broadcasts"
+    );
     // Supervised deterministic fan-out: rows print in t order and are
     // byte-identical for every thread count; a quarantined row never
     // withholds the healthy ones.
@@ -472,6 +552,22 @@ fn execute_sweep(spec: &RunSpec, t_max: usize, opts: &SweepOpts) -> i32 {
             eprintln!("  t={}: {error}", ts[*i]);
         }
         worst = 2;
+    }
+    if opts.timings {
+        println!();
+        println!(
+            "{:<24} {:>8} {:>12} {:>10}",
+            "phase", "count", "total ms", "mean ms"
+        );
+        for (name, stat) in obs::timings_snapshot() {
+            println!(
+                "{:<24} {:>8} {:>12.2} {:>10.3}",
+                name,
+                stat.count,
+                stat.total_ms(),
+                stat.mean_ms()
+            );
+        }
     }
     worst
 }
@@ -704,6 +800,93 @@ mod tests {
         );
         assert_eq!(execute(&parse(&argv(&resume)).unwrap()), 0);
         assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let Command::Run(spec) = parse(&argv("run --trace out.jsonl")).unwrap() else {
+            panic!("not a run");
+        };
+        assert_eq!(spec.trace, Some(PathBuf::from("out.jsonl")));
+        let Command::Sweep { opts, .. } = parse(&argv(
+            "sweep --t-max 2 --trace-dir traces --timings --placement cluster",
+        ))
+        .unwrap() else {
+            panic!("not a sweep");
+        };
+        assert_eq!(opts.trace_dir, Some(PathBuf::from("traces")));
+        assert!(opts.timings);
+        // sweep rejects the single-file flag: tasks would clobber it
+        assert!(parse(&argv("sweep --t-max 2 --trace out.jsonl")).is_err());
+    }
+
+    #[test]
+    fn execute_run_with_trace_writes_wellformed_jsonl() {
+        let path = std::env::temp_dir().join("rbcast_cli_run_trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cmd = parse(&argv(&format!(
+            "run --protocol flood --r 1 --t 0 --trace {}",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(execute(&cmd), 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty());
+        // Every line is one JSON object with an "ev" tag, and the
+        // stream re-derives a delivery-trace hash.
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"ev\":\""), "{line}");
+        }
+        assert!(obs::replay_hash(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn execute_sweep_trace_dir_writes_one_stream_per_task() {
+        let dir = std::env::temp_dir().join("rbcast_cli_sweep_traces");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = parse(&argv(&format!(
+            "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster \
+             --behavior crash --threads 2 --trace-dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert_eq!(execute(&cmd), 0);
+        for i in 0..3 {
+            let text = std::fs::read_to_string(dir.join(format!("task-{i}.jsonl")))
+                .unwrap_or_else(|e| panic!("task-{i}.jsonl: {e}"));
+            assert!(obs::replay_hash(&text).is_ok(), "task {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_sweep_refuses_a_resume_journal_from_another_sweep() {
+        let path = std::env::temp_dir().join("rbcast_cli_sweep_mismatch.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let journal = format!(
+            "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster \
+             --behavior crash --threads 1 --journal {}",
+            path.display()
+        );
+        assert_eq!(execute(&parse(&argv(&journal)).unwrap()), 0);
+        // Same journal, different sweep spec (t-max 1 → 2 tasks): the
+        // header cross-check must refuse with exit 2.
+        let resume = format!(
+            "sweep --protocol flood --r 1 --t 0 --t-max 1 --placement cluster \
+             --behavior crash --threads 1 --resume {}",
+            path.display()
+        );
+        assert_eq!(execute(&parse(&argv(&resume)).unwrap()), 2);
+        // The matching spec still resumes cleanly.
+        let matching = format!(
+            "sweep --protocol flood --r 1 --t 0 --t-max 2 --placement cluster \
+             --behavior crash --threads 1 --resume {}",
+            path.display()
+        );
+        assert_eq!(execute(&parse(&argv(&matching)).unwrap()), 0);
         let _ = std::fs::remove_file(&path);
     }
 

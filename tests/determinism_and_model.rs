@@ -114,7 +114,7 @@ fn wavefront_history_accounts_for_all_decisions() {
         Box::new(Flood::new(params)) as Box<dyn Process<Msg>>
     });
     let stats = net.run(1_000);
-    assert!(stats.quiescent);
+    assert!(stats.quiescent());
     let from_history: u64 = net.history().iter().map(|h| h.decisions).sum();
     // the source decides in round 0 (before any report), everyone else
     // during reported rounds
