@@ -14,8 +14,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (debug-invariants) -- -D warnings"
 cargo clippy --workspace --all-targets --features rbcast/debug-invariants -- -D warnings
 
-echo "==> cargo xtask audit"
-cargo xtask audit
+echo "==> cargo xtask audit --format json (machine-readable gate)"
+audit_json=target/audit_report.json
+cargo xtask audit --format json > "$audit_json" \
+    || { cat "$audit_json"; echo "audit: findings (see JSON above)"; exit 1; }
+# Validate the SARIF-lite shape: schema tag, clean flag, findings array.
+grep -q '"schema":"rbcast-audit/1"' "$audit_json" \
+    || { cat "$audit_json"; echo "audit: JSON output missing schema tag"; exit 1; }
+grep -q '"clean":true' "$audit_json" \
+    || { cat "$audit_json"; echo "audit: JSON output not clean"; exit 1; }
+grep -q '"findings":\[' "$audit_json" \
+    || { cat "$audit_json"; echo "audit: JSON output missing findings array"; exit 1; }
+rm -f "$audit_json"
+
+echo "==> cargo xtask audit --rule stale-allow (suppression lifecycle gate)"
+cargo xtask audit --rule stale-allow
+cargo xtask audit --rule unknown-allow
 
 echo "==> cargo xtask audit --self-test"
 cargo xtask audit --self-test

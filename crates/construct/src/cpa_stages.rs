@@ -44,7 +44,8 @@ pub fn cpa_max_t(r: u32) -> u32 {
 /// The commit threshold CPA needs when `t = ⌊⅔r²⌋`: `2t + 1`.
 #[must_use]
 pub fn cpa_commit_threshold(r: u32) -> u32 {
-    2 * cpa_max_t(r) + 1
+    let t = 2u64 * u64::from(cpa_max_t(r)) + 1;
+    u32::try_from(t).expect("2t+1 exceeds u32 for this radius")
 }
 
 /// Koo's original CPA bound `½(r(r+√(r/2)+1))` that Theorem 6 dominates

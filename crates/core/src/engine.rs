@@ -111,7 +111,7 @@ pub fn thread_count(requested: Option<usize>) -> usize {
     if let Some(n) = requested {
         return n.max(1);
     }
-    if let Ok(raw) = std::env::var(THREADS_ENV) {
+    if let Some(raw) = crate::config::env_var(THREADS_ENV) {
         match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => return n,
             _ => {
@@ -156,7 +156,7 @@ where
     }
     let (slots, first_panic) = run_chunked(tasks, threads, &f);
     if let Some(payload) = first_panic {
-        // audit:allow(panic): re-raising a worker panic verbatim
+        // Re-raise the worker panic verbatim.
         std::panic::resume_unwind(payload);
     }
     match collect_full(slots) {

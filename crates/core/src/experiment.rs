@@ -487,7 +487,7 @@ impl Experiment {
         if primary {
             if let Some(path) = &self.trace_path {
                 let file = std::fs::File::create(path).unwrap_or_else(|e| {
-                    // audit:allow(panic) an unwritable trace path is caller misconfiguration
+                    // audit:allow(panic): an unwritable trace path is caller misconfiguration
                     panic!("cannot create trace file {}: {e}", path.display())
                 });
                 net.set_trace_sink(Box::new(crate::obs::JsonlSink::new(

@@ -39,6 +39,7 @@
 
 mod arena_cache;
 pub mod complexity;
+pub mod config;
 pub mod engine;
 mod experiment;
 pub mod graphs;

@@ -258,8 +258,8 @@ impl ChaosConfig {
     /// If the variable is set but malformed (strict: a broken spec must
     /// fail loudly, not silently run without chaos).
     pub fn from_env() -> Result<Option<ChaosConfig>, String> {
-        match std::env::var(CHAOS_ENV) {
-            Ok(raw) if !raw.trim().is_empty() => ChaosConfig::parse(&raw)
+        match crate::config::env_var(CHAOS_ENV) {
+            Some(raw) if !raw.trim().is_empty() => ChaosConfig::parse(&raw)
                 .map(Some)
                 .map_err(|e| format!("{CHAOS_ENV}: {e}")),
             _ => Ok(None),
@@ -899,7 +899,7 @@ impl SupervisorConfig {
     pub fn from_env() -> Result<SupervisorConfig, String> {
         let mut cfg = SupervisorConfig::new();
         cfg.chaos = ChaosConfig::from_env()?;
-        if let Ok(raw) = std::env::var(RETRIES_ENV) {
+        if let Some(raw) = crate::config::env_var(RETRIES_ENV) {
             cfg.max_attempts = raw
                 .trim()
                 .parse::<u32>()
@@ -907,7 +907,7 @@ impl SupervisorConfig {
                 .filter(|&n| n >= 1)
                 .ok_or_else(|| format!("{RETRIES_ENV}={raw:?} is not a positive integer"))?;
         }
-        if let Ok(raw) = std::env::var(ROUND_BUDGET_ENV) {
+        if let Some(raw) = crate::config::env_var(ROUND_BUDGET_ENV) {
             cfg.round_budget = Some(
                 raw.trim()
                     .parse::<u32>()
@@ -1023,8 +1023,9 @@ where
         };
         let caught = quiet_catch_unwind(|| {
             if matches!(chaos_event, Some(ChaosEvent::Panic)) {
-                // deliberate — chaos mode exercises the real unwind
-                // path, not a simulated one: audit:allow(panic)
+                // Chaos mode exercises the real unwind path, not a
+                // simulated one — this panic is the whole point.
+                // audit:allow(panic): deliberate chaos-injected panic
                 panic!("chaos: injected panic (task {index}, attempt {attempt})");
             }
             body(&ctx, task)
@@ -1238,6 +1239,7 @@ pub fn run_experiments_supervised(
             if let Err(e) = journal.record(entry) {
                 // Journalling is a convenience, not a correctness
                 // dependency: warn once, keep sweeping.
+                // audit:allow(atomic-ordering): once-flag for a warning, guards no data
                 if !journal_sick.swap(true, Ordering::Relaxed) {
                     eprintln!(
                         "warning: checkpoint journal {} unwritable: {e}",
@@ -1403,7 +1405,6 @@ mod tests {
         let config = SupervisorConfig::new().with_max_attempts(1);
         for threads in [1, 2, 8] {
             let out = supervise(&tasks, threads, &config, |_, &t| {
-                // audit:allow(panic): in_test
                 assert!(t != 13, "unlucky task");
                 Ok(t * 2)
             });
@@ -1459,7 +1460,6 @@ mod tests {
             1,
             &SupervisorConfig::new().with_max_attempts(2),
             |ctx, _| {
-                // audit:allow(panic): in_test
                 assert!(ctx.attempt != 0, "first attempt always dies");
                 Ok(ctx.seed)
             },

@@ -13,6 +13,7 @@ static AUGMENTATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Records one augmenting path routed by Dinic's algorithm.
 pub(crate) fn count_augmentation() {
+    // audit:allow(atomic-ordering): monotone diagnostic counter, read only at snapshot
     AUGMENTATIONS.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -20,6 +21,7 @@ pub(crate) fn count_augmentation() {
 /// start, across all threads. Monotonic.
 #[must_use]
 pub fn augmentations_total() -> u64 {
+    // audit:allow(atomic-ordering): monotone diagnostic counter, read only at snapshot
     AUGMENTATIONS.load(Ordering::Relaxed)
 }
 

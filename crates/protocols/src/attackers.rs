@@ -150,6 +150,7 @@ impl Process<Msg> for Forger {
             ctx.broadcast(Msg::Heard {
                 committer: n,
                 value: self.wrong,
+                // audit:allow(hot-loop-alloc): each forged Msg owns its relay chain
                 relays: vec![me],
             });
         }
@@ -162,6 +163,7 @@ impl Process<Msg> for Forger {
                 ctx.broadcast(Msg::Heard {
                     committer: c,
                     value: self.wrong,
+                    // audit:allow(hot-loop-alloc): each forged Msg owns its relay chain
                     relays: vec![relay, me],
                 });
             }

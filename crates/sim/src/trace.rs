@@ -303,14 +303,19 @@ pub fn replay_hash_events(events: &[TraceEvent]) -> u64 {
 /// of a [`JsonlSink`]). Returns an error describing the first malformed
 /// line, if any.
 pub fn replay_hash(jsonl: &str) -> Result<u64, String> {
+    // Error text lives in a helper so the per-line happy path never
+    // allocates; it only runs on malformed input.
+    fn line_err(lineno: usize, what: &str) -> String {
+        format!("line {}: {what}", lineno + 1)
+    }
     let mut hash = FNV_OFFSET;
     for (lineno, line) in jsonl.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let ev = json_field_str(line, "ev")
-            .ok_or_else(|| format!("line {}: missing \"ev\" field", lineno + 1))?;
+        let ev =
+            json_field_str(line, "ev").ok_or_else(|| line_err(lineno, "missing \"ev\" field"))?;
         match ev {
             "delivery" => {
                 let words = [
@@ -322,19 +327,19 @@ pub fn replay_hash(jsonl: &str) -> Result<u64, String> {
                 let words: Vec<u64> = words
                     .into_iter()
                     .collect::<Option<Vec<u64>>>()
-                    .ok_or_else(|| format!("line {}: malformed delivery", lineno + 1))?;
+                    .ok_or_else(|| line_err(lineno, "malformed delivery"))?;
                 fold_words(&mut hash, &words);
             }
             "round_end" => {
                 let round = json_field_u64(line, "round")
-                    .ok_or_else(|| format!("line {}: malformed round_end", lineno + 1))?;
+                    .ok_or_else(|| line_err(lineno, "malformed round_end"))?;
                 let decided = json_field_u64(line, "decided")
-                    .ok_or_else(|| format!("line {}: malformed round_end", lineno + 1))?;
+                    .ok_or_else(|| line_err(lineno, "malformed round_end"))?;
                 fold_words(&mut hash, &[round, decided]);
                 match json_field_str(line, "frozen") {
                     Some("true") => return Ok(hash),
                     Some("false") => {}
-                    _ => return Err(format!("line {}: malformed round_end", lineno + 1)),
+                    _ => return Err(line_err(lineno, "malformed round_end")),
                 }
             }
             _ => {}

@@ -1,0 +1,34 @@
+//! Fixture: per-iteration allocation inside hot loops.
+//! `cargo xtask audit --root crates/xtask/fixtures/hot-loop-alloc`
+//! must exit non-zero with `hot-loop-alloc` findings.
+
+pub fn relay(rounds: &[Vec<u64>]) -> u64 {
+    let mut acc = 0u64;
+    for round in rounds {
+        let copy = round.clone();
+        let label = format!("r{acc}");
+        acc += copy.len() as u64 + label.len() as u64;
+    }
+    acc
+}
+
+pub fn nested(rounds: &[Vec<u64>]) -> usize {
+    let mut total = 0;
+    while total < rounds.len() {
+        let scratch = vec![0u8; 16];
+        total += scratch.len();
+    }
+    total
+}
+
+pub fn hoisted(rounds: &[Vec<u64>]) -> u64 {
+    // Allocation outside the loop and reuse inside: the sanctioned shape.
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut acc = 0;
+    for round in rounds {
+        scratch.extend_from_slice(round);
+        acc += scratch.len() as u64;
+        scratch.clear();
+    }
+    acc
+}

@@ -12,3 +12,12 @@ pub fn must_be_even(n: u32) -> u32 {
     }
     n / 2
 }
+
+pub fn guarded(n: u32) -> u32 {
+    if n == 0 {
+        // Prose that merely mentions audit:allow(panic) mid-sentence must
+        // not suppress the next line — the old line-based audit did.
+        panic!("zero input");
+    }
+    n
+}

@@ -1,0 +1,237 @@
+//! Workspace-wide symbol index.
+//!
+//! Built in one pass over every analysed file, the index records where
+//! each named item (`fn`, `struct`, `enum`, `trait`, `mod`, `const`,
+//! `static`, `type`) is defined. Rules use it to resolve their *exempt
+//! modules by meaning instead of by path*: the `obs-wallclock` rule,
+//! for example, exempts "the file that defines `fn span`" — so the
+//! exemption follows the code if `obs.rs` is ever renamed or split,
+//! and falls back to the historical path when the symbol cannot be
+//! resolved uniquely (e.g. inside the fixture trees, which are audited
+//! as miniature workspaces of their own).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+
+/// Item kinds the index records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ItemKind {
+    /// `fn` item.
+    Fn,
+    /// `struct` item.
+    Struct,
+    /// `enum` item.
+    Enum,
+    /// `trait` item.
+    Trait,
+    /// `mod` item.
+    Mod,
+    /// `const` item.
+    Const,
+    /// `static` item.
+    Static,
+    /// `type` alias.
+    TypeAlias,
+}
+
+impl ItemKind {
+    fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "fn" => ItemKind::Fn,
+            "struct" => ItemKind::Struct,
+            "enum" => ItemKind::Enum,
+            "trait" => ItemKind::Trait,
+            "mod" => ItemKind::Mod,
+            "const" => ItemKind::Const,
+            "static" => ItemKind::Static,
+            "type" => ItemKind::TypeAlias,
+            _ => return None,
+        })
+    }
+}
+
+/// One item definition.
+#[derive(Debug, Clone)]
+pub struct ItemDef {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// File the definition lives in, relative to the audit root.
+    pub file: PathBuf,
+    /// 1-based line of the defining keyword.
+    pub line: usize,
+    /// Whether the definition sits inside a test region.
+    pub in_test: bool,
+}
+
+/// Symbol index over every file the audit loaded.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    defs: BTreeMap<(ItemKind, String), Vec<ItemDef>>,
+    files: usize,
+}
+
+impl WorkspaceIndex {
+    /// Build the index over a set of analysed files.
+    #[must_use]
+    pub fn build(models: &[FileModel]) -> Self {
+        let mut defs: BTreeMap<(ItemKind, String), Vec<ItemDef>> = BTreeMap::new();
+        for m in models {
+            for i in 0..m.code_len() {
+                let t = m.ct(i);
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let Some(kind) = ItemKind::from_keyword(&t.text) else {
+                    continue;
+                };
+                // `kw Name` with Name an identifier defines an item;
+                // skip uses like `mod x;` vs `x::mod`? — a preceding
+                // `::`/`.` token means this is not a definition keyword.
+                if i > 0 && matches!(m.code_text(i - 1), "::" | "." | "->" | "<" | "&") {
+                    continue;
+                }
+                // `const` in `const fn` / `const N: usize` — only index
+                // when an identifier follows directly.
+                let Some(next) = (i + 1 < m.code_len()).then(|| m.ct(i + 1)) else {
+                    continue;
+                };
+                if next.kind != TokenKind::Ident || ItemKind::from_keyword(&next.text).is_some() {
+                    continue;
+                }
+                defs.entry((kind, next.text.clone()))
+                    .or_default()
+                    .push(ItemDef {
+                        kind,
+                        file: m.rel.clone(),
+                        line: t.line,
+                        in_test: m.meta[i].in_test,
+                    });
+            }
+        }
+        WorkspaceIndex {
+            defs,
+            files: models.len(),
+        }
+    }
+
+    /// Number of files indexed.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.files
+    }
+
+    /// Total number of recorded definitions.
+    #[must_use]
+    pub fn def_count(&self) -> usize {
+        self.defs.values().map(Vec::len).sum()
+    }
+
+    /// All definitions of `name` as a `kind` item.
+    #[must_use]
+    pub fn defs(&self, kind: ItemKind, name: &str) -> &[ItemDef] {
+        self.defs
+            .get(&(kind, name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The unique non-test file defining `name` as a `kind` item, or
+    /// `None` when the symbol is missing or ambiguous.
+    #[must_use]
+    pub fn unique_defining_file(&self, kind: ItemKind, name: &str) -> Option<&Path> {
+        let mut files: Vec<&Path> = self
+            .defs(kind, name)
+            .iter()
+            .filter(|d| !d.in_test)
+            .map(|d| d.file.as_path())
+            .collect();
+        files.sort_unstable();
+        files.dedup();
+        match files.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// Resolve an exempt module: the unique defining file of
+    /// `(kind, name)` when the index knows it, else `fallback` — which
+    /// keeps fixture trees (miniature workspaces without the real
+    /// definitions) anchored to the historical layout.
+    #[must_use]
+    pub fn exempt_file(&self, kind: ItemKind, name: &str, fallback: &'static str) -> PathBuf {
+        self.unique_defining_file(kind, name)
+            .map_or_else(|| PathBuf::from(fallback), Path::to_path_buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(rel, src)| FileModel::parse(Path::new(rel), src))
+            .collect()
+    }
+
+    #[test]
+    fn indexes_items_across_files() {
+        let ms = models(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn span() {}\npub struct Stopwatch;\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn other() {}\nmod inner { pub fn span_like() {} }\n",
+            ),
+        ]);
+        let idx = WorkspaceIndex::build(&ms);
+        assert_eq!(idx.file_count(), 2);
+        assert_eq!(
+            idx.unique_defining_file(ItemKind::Fn, "span"),
+            Some(Path::new("crates/a/src/lib.rs"))
+        );
+        assert_eq!(
+            idx.unique_defining_file(ItemKind::Struct, "Stopwatch"),
+            Some(Path::new("crates/a/src/lib.rs"))
+        );
+        assert_eq!(idx.unique_defining_file(ItemKind::Fn, "absent"), None);
+    }
+
+    #[test]
+    fn ambiguous_or_test_only_defs_resolve_to_fallback() {
+        let ms = models(&[
+            ("crates/a/src/lib.rs", "pub fn dup() {}\n"),
+            ("crates/b/src/lib.rs", "pub fn dup() {}\n"),
+            (
+                "crates/c/src/lib.rs",
+                "#[cfg(test)]\nmod t { fn only_in_test() {} }\n",
+            ),
+        ]);
+        let idx = WorkspaceIndex::build(&ms);
+        assert_eq!(idx.unique_defining_file(ItemKind::Fn, "dup"), None);
+        assert_eq!(
+            idx.exempt_file(ItemKind::Fn, "dup", "crates/a/src/lib.rs"),
+            PathBuf::from("crates/a/src/lib.rs")
+        );
+        assert_eq!(idx.unique_defining_file(ItemKind::Fn, "only_in_test"), None);
+    }
+
+    #[test]
+    fn const_fn_indexes_the_fn_not_a_const() {
+        let ms = models(&[(
+            "crates/a/src/lib.rs",
+            "pub const fn f() -> u32 { 1 }\nconst LIMIT: u32 = 3;\n",
+        )]);
+        let idx = WorkspaceIndex::build(&ms);
+        assert_eq!(idx.defs(ItemKind::Const, "LIMIT").len(), 1);
+        assert_eq!(idx.defs(ItemKind::Fn, "f").len(), 1);
+        assert!(idx.defs(ItemKind::Const, "fn").is_empty());
+        assert!(idx.def_count() >= 2);
+    }
+}

@@ -1,52 +1,52 @@
 //! Workspace audit engine behind `cargo xtask audit`.
 //!
 //! The audit enforces repo-specific invariants that rustc and clippy do
-//! not know about (see `DESIGN.md`, "Audit gates"):
+//! not know about (see `DESIGN.md`, "Static analysis & invariant
+//! audit"). Since PR 6 it runs on a real token model instead of blanked
+//! lines: [`lexer`] produces a span-accurate token stream, [`model`]
+//! layers structure on top (brace nesting, `#[cfg(test)]` regions, loop
+//! depth, `fn` spans, suppression sites), [`index`] builds a
+//! workspace-wide symbol index in the same pass, and [`rules`] expresses
+//! every check as a token query — multi-line constructs, string/comment
+//! immunity, and function-scoped dataflow all come from the model, not
+//! from per-rule heuristics.
 //!
-//! * `unordered-iteration` — no `HashMap`/`HashSet` in the sim /
-//!   protocols crates, whose iteration order feeds the deterministic
-//!   delivery trace.
-//! * `float-eq` — no `==`/`!=` on floats in the grid / construct
-//!   geometry crates.
-//! * `unwrap-panic` — no `.unwrap()` / `panic!` in library code;
-//!   `expect` with an invariant-naming message is the sanctioned escape.
-//! * `nondeterminism` — no `thread_rng` / entropy seeding / wall-clock
-//!   reads outside annotated measurement sites.
-//! * `obs-wallclock` — raw `Instant::now` / `SystemTime` reads are
-//!   confined to `rbcast-core::obs`; everything else times through
-//!   `obs::span` or `obs::Stopwatch`.
-//! * `raw-thread-spawn` — raw `std::thread` use is confined to
-//!   `rbcast-core::engine`, the deterministic sweep executor.
-//! * `catch-unwind` — `catch_unwind` is confined to
-//!   `rbcast-core::supervisor`, so panic isolation always classifies,
-//!   retries, and journals the failure.
-//! * `adhoc-neighborhood` — `torus.neighborhood` scans are confined to
-//!   the grid arena module; everything else reads the shared CSR
-//!   `NeighborTable`.
-//! * `lint-header` — every library crate root carries
-//!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//! Suppression lifecycle: rules emit *raw* findings and this engine
+//! applies `// audit:allow(<name>)` sites centrally, which is what makes
+//! the two meta-diagnostics possible:
 //!
-//! Escape hatch: a `// audit:allow(<rule>)` comment on (or directly
-//! above) the offending line, which doubles as in-source documentation
-//! of why the exception is sound.
+//! * [`rules::UNKNOWN_ALLOW`] — an annotation naming no known rule
+//!   (typo'd names used to be silently ignored);
+//! * [`rules::STALE_ALLOW`] — an annotation that no longer suppresses
+//!   any finding (stale escapes used to rot silently).
 //!
-//! Every rule ships a fixture tree under `crates/xtask/fixtures/` that
-//! triggers exactly that rule; `cargo xtask audit --self-test` (and the
-//! unit tests here) fail if any rule stops firing on its fixture.
+//! Every rule (and both meta-diagnostics) ships a fixture tree under
+//! `crates/xtask/fixtures/`; `cargo xtask audit --self-test` fails if
+//! any rule stops firing on its fixture. `--format json` emits a
+//! SARIF-lite report for CI, and `--baseline FILE` filters known
+//! findings for incremental adoption.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod index;
+pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod source;
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use rules::{all_rules, rule_by_id, Rule, Violation};
-use source::SourceFile;
+use index::WorkspaceIndex;
+use model::FileModel;
+use rules::{
+    all_rules, allow_name_matches, is_known_allow_name, rule_by_id, Ctx, Violation, STALE_ALLOW,
+    STALE_ALLOW_FIX, UNKNOWN_ALLOW, UNKNOWN_ALLOW_FIX,
+};
 
 /// Audit failure (I/O or usage error), distinct from rule violations.
 #[derive(Debug)]
@@ -55,6 +55,8 @@ pub enum AuditError {
     Io(PathBuf, io::Error),
     /// `--rule` named a rule that does not exist.
     UnknownRule(String),
+    /// A baseline file could not be parsed.
+    Baseline(PathBuf, String),
 }
 
 impl fmt::Display for AuditError {
@@ -64,13 +66,43 @@ impl fmt::Display for AuditError {
             AuditError::UnknownRule(id) => {
                 write!(f, "unknown rule `{id}` (try `cargo xtask audit --list`)")
             }
+            AuditError::Baseline(p, why) => {
+                write!(f, "malformed baseline {}: {why}", p.display())
+            }
         }
     }
 }
 
-/// Run the audit over `root`, optionally restricted to one rule id.
+/// What `--rule` selected.
+enum Selection {
+    All,
+    Rule(&'static str),
+    Meta(&'static str),
+}
+
+fn resolve_selection(only: Option<&str>) -> Result<Selection, AuditError> {
+    match only {
+        None => Ok(Selection::All),
+        Some(id) if id == STALE_ALLOW || id == UNKNOWN_ALLOW => {
+            // Meta ids are static; reuse the canonical &'static str.
+            Ok(Selection::Meta(if id == STALE_ALLOW {
+                STALE_ALLOW
+            } else {
+                UNKNOWN_ALLOW
+            }))
+        }
+        Some(id) => rule_by_id(id)
+            .map(|r| Selection::Rule(r.id))
+            .ok_or_else(|| AuditError::UnknownRule(id.to_string())),
+    }
+}
+
+/// Run the audit over `root`, optionally restricted to one rule id
+/// (meta ids `stale-allow` / `unknown-allow` are valid selections).
 ///
-/// Returns all findings sorted by path, line, then rule.
+/// Returns all findings sorted by path, line, then rule. Every rule is
+/// always *evaluated* — suppression-usage tracking needs the full
+/// picture — and the selection filters what is reported.
 pub fn run_audit(root: &Path, only: Option<&str>) -> Result<Vec<Violation>, AuditError> {
     if !root.is_dir() {
         // A mistyped --root must not masquerade as a clean audit.
@@ -79,13 +111,11 @@ pub fn run_audit(root: &Path, only: Option<&str>) -> Result<Vec<Violation>, Audi
             io::Error::new(io::ErrorKind::NotFound, "audit root is not a directory"),
         ));
     }
-    let selected: Vec<&'static Rule> = match only {
-        Some(id) => vec![rule_by_id(id).ok_or_else(|| AuditError::UnknownRule(id.to_string()))?],
-        None => all_rules().iter().collect(),
-    };
+    let selection = resolve_selection(only)?;
 
-    // Union of scope prefixes across the selected rules.
-    let mut prefixes: Vec<&str> = selected
+    // Union of scope prefixes across all rules: the index and the
+    // suppression lifecycle always see the whole audited surface.
+    let mut prefixes: Vec<&str> = all_rules()
         .iter()
         .flat_map(|r| r.scopes.iter().copied())
         .collect();
@@ -102,26 +132,111 @@ pub fn run_audit(root: &Path, only: Option<&str>) -> Result<Vec<Violation>, Audi
     files.sort();
     files.dedup();
 
-    let mut violations = Vec::new();
+    // One pass: lex + model every file, then index the lot.
+    let mut models: Vec<FileModel> = Vec::with_capacity(files.len());
     for rel in &files {
-        let file = SourceFile::load(root, rel).map_err(|e| AuditError::Io(root.join(rel), e))?;
-        for rule in &selected {
-            if !rule.applies_to(rel) {
+        let text =
+            fs::read_to_string(root.join(rel)).map_err(|e| AuditError::Io(root.join(rel), e))?;
+        models.push(FileModel::parse(rel, &text));
+    }
+    let index = WorkspaceIndex::build(&models);
+    let ctx = Ctx { index: &index };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    for m in &models {
+        let path = m.rel.display().to_string();
+        // (allow-site idx, name idx) pairs consumed by a suppression.
+        let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+        for rule in all_rules() {
+            if !rule.applies_to(&m.rel) {
                 continue;
             }
-            for (line, message) in (rule.check)(&file) {
+            for f in (rule.check)(m, &ctx) {
+                let mut suppressed = false;
+                for (si, site) in m.allows.iter().enumerate() {
+                    if site.covers != Some(f.line) {
+                        continue;
+                    }
+                    for (ni, name) in site.names.iter().enumerate() {
+                        if allow_name_matches(rule, name) {
+                            used.insert((si, ni));
+                            suppressed = true;
+                        }
+                    }
+                }
+                if !suppressed && selected(&selection, rule.id) {
+                    violations.push(Violation {
+                        path: path.clone(),
+                        line: f.line,
+                        col: f.col,
+                        rule: rule.id,
+                        message: f.message,
+                        fix: rule.fix,
+                    });
+                }
+            }
+        }
+
+        // Suppression lifecycle: unknown names are hard errors, and
+        // every known name must still be earning its keep.
+        for (si, site) in m.allows.iter().enumerate() {
+            for (ni, name) in site.names.iter().enumerate() {
+                if !is_known_allow_name(name) {
+                    if selected(&selection, UNKNOWN_ALLOW) {
+                        violations.push(Violation {
+                            path: path.clone(),
+                            line: site.line,
+                            col: 1,
+                            rule: UNKNOWN_ALLOW,
+                            message: format!(
+                                "audit:allow({name}) names no known rule — annotations \
+                                 with typo'd names are silently dead; known names: \
+                                 rule ids plus their allow-names (`cargo xtask audit \
+                                 --list`)"
+                            ),
+                            fix: UNKNOWN_ALLOW_FIX,
+                        });
+                    }
+                } else if !used.contains(&(si, ni)) && selected(&selection, STALE_ALLOW) {
+                    violations.push(Violation {
+                        path: path.clone(),
+                        line: site.line,
+                        col: 1,
+                        rule: STALE_ALLOW,
+                        message: format!(
+                            "audit:allow({name}) suppresses nothing: no `{name}` \
+                             finding on the line it covers; stale escapes rot into \
+                             silent holes in the gate — delete or re-anchor it"
+                        ),
+                        fix: STALE_ALLOW_FIX,
+                    });
+                }
+            }
+            if let (Some(why), true) = (&site.malformed, selected(&selection, STALE_ALLOW)) {
                 violations.push(Violation {
-                    path: rel.display().to_string(),
-                    line,
-                    rule: rule.id,
-                    message,
+                    path: path.clone(),
+                    line: site.line,
+                    col: 1,
+                    rule: STALE_ALLOW,
+                    message: format!("audit:allow annotation does not attach: {why}"),
+                    fix: STALE_ALLOW_FIX,
                 });
             }
         }
     }
-    violations
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+
+    violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
+    });
     Ok(violations)
+}
+
+fn selected(sel: &Selection, rule_id: &str) -> bool {
+    match sel {
+        Selection::All => true,
+        Selection::Rule(id) | Selection::Meta(id) => *id == rule_id,
+    }
 }
 
 /// Recursively collect `.rs` files under `dir`, pushing paths relative
@@ -154,6 +269,127 @@ pub fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+// ---------------------------------------------------------------------
+// JSON output (SARIF-lite) and baselines
+// ---------------------------------------------------------------------
+
+/// Escape a string for embedding in JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_finding(v: &Violation) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"fix\":\"{}\"}}",
+        json_escape(v.rule),
+        json_escape(&v.path),
+        v.line,
+        v.col,
+        json_escape(&v.message),
+        json_escape(v.fix),
+    )
+}
+
+/// Render the audit result as a SARIF-lite JSON document: schema tag,
+/// rule inventory, and one finding object per violation (rule id, span,
+/// message, fix direction). One finding per line keeps the document
+/// greppable and the baseline loader trivial.
+#[must_use]
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"rbcast-audit/1\",");
+    out.push_str(&format!(
+        "\"rules\":{},\"clean\":{},\"finding_count\":{},\"findings\":[",
+        all_rules().len() + 2, // + the two meta-diagnostics
+        violations.is_empty(),
+        violations.len()
+    ));
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&render_finding(v));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A baseline: the set of `(rule, path, line)` triples to ignore.
+pub type Baseline = BTreeSet<(String, String, usize)>;
+
+/// Write `violations` as a baseline file (the JSON findings array).
+pub fn write_baseline(path: &Path, violations: &[Violation]) -> io::Result<()> {
+    fs::write(path, render_json(violations))
+}
+
+fn field_str<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = obj.find(&tag)? + tag.len();
+    let end = obj[start..].find('"')? + start;
+    Some(&obj[start..end])
+}
+
+fn field_num(obj: &str, key: &str) -> Option<usize> {
+    let tag = format!("\"{key}\":");
+    let start = obj.find(&tag)? + tag.len();
+    let digits: String = obj[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Load a baseline previously written by [`write_baseline`] (or
+/// `--format json` output): one finding object per line.
+pub fn load_baseline(path: &Path) -> Result<Baseline, AuditError> {
+    let text = fs::read_to_string(path).map_err(|e| AuditError::Io(path.to_path_buf(), e))?;
+    let mut out = Baseline::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"rule\"") {
+            continue;
+        }
+        let (rule, p, l) = match (
+            field_str(line, "rule"),
+            field_str(line, "path"),
+            field_num(line, "line"),
+        ) {
+            (Some(r), Some(p), Some(l)) => (r.to_string(), p.to_string(), l),
+            _ => {
+                return Err(AuditError::Baseline(
+                    path.to_path_buf(),
+                    format!("cannot parse finding line: {line}"),
+                ))
+            }
+        };
+        out.insert((rule, p, l));
+    }
+    Ok(out)
+}
+
+/// Drop violations recorded in the baseline.
+#[must_use]
+pub fn apply_baseline(violations: Vec<Violation>, baseline: &Baseline) -> Vec<Violation> {
+    violations
+        .into_iter()
+        .filter(|v| !baseline.contains(&(v.rule.to_string(), v.path.clone(), v.line)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fixture self-test
+// ---------------------------------------------------------------------
+
 /// Outcome of one fixture in the self-test.
 #[derive(Debug)]
 pub struct FixtureReport {
@@ -165,7 +401,31 @@ pub struct FixtureReport {
     pub detail: String,
 }
 
-/// Run every rule against its fixture tree and the `clean` fixture.
+fn fixture_report(fixtures_dir: &Path, id: &str) -> Result<FixtureReport, AuditError> {
+    let root = fixtures_dir.join(id);
+    let violations = run_audit(&root, None)?;
+    let hits = violations.iter().filter(|v| v.rule == id).count();
+    let strays: Vec<&Violation> = violations.iter().filter(|v| v.rule != id).collect();
+    let ok = hits > 0 && strays.is_empty();
+    let detail = if ok {
+        format!("{hits} finding(s), rule fires")
+    } else if hits == 0 {
+        "rule did NOT fire on its fixture".to_string()
+    } else {
+        format!(
+            "fixture also triggered other rules: {:?}",
+            strays.iter().map(|v| v.rule).collect::<Vec<_>>()
+        )
+    };
+    Ok(FixtureReport {
+        name: id.to_string(),
+        ok,
+        detail,
+    })
+}
+
+/// Run every rule (and both meta-diagnostics) against its fixture tree
+/// and the `clean` fixture.
 ///
 /// Each `fixtures/<rule-id>/` tree must produce at least one finding of
 /// that rule (and no others); `fixtures/clean/` must produce none. This
@@ -173,26 +433,10 @@ pub struct FixtureReport {
 pub fn self_test(fixtures_dir: &Path) -> Result<Vec<FixtureReport>, AuditError> {
     let mut reports = Vec::new();
     for rule in all_rules() {
-        let root = fixtures_dir.join(rule.id);
-        let violations = run_audit(&root, None)?;
-        let hits = violations.iter().filter(|v| v.rule == rule.id).count();
-        let strays: Vec<&Violation> = violations.iter().filter(|v| v.rule != rule.id).collect();
-        let ok = hits > 0 && strays.is_empty();
-        let detail = if ok {
-            format!("{hits} finding(s), rule fires")
-        } else if hits == 0 {
-            "rule did NOT fire on its fixture".to_string()
-        } else {
-            format!(
-                "fixture also triggered other rules: {:?}",
-                strays.iter().map(|v| v.rule).collect::<Vec<_>>()
-            )
-        };
-        reports.push(FixtureReport {
-            name: rule.id.to_string(),
-            ok,
-            detail,
-        });
+        reports.push(fixture_report(fixtures_dir, rule.id)?);
+    }
+    for meta in [STALE_ALLOW, UNKNOWN_ALLOW] {
+        reports.push(fixture_report(fixtures_dir, meta)?);
     }
 
     let clean_root = fixtures_dir.join("clean");
@@ -223,8 +467,8 @@ mod tests {
         for r in &reports {
             assert!(r.ok, "fixture `{}` failed: {}", r.name, r.detail);
         }
-        // One report per rule plus the clean fixture.
-        assert_eq!(reports.len(), all_rules().len() + 1);
+        // One report per rule, two meta-diagnostics, the clean fixture.
+        assert_eq!(reports.len(), all_rules().len() + 3);
     }
 
     #[test]
@@ -240,6 +484,14 @@ mod tests {
         let only = run_audit(&root, Some("float-eq")).expect("fixture readable");
         assert!(!all.is_empty());
         assert!(only.is_empty());
+    }
+
+    #[test]
+    fn meta_rule_ids_are_selectable() {
+        let root = fixtures().join("stale-allow");
+        let v = run_audit(&root, Some(STALE_ALLOW)).expect("fixture readable");
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|x| x.rule == STALE_ALLOW));
     }
 
     #[test]
@@ -275,5 +527,40 @@ mod tests {
         let mut sorted = a.iter().map(key).collect::<Vec<_>>();
         sorted.sort();
         assert_eq!(sorted, a.iter().map(key).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_shaped() {
+        let v = vec![Violation {
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "unwrap-panic",
+            message: "say \"no\" to\nbackslash \\ panics".into(),
+            fix: "fix it",
+        }];
+        let json = render_json(&v);
+        assert!(json.contains("\"schema\":\"rbcast-audit/1\""));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\"clean\":false"));
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"clean\":true"));
+        assert!(empty.contains("\"findings\":[\n]"));
+    }
+
+    #[test]
+    fn baseline_roundtrip_filters_known_findings() {
+        let root = fixtures().join("unwrap-panic");
+        let v = run_audit(&root, None).expect("fixture readable");
+        assert!(!v.is_empty());
+        let tmp = std::env::temp_dir().join("rbcast_audit_baseline_test.json");
+        write_baseline(&tmp, &v).expect("baseline writable");
+        let base = load_baseline(&tmp).expect("baseline readable");
+        assert_eq!(base.len(), v.len());
+        let left = apply_baseline(v, &base);
+        assert!(left.is_empty(), "baselined findings must be filtered");
+        let _ = fs::remove_file(&tmp);
     }
 }

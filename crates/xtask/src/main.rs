@@ -1,11 +1,19 @@
-//! `cargo xtask` — workspace task runner.
+//! `cargo xtask` — workspace automation.
 //!
 //! Subcommands:
 //!
-//! * `audit` — run the static-analysis gates over the workspace
-//!   (`--root PATH` to audit another tree, `--rule ID` for one rule,
-//!   `--list` to list rules, `--self-test` to prove each rule fires on
-//!   its fixture). Exits non-zero on any finding.
+//! * `audit` — run the invariant audit over the workspace.
+//!   * `--root DIR` audit a different tree (used by the self-test)
+//!   * `--rule ID` run a single rule (meta ids `stale-allow` and
+//!     `unknown-allow` are selectable too)
+//!   * `--list` print the rule inventory
+//!   * `--format json` emit the SARIF-lite report on stdout
+//!   * `--baseline FILE` drop findings recorded in FILE
+//!   * `--write-baseline FILE` record current findings and exit 0
+//!   * `--self-test` check every rule fires on its fixture
+//!
+//! Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage/IO
+//! error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,112 +21,169 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::rules::all_rules;
-use xtask::{run_audit, self_test, workspace_root};
+use xtask::rules::{
+    all_rules, Violation, STALE_ALLOW, STALE_ALLOW_FIX, UNKNOWN_ALLOW, UNKNOWN_ALLOW_FIX,
+};
+use xtask::{
+    apply_baseline, load_baseline, render_json, run_audit, self_test, workspace_root,
+    write_baseline,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask audit [--root DIR] [--rule ID] [--list] \
+         [--format json] [--baseline FILE] [--write-baseline FILE] [--self-test]"
+    );
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("audit") => audit(&args[1..]),
-        Some(other) => {
-            eprintln!("unknown subcommand `{other}`");
-            usage();
-            ExitCode::from(2)
-        }
-        None => {
-            usage();
-            ExitCode::from(2)
-        }
+        _ => usage(),
     }
 }
 
-fn usage() {
-    eprintln!("usage: cargo xtask audit [--root PATH] [--rule ID] [--list] [--self-test]");
+fn print_list() {
+    println!("{:<26} {:<12} summary", "rule", "allow-name");
+    for rule in all_rules() {
+        println!("{:<26} {:<12} {}", rule.id, rule.allow_name, rule.summary);
+    }
+    println!("{STALE_ALLOW:<26} {:<12} {STALE_ALLOW_FIX}", "-");
+    println!("{UNKNOWN_ALLOW:<26} {:<12} {UNKNOWN_ALLOW_FIX}", "-");
+}
+
+fn print_text(violations: &[Violation]) {
+    for v in violations {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            v.path, v.line, v.col, v.rule, v.message
+        );
+        println!("    fix: {}", v.fix);
+    }
+    if violations.is_empty() {
+        println!("audit: clean");
+    } else {
+        println!("audit: {} finding(s)", violations.len());
+    }
+}
+
+fn run_fixture_self_test() -> ExitCode {
+    let fixtures = workspace_root().join("crates/xtask/fixtures");
+    match self_test(&fixtures) {
+        Ok(reports) => {
+            let mut ok = true;
+            for r in &reports {
+                println!(
+                    "{} {:<26} {}",
+                    if r.ok { "ok  " } else { "FAIL" },
+                    r.name,
+                    r.detail
+                );
+                ok &= r.ok;
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("audit self-test error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn audit(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut rule: Option<String> = None;
+    let mut format_json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline_to: Option<PathBuf> = None;
     let mut list = false;
-    let mut selftest = false;
+    let mut fixture_self_test = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--root requires a path");
-                    return ExitCode::from(2);
-                }
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
             },
             "--rule" => match it.next() {
-                Some(r) => rule = Some(r.clone()),
-                None => {
-                    eprintln!("--rule requires a rule id");
-                    return ExitCode::from(2);
-                }
+                Some(v) => rule = Some(v.clone()),
+                None => return usage(),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                _ => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--write-baseline" => match it.next() {
+                Some(v) => write_baseline_to = Some(PathBuf::from(v)),
+                None => return usage(),
             },
             "--list" => list = true,
-            "--self-test" => selftest = true,
-            other => {
-                eprintln!("unknown argument `{other}`");
-                usage();
+            "--self-test" => fixture_self_test = true,
+            _ => return usage(),
+        }
+    }
+
+    if list {
+        print_list();
+        return ExitCode::SUCCESS;
+    }
+    if fixture_self_test {
+        return run_fixture_self_test();
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    let mut violations = match run_audit(&root, rule.as_deref()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("audit error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = write_baseline_to {
+        if let Err(e) = write_baseline(&path, &violations) {
+            eprintln!("audit error: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "audit: wrote baseline with {} finding(s) to {}",
+            violations.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = baseline {
+        match load_baseline(&path) {
+            Ok(base) => violations = apply_baseline(violations, &base),
+            Err(e) => {
+                eprintln!("audit error: {e}");
                 return ExitCode::from(2);
             }
         }
     }
 
-    if list {
-        for r in all_rules() {
-            println!("{:<20} {}", r.id, r.summary);
-        }
-        return ExitCode::SUCCESS;
+    if format_json {
+        print!("{}", render_json(&violations));
+    } else {
+        print_text(&violations);
     }
 
-    if selftest {
-        let fixtures = workspace_root().join("crates/xtask/fixtures");
-        return match self_test(&fixtures) {
-            Ok(reports) => {
-                let mut failed = false;
-                for r in &reports {
-                    let mark = if r.ok { "ok " } else { "FAIL" };
-                    println!("{mark} fixture {:<20} {}", r.name, r.detail);
-                    failed |= !r.ok;
-                }
-                if failed {
-                    ExitCode::FAILURE
-                } else {
-                    println!("audit self-test: all {} fixtures behaved", reports.len());
-                    ExitCode::SUCCESS
-                }
-            }
-            Err(e) => {
-                eprintln!("audit self-test error: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-
-    let root = root.unwrap_or_else(workspace_root);
-    match run_audit(&root, rule.as_deref()) {
-        Ok(violations) if violations.is_empty() => {
-            println!(
-                "audit: clean ({} rules)",
-                rule.as_ref().map_or(all_rules().len(), |_| 1)
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
-            }
-            println!("audit: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("audit error: {e}");
-            ExitCode::from(2)
-        }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

@@ -1,15 +1,25 @@
-//! The audit rules.
+//! The audit rules, as token queries over [`FileModel`].
 //!
 //! Each rule names the repo-specific invariant it protects, the path
-//! scope it applies to (relative to the audit root), and a line-level
-//! check that runs on blanked source (see [`crate::source`]). Every rule
-//! has a fixture tree under `crates/xtask/fixtures/<rule-id>/` proving
-//! it fires, exercised both by `cargo xtask audit --self-test` and by
-//! this crate's unit tests.
+//! scope it applies to, a short machine-readable fix direction (carried
+//! into `--format json`), and a check returning *raw* findings — the
+//! engine in [`crate`] applies `audit:allow` suppression centrally, so
+//! it can also detect stale and unknown annotations.
+//!
+//! Token queries see the file as the lexer does: a `HashMap` inside a
+//! string or comment can never match, and a call chain split across
+//! lines (`Instant::` newline `now()`) is still one sequence — the two
+//! classes of false positive/negative the old per-line engine had.
+//!
+//! Every rule has a fixture tree under `crates/xtask/fixtures/<id>/`
+//! proving it fires, exercised by `cargo xtask audit --self-test` and
+//! by this crate's unit tests.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use crate::source::SourceFile;
+use crate::index::{ItemKind, WorkspaceIndex};
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
 
 /// Library crate source roots (relative to the audit root). `src` is the
 /// root `rbcast` facade crate.
@@ -43,29 +53,103 @@ const CLOCK_SRC: &[&str] = &[
     "src",
 ];
 
-/// A single audit finding.
+/// Modules holding the paper's threshold arithmetic; the
+/// `checked-threshold-arith` rule applies only inside these.
+const THRESHOLD_MODULES: &[&str] = &[
+    "crates/core/src/thresholds.rs",
+    "crates/construct/src/cpa_stages.rs",
+    "crates/construct/src/impossibility.rs",
+    "crates/protocols/src/evidence.rs",
+];
+
+/// A raw rule finding, before suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// 1-based line of the first matched token.
+    pub line: usize,
+    /// 1-based column of the first matched token.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A suppressed-and-sorted audit violation, as reported to the user.
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Path relative to the audit root.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
     /// Rule identifier (e.g. `unordered-iteration`).
     pub rule: &'static str,
-    /// Human-readable explanation with the fix direction.
+    /// Human-readable explanation.
     pub message: String,
+    /// Short fix direction (stable per rule; carried into JSON output).
+    pub fix: &'static str,
 }
 
-/// A static-analysis rule: scope + per-file check.
+/// Cross-file context handed to every check.
+pub struct Ctx<'a> {
+    /// Workspace symbol index over all loaded files.
+    pub index: &'a WorkspaceIndex,
+}
+
+impl Ctx<'_> {
+    /// The file sanctioned to hold raw wall-clock reads: wherever
+    /// `fn span` (the obs timing primitive) is defined.
+    fn obs_module(&self) -> PathBuf {
+        self.index
+            .exempt_file(ItemKind::Fn, "span", "crates/core/src/obs.rs")
+    }
+
+    /// The file sanctioned to touch `std::thread`: wherever
+    /// `fn run_indexed` (the deterministic executor) is defined.
+    fn engine_module(&self) -> PathBuf {
+        self.index
+            .exempt_file(ItemKind::Fn, "run_indexed", "crates/core/src/engine.rs")
+    }
+
+    /// The file sanctioned to call `catch_unwind`: wherever
+    /// `fn supervise` is defined.
+    fn supervisor_module(&self) -> PathBuf {
+        self.index
+            .exempt_file(ItemKind::Fn, "supervise", "crates/core/src/supervisor.rs")
+    }
+
+    /// The file sanctioned to scan `torus.neighborhood`: wherever
+    /// `struct NeighborTable` (the CSR arena) is defined.
+    fn arena_module(&self) -> PathBuf {
+        self.index.exempt_file(
+            ItemKind::Struct,
+            "NeighborTable",
+            "crates/grid/src/arena.rs",
+        )
+    }
+
+    /// The file sanctioned to read the process environment: wherever
+    /// `fn env_var` (the config layer accessor) is defined.
+    fn config_module(&self) -> PathBuf {
+        self.index
+            .exempt_file(ItemKind::Fn, "env_var", "crates/core/src/config.rs")
+    }
+}
+
+/// A static-analysis rule: scope + per-file token check.
 pub struct Rule {
-    /// Stable identifier, also the `audit:allow(...)` name where applicable.
+    /// Stable identifier used in reports and `--rule`.
     pub id: &'static str,
+    /// Name accepted inside `audit:allow(...)` for this rule.
+    pub allow_name: &'static str,
     /// One-line description shown by `cargo xtask audit --list`.
     pub summary: &'static str,
+    /// Short fix direction, stable per rule (surfaced in JSON output).
+    pub fix: &'static str,
     /// Path prefixes (relative to the audit root) the rule applies to.
     pub scopes: &'static [&'static str],
-    /// Per-file check returning `(line, message)` findings.
-    pub check: fn(&SourceFile) -> Vec<(usize, String)>,
+    /// Per-file check returning raw findings (suppression is central).
+    pub check: fn(&FileModel, &Ctx) -> Vec<Finding>,
 }
 
 impl Rule {
@@ -75,75 +159,151 @@ impl Rule {
     }
 }
 
+/// Meta-diagnostic id: an `audit:allow` that suppresses nothing.
+pub const STALE_ALLOW: &str = "stale-allow";
+/// Meta-diagnostic id: an `audit:allow` naming no known rule.
+pub const UNKNOWN_ALLOW: &str = "unknown-allow";
+
+/// Fix direction attached to [`STALE_ALLOW`] findings.
+pub const STALE_ALLOW_FIX: &str =
+    "delete the stale annotation, or re-point it at the finding it was meant to suppress";
+/// Fix direction attached to [`UNKNOWN_ALLOW`] findings.
+pub const UNKNOWN_ALLOW_FIX: &str =
+    "use an allow-name from `cargo xtask audit --list` (ids and allow-names both work)";
+
 /// All audit rules, in reporting order.
 pub fn all_rules() -> &'static [Rule] {
     &[
         Rule {
             id: "unordered-iteration",
+            allow_name: "unordered",
             summary: "sim/protocols hot paths must not iterate HashMap/HashSet \
                       (use BTreeMap/BTreeSet or sorted drains)",
+            fix: "replace with BTreeMap/BTreeSet or drain through a sorted Vec",
             scopes: ORDER_SENSITIVE_SRC,
             check: check_unordered,
         },
         Rule {
             id: "float-eq",
+            allow_name: "float-eq",
             summary: "grid/construct geometry must not compare floats with == or != \
                       (use explicit tolerances or integer coordinates)",
+            fix: "compare with an explicit tolerance or restate over integer coordinates",
             scopes: GEOMETRY_SRC,
             check: check_float_eq,
         },
         Rule {
             id: "unwrap-panic",
+            allow_name: "panic",
             summary: "library crates must not .unwrap() or panic! outside tests \
                       (return Result or use expect with an invariant-naming message)",
+            fix: "return a Result, or .expect(\"<invariant that guarantees this>\")",
             scopes: LIB_SRC,
             check: check_unwrap_panic,
         },
         Rule {
             id: "nondeterminism",
+            allow_name: "wall-clock",
             summary: "no thread_rng / entropy seeding / wall-clock reads outside \
                       seeded entry points (runs must replay from a u64 seed)",
+            fix: "derive all randomness from an explicit u64 seed (StdRng::seed_from_u64)",
             scopes: CLOCK_SRC,
             check: check_nondeterminism,
         },
         Rule {
             id: "obs-wallclock",
+            allow_name: "obs-wallclock",
             summary: "raw wall-clock reads (Instant::now / SystemTime) are confined \
                       to rbcast-core's obs module (time through obs::span or \
                       obs::Stopwatch so measurement stays out of hashed state)",
+            fix: "time through obs::span(\"area/op\") or obs::Stopwatch",
             scopes: CLOCK_SRC,
             check: check_obs_wallclock,
         },
         Rule {
             id: "raw-thread-spawn",
+            allow_name: "raw-thread",
             summary: "raw std::thread spawn/scope is confined to rbcast-core's engine \
                       module (all parallelism must flow through engine::run_indexed \
                       so results stay input-ordered and deterministic)",
+            fix: "fan work out through engine::run_indexed",
             scopes: CLOCK_SRC,
             check: check_raw_thread_spawn,
         },
         Rule {
             id: "catch-unwind",
+            allow_name: "catch-unwind",
             summary: "catch_unwind is confined to rbcast-core's supervisor module \
                       (panic isolation must flow through the supervisor so failures \
                       are classified, retried, and journalled uniformly)",
+            fix: "route the task through supervisor::supervise / run_experiments_supervised",
             scopes: CLOCK_SRC,
             check: check_catch_unwind,
         },
         Rule {
             id: "adhoc-neighborhood",
+            allow_name: "adhoc-neighborhood",
             summary: "torus.neighborhood scans are confined to the grid arena module \
                       (hot paths must read the shared CSR NeighborTable; annotate \
                       audit:allow(adhoc-neighborhood) at cold one-shot sites)",
+            fix: "read the shared CSR NeighborTable from the topology arena",
             scopes: LIB_SRC,
             check: check_adhoc_neighborhood,
         },
         Rule {
             id: "lint-header",
+            allow_name: "lint-header",
             summary: "every library crate root must carry #![forbid(unsafe_code)] \
                       and #![warn(missing_docs)]",
+            fix: "add the missing #![…] lint header at the top of the crate root",
             scopes: LIB_SRC,
             check: check_lint_header,
+        },
+        Rule {
+            id: "hot-loop-alloc",
+            allow_name: "hot-loop-alloc",
+            summary: "no allocation (clone / format! / to_string / to_vec / vec! / \
+                      String::new / Box::new) inside for/while/loop bodies in the \
+                      sim and protocols hot paths",
+            fix: "hoist the allocation out of the loop or reuse a scratch buffer",
+            scopes: ORDER_SENSITIVE_SRC,
+            check: check_hot_loop_alloc,
+        },
+        Rule {
+            id: "atomic-ordering",
+            allow_name: "atomic-ordering",
+            summary: "atomic memory-ordering choices (Ordering::Relaxed/SeqCst/…) are \
+                      confined to rbcast-core's obs and engine modules; anywhere else \
+                      the choice is a determinism hazard and must carry an annotated \
+                      rationale",
+            fix: "move the atomic behind an obs/engine primitive, or annotate \
+                  audit:allow(atomic-ordering) with the ordering argument",
+            scopes: CLOCK_SRC,
+            check: check_atomic_ordering,
+        },
+        Rule {
+            id: "checked-threshold-arith",
+            allow_name: "checked-threshold-arith",
+            summary: "multiplication/shift on fault-bound quantities in the threshold \
+                      modules must widen (u64::from / u128) or use checked_* — the \
+                      paper's bounds (⌊2r²/3⌋, r(2r+1)) must not silently wrap",
+            fix: "widen operands first (u64::from / u128) or use checked_mul/checked_shl",
+            scopes: &[
+                "crates/core/src",
+                "crates/construct/src",
+                "crates/protocols/src",
+            ],
+            check: check_threshold_arith,
+        },
+        Rule {
+            id: "env-read",
+            allow_name: "env-read",
+            summary: "process-environment reads (std::env::var) are confined to the \
+                      config layer (rbcast-core::config) so every RBCAST_* knob is \
+                      discoverable, documented, and testable in one place",
+            fix: "read through rbcast_core::config (env_var) instead of std::env directly",
+            scopes: CLOCK_SRC,
+            check: check_env_read,
         },
     ]
 }
@@ -153,99 +313,81 @@ pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     all_rules().iter().find(|r| r.id == id)
 }
 
-/// True when `code` contains `needle` as a standalone token, i.e. not
-/// embedded in a longer identifier like `MyHashMapLike`.
-fn has_token(code: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(needle) {
-        let abs = start + pos;
-        let before_ok = abs == 0
-            || !code[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = abs + needle.len();
-        let after_ok = after >= code.len()
-            || !code[after..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = abs + needle.len();
-    }
-    false
+/// Is `name` a valid `audit:allow(...)` name (rule id or allow-name)?
+pub fn is_known_allow_name(name: &str) -> bool {
+    all_rules()
+        .iter()
+        .any(|r| r.allow_name == name || r.id == name)
 }
 
-fn check_unordered(file: &SourceFile) -> Vec<(usize, String)> {
+/// Does the allow-name `name` suppress findings of `rule`?
+pub fn allow_name_matches(rule: &Rule, name: &str) -> bool {
+    name == rule.allow_name || name == rule.id
+}
+
+fn finding(m: &FileModel, i: usize, message: String) -> Finding {
+    let (line, col) = m.at(i);
+    Finding { line, col, message }
+}
+
+/// Emit one finding per match of any of `pats` outside test regions.
+fn scan_seqs(m: &FileModel, pats: &[&[&str]], msg: impl Fn(&[&str]) -> String) -> Vec<Finding> {
     let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("unordered") {
-            continue;
-        }
-        for ty in ["HashMap", "HashSet"] {
-            if has_token(&line.code, ty) {
-                out.push((
-                    line.number,
-                    format!(
-                        "{ty} in an order-sensitive crate: iteration order is \
-                         nondeterministic and would break same-seed trace replay; \
-                         use BTree{} or drain through a sorted Vec",
-                        &ty[4..]
-                    ),
-                ));
-            }
+    for p in pats {
+        for i in m.find_seq(p, true) {
+            out.push(finding(m, i, msg(p)));
         }
     }
     out
 }
 
-/// A float hint: a float literal (`1.0`, `2.`) or an `f64`/`f32` token.
-fn has_float_hint(code: &str) -> bool {
-    if has_token(code, "f64") || has_token(code, "f32") {
-        return true;
-    }
-    let chars: Vec<char> = code.chars().collect();
-    for i in 0..chars.len() {
-        if chars[i] != '.' || i == 0 || !chars[i - 1].is_ascii_digit() {
-            continue;
-        }
-        // Walk back over the digit run: if an identifier character
-        // precedes it, the digits belong to a name (`L2.within`,
-        // `d1.len()`), not a numeric literal.
-        let mut j = i;
-        while j > 0 && chars[j - 1].is_ascii_digit() {
-            j -= 1;
-        }
-        if j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
-            continue;
-        }
-        // `1.0`, `1.`, `1.5e3` are floats; `0..n` is a range and
-        // `1.max(2)`-style method syntax is not float either.
-        match chars.get(i + 1) {
-            Some(c) if c.is_ascii_digit() => return true,
-            Some(c) if *c == '.' || c.is_alphabetic() || *c == '_' => continue,
-            _ => return true,
+fn check_unordered(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for i in m.find_seq(&[ty], true) {
+            out.push(finding(
+                m,
+                i,
+                format!(
+                    "{ty} in an order-sensitive crate: iteration order is \
+                     nondeterministic and would break same-seed trace replay; \
+                     use BTree{} or drain through a sorted Vec",
+                    &ty[4..]
+                ),
+            ));
         }
     }
-    false
+    out
 }
 
-fn check_float_eq(file: &SourceFile) -> Vec<(usize, String)> {
+fn check_float_eq(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
     let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("float-eq") {
+    for i in 0..m.code_len() {
+        if m.meta[i].in_test {
             continue;
         }
-        let code = &line.code;
-        let has_cmp = code.contains("==")
-            || code.contains("!=")
-            || code.contains("assert_eq!")
-            || code.contains("assert_ne!");
-        if has_cmp && has_float_hint(code) {
-            out.push((
-                line.number,
+        let t = m.code_text(i);
+        if t != "==" && t != "!=" {
+            continue;
+        }
+        // Scan the enclosing statement (between `;`/`{`/`}` boundaries)
+        // for a float operand — statements may span lines, which the
+        // old per-line engine could not see.
+        let boundary = |s: &str| matches!(s, ";" | "{" | "}");
+        let mut lo = i;
+        while lo > 0 && !boundary(m.code_text(lo - 1)) && i - lo < 200 {
+            lo -= 1;
+        }
+        let mut hi = i;
+        while hi + 1 < m.code_len() && !boundary(m.code_text(hi + 1)) && hi - i < 200 {
+            hi += 1;
+        }
+        let has_float = (lo..=hi)
+            .any(|k| m.ct(k).kind == TokenKind::Float || matches!(m.code_text(k), "f64" | "f32"));
+        if has_float {
+            out.push(finding(
+                m,
+                i,
                 "floating-point equality in geometry code: exact == / != on \
                  f64 silently misclassifies neighbour distances; compare with \
                  an explicit tolerance or stay in integer grid coordinates"
@@ -256,86 +398,67 @@ fn check_float_eq(file: &SourceFile) -> Vec<(usize, String)> {
     out
 }
 
-fn check_unwrap_panic(file: &SourceFile) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("panic") {
-            continue;
-        }
-        if line.code.contains(".unwrap()") {
-            out.push((
-                line.number,
-                ".unwrap() in library code: return a Result or use \
-                 .expect(\"<invariant that guarantees this>\") so failures \
-                 name the broken invariant"
-                    .to_string(),
-            ));
-        }
-        if has_token(&line.code, "panic!") {
-            out.push((
-                line.number,
-                "panic! in library code: return an error, or annotate with \
-                 audit:allow(panic) citing the invariant that makes this \
-                 unreachable"
-                    .to_string(),
-            ));
-        }
-    }
+fn check_unwrap_panic(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
+    let mut out = scan_seqs(m, &[&[".", "unwrap", "(", ")"]], |_| {
+        ".unwrap() in library code: return a Result or use \
+         .expect(\"<invariant that guarantees this>\") so failures \
+         name the broken invariant"
+            .to_string()
+    });
+    out.extend(scan_seqs(m, &[&["panic", "!"]], |_| {
+        "panic! in library code: return an error, or annotate with \
+         audit:allow(panic) citing the invariant that makes this \
+         unreachable"
+            .to_string()
+    }));
     out
 }
 
-fn check_nondeterminism(file: &SourceFile) -> Vec<(usize, String)> {
-    const BANNED: &[(&str, &str)] = &[
-        ("thread_rng", "OS-entropy RNG breaks same-seed replay"),
-        ("from_entropy", "entropy seeding breaks same-seed replay"),
+fn check_nondeterminism(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
+    const BANNED: &[(&[&str], &str)] = &[
+        (&["thread_rng"], "OS-entropy RNG breaks same-seed replay"),
+        (&["from_entropy"], "entropy seeding breaks same-seed replay"),
         (
-            "SystemTime::now",
+            &["SystemTime", "::", "now"],
             "wall-clock reads make runs irreproducible",
         ),
-        ("Instant::now", "wall-clock reads make runs irreproducible"),
         (
-            "rand::random",
+            &["Instant", "::", "now"],
+            "wall-clock reads make runs irreproducible",
+        ),
+        (
+            &["rand", "::", "random"],
             "implicit thread-local RNG breaks same-seed replay",
         ),
     ];
     let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("wall-clock") {
-            continue;
-        }
-        for (tok, why) in BANNED {
-            if line.code.contains(tok) {
-                out.push((
-                    line.number,
-                    format!(
-                        "{tok}: {why}; every run must derive from an explicit \
-                         u64 seed (StdRng::seed_from_u64) or be annotated \
-                         audit:allow(wall-clock) at a measurement-only site"
-                    ),
-                ));
-            }
+    for (pats, why) in BANNED {
+        for i in m.find_seq(pats, true) {
+            out.push(finding(
+                m,
+                i,
+                format!(
+                    "{}: {why}; every run must derive from an explicit \
+                     u64 seed (StdRng::seed_from_u64) or be annotated \
+                     audit:allow(wall-clock) at a measurement-only site",
+                    pats.join("")
+                ),
+            ));
         }
     }
     out
 }
 
-/// The one module allowed to read the wall clock: the observability
-/// layer whose `span`/`Stopwatch` primitives every other crate is
-/// expected to time through.
-const OBS_EXEMPT: &str = "crates/core/src/obs.rs";
-
-fn check_obs_wallclock(file: &SourceFile) -> Vec<(usize, String)> {
-    if file.rel == Path::new(OBS_EXEMPT) {
+fn check_obs_wallclock(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
+    if m.rel == ctx.obs_module() {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("obs-wallclock") {
-            continue;
-        }
-        if line.code.contains("Instant::now") || has_token(&line.code, "SystemTime") {
-            out.push((
-                line.number,
+    for pats in [&["Instant", "::", "now"][..], &["SystemTime"][..]] {
+        for i in m.find_seq(pats, true) {
+            out.push(finding(
+                m,
+                i,
                 "raw wall-clock read outside rbcast-core::obs: ad-hoc timing \
                  scatters Instant through code that must stay replayable; \
                  time through obs::span(\"area/op\") or obs::Stopwatch (or \
@@ -348,109 +471,219 @@ fn check_obs_wallclock(file: &SourceFile) -> Vec<(usize, String)> {
     out
 }
 
-/// The one module allowed to touch `std::thread` directly: the
-/// deterministic sweep executor every other crate is expected to use.
-const THREAD_EXEMPT: &str = "crates/core/src/engine.rs";
-
-fn check_raw_thread_spawn(file: &SourceFile) -> Vec<(usize, String)> {
-    if file.rel == Path::new(THREAD_EXEMPT) {
+fn check_raw_thread_spawn(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
+    if m.rel == ctx.engine_module() {
         return Vec::new();
     }
-    const BANNED: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
     let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("raw-thread") {
-            continue;
+    for what in ["spawn", "scope", "Builder"] {
+        for i in m.find_seq(&["thread", "::", what], true) {
+            out.push(finding(
+                m,
+                i,
+                format!(
+                    "thread::{what} outside rbcast-core::engine: ad-hoc threads do not \
+                     preserve input-ordered result collection; fan work out \
+                     through engine::run_indexed (or annotate \
+                     audit:allow(raw-thread) with a determinism argument)"
+                ),
+            ));
         }
-        for tok in BANNED {
-            if line.code.contains(tok) {
-                out.push((
-                    line.number,
-                    format!(
-                        "{tok} outside rbcast-core::engine: ad-hoc threads do not \
-                         preserve input-ordered result collection; fan work out \
-                         through engine::run_indexed (or annotate \
-                         audit:allow(raw-thread) with a determinism argument)"
-                    ),
-                ));
+    }
+    out
+}
+
+fn check_catch_unwind(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
+    if m.rel == ctx.supervisor_module() {
+        return Vec::new();
+    }
+    scan_seqs(m, &[&["catch_unwind"]], |_| {
+        "catch_unwind outside rbcast-core::supervisor: swallowing a \
+         panic in place hides the failure from the quarantine report \
+         and the checkpoint journal; run the task through \
+         supervisor::supervise / run_experiments_supervised instead \
+         (or annotate audit:allow(catch-unwind) with an isolation \
+         argument)"
+            .to_string()
+    })
+}
+
+fn check_adhoc_neighborhood(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
+    if m.rel == ctx.arena_module() {
+        return Vec::new();
+    }
+    scan_seqs(m, &[&[".", "neighborhood", "("]], |_| {
+        "ad-hoc torus.neighborhood scan outside the arena module: \
+         it re-derives metric offsets on every call; read the shared \
+         CSR NeighborTable instead, or annotate \
+         audit:allow(adhoc-neighborhood) at a cold one-shot site"
+            .to_string()
+    })
+}
+
+fn check_lint_header(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
+    if m.rel.file_name().and_then(|n| n.to_str()) != Some("lib.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (pats, header) in [
+        (
+            &["forbid", "(", "unsafe_code", ")"][..],
+            "#![forbid(unsafe_code)]",
+        ),
+        (
+            &["warn", "(", "missing_docs", ")"][..],
+            "#![warn(missing_docs)]",
+        ),
+    ] {
+        if m.find_seq(pats, false).is_empty() {
+            out.push(Finding {
+                line: 1,
+                col: 1,
+                message: format!("crate root is missing the `{header}` lint header"),
+            });
+        }
+    }
+    out
+}
+
+fn check_hot_loop_alloc(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
+    const ALLOCS: &[(&[&str], &str)] = &[
+        (&[".", "clone", "(", ")"], ".clone()"),
+        (&[".", "to_string", "(", ")"], ".to_string()"),
+        (&[".", "to_owned", "(", ")"], ".to_owned()"),
+        (&[".", "to_vec", "(", ")"], ".to_vec()"),
+        (&["format", "!"], "format!"),
+        (&["vec", "!"], "vec!"),
+        (&["String", "::", "new"], "String::new"),
+        (&["String", "::", "from"], "String::from"),
+        (&["Vec", "::", "new"], "Vec::new"),
+        (&["Box", "::", "new"], "Box::new"),
+    ];
+    let mut out = Vec::new();
+    for (pats, name) in ALLOCS {
+        for i in m.find_seq(pats, true) {
+            if m.meta[i].loop_depth == 0 {
+                continue;
             }
+            out.push(finding(
+                m,
+                i,
+                format!(
+                    "{name} inside a loop body (depth {}) on a sim/protocols hot \
+                     path: per-iteration allocation dominates round cost at scale; \
+                     hoist it out of the loop, reuse a scratch buffer, or annotate \
+                     audit:allow(hot-loop-alloc) at a proven-cold site",
+                    m.meta[i].loop_depth
+                ),
+            ));
         }
     }
     out
 }
 
-/// The one module allowed to call `catch_unwind`: the supervised
-/// execution layer every other crate is expected to route fallible
-/// fan-out through.
-const UNWIND_EXEMPT: &str = "crates/core/src/supervisor.rs";
-
-fn check_catch_unwind(file: &SourceFile) -> Vec<(usize, String)> {
-    if file.rel == Path::new(UNWIND_EXEMPT) {
+fn check_atomic_ordering(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
+    if m.rel == ctx.obs_module() || m.rel == ctx.engine_module() {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("catch-unwind") {
+    for variant in ["Relaxed", "SeqCst", "Acquire", "Release", "AcqRel"] {
+        for i in m.find_seq(&["Ordering", "::", variant], true) {
+            out.push(finding(
+                m,
+                i,
+                format!(
+                    "Ordering::{variant} outside rbcast-core's obs/engine modules: \
+                     an ad-hoc atomic ordering choice is a determinism and \
+                     correctness hazard reviewers cannot see; route the counter \
+                     through obs::Counter / the engine, or annotate \
+                     audit:allow(atomic-ordering) stating why this ordering is \
+                     sufficient"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Markers that make unchecked `*` / `<<` acceptable within a function:
+/// the operands were widened first, or the arithmetic is checked.
+fn has_widening_marker(m: &FileModel, lo: usize, hi: usize) -> bool {
+    (lo..=hi).any(|k| {
+        let t = m.code_text(k);
+        t.starts_with("checked_")
+            || t.starts_with("saturating_")
+            || t == "u128"
+            || t == "i128"
+            || t == "try_from"
+            || (matches!(t, "u64" | "i64" | "f64") && m.seq_at(k, &[t, "::", "from"]))
+    })
+}
+
+fn check_threshold_arith(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
+    if !THRESHOLD_MODULES.iter().any(|p| m.rel == Path::new(p)) {
+        return Vec::new();
+    }
+    let value_like = |k: usize| -> bool {
+        let t = m.ct(k);
+        matches!(t.kind, TokenKind::Ident | TokenKind::Int | TokenKind::Float)
+            || matches!(t.text.as_str(), ")" | "]")
+    };
+    let mut out = Vec::new();
+    for i in 1..m.code_len().saturating_sub(1) {
+        if m.meta[i].in_test {
             continue;
         }
-        if has_token(&line.code, "catch_unwind") {
-            out.push((
-                line.number,
-                "catch_unwind outside rbcast-core::supervisor: swallowing a \
-                 panic in place hides the failure from the quarantine report \
-                 and the checkpoint journal; run the task through \
-                 supervisor::supervise / run_experiments_supervised instead \
-                 (or annotate audit:allow(catch-unwind) with an isolation \
-                 argument)"
-                    .to_string(),
-            ));
-        }
-    }
-    out
-}
-
-/// The one module allowed to scan `torus.neighborhood` directly: the CSR
-/// arena builder whose tables every other crate is expected to read.
-const NEIGHBORHOOD_EXEMPT: &str = "crates/grid/src/arena.rs";
-
-fn check_adhoc_neighborhood(file: &SourceFile) -> Vec<(usize, String)> {
-    if file.rel == Path::new(NEIGHBORHOOD_EXEMPT) {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    for line in &file.lines {
-        if line.in_test || line.allows("adhoc-neighborhood") {
+        let t = m.code_text(i);
+        let is_mul = t == "*" && value_like(i - 1) && {
+            let n = m.ct(i + 1);
+            matches!(n.kind, TokenKind::Ident | TokenKind::Int | TokenKind::Float) || n.text == "("
+        };
+        let is_shift = t == "<<";
+        if !(is_mul || is_shift) {
             continue;
         }
-        if line.code.contains(".neighborhood(") {
-            out.push((
-                line.number,
-                "ad-hoc torus.neighborhood scan outside the arena module: \
-                 it re-derives metric offsets on every call; read the shared \
-                 CSR NeighborTable instead, or annotate \
-                 audit:allow(adhoc-neighborhood) at a cold one-shot site"
-                    .to_string(),
-            ));
+        // Function-scoped dataflow: the enclosing fn must widen or check
+        // somewhere, else this arithmetic can wrap at the paper's bounds.
+        let (lo, hi) = match m.meta[i].fn_idx {
+            Some(fi) => (m.fns[fi].kw, m.fns[fi].close),
+            None => (i.saturating_sub(50), (i + 50).min(m.code_len() - 1)),
+        };
+        if has_widening_marker(m, lo, hi) {
+            continue;
         }
+        out.push(finding(
+            m,
+            i,
+            format!(
+                "unchecked `{t}` on threshold arithmetic: the enclosing function \
+                 neither widens (u64::from / u128) nor checks (checked_*) its \
+                 operands, so the paper's bound arithmetic (⌊2r²/3⌋, r(2r+1)) \
+                 can silently wrap at large radii; widen first or use checked \
+                 arithmetic (or annotate audit:allow(checked-threshold-arith) \
+                 with a range argument)"
+            ),
+        ));
     }
     out
 }
 
-fn check_lint_header(file: &SourceFile) -> Vec<(usize, String)> {
-    if file.rel.file_name().and_then(|n| n.to_str()) != Some("lib.rs") {
+fn check_env_read(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
+    if m.rel == ctx.config_module() {
         return Vec::new();
     }
-    let mut out = Vec::new();
-    for required in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-        let present = file.lines.iter().any(|l| l.code.contains(required));
-        if !present {
-            out.push((
-                1,
-                format!("crate root is missing the `{required}` lint header"),
-            ));
-        }
-    }
-    out
+    scan_seqs(
+        m,
+        &[&["env", "::", "var"], &["env", "::", "var_os"]],
+        |_| {
+            "process-environment read outside the config layer: scattered \
+         RBCAST_* reads make knobs undiscoverable and untestable; read \
+         through rbcast_core::config::env_var (or annotate \
+         audit:allow(env-read) for a knob that genuinely cannot route \
+         through the config layer)"
+                .to_string()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -458,27 +691,27 @@ mod tests {
     use super::*;
     use std::path::Path;
 
-    fn file(rel: &str, src: &str) -> SourceFile {
-        SourceFile::from_text(Path::new(rel), src)
+    fn file(rel: &str, src: &str) -> FileModel {
+        FileModel::parse(Path::new(rel), src)
+    }
+
+    fn ctx_over(models: &[FileModel]) -> WorkspaceIndex {
+        WorkspaceIndex::build(models)
+    }
+
+    fn run(check: fn(&FileModel, &Ctx) -> Vec<Finding>, m: &FileModel) -> Vec<usize> {
+        let idx = ctx_over(std::slice::from_ref(m));
+        let ctx = Ctx { index: &idx };
+        check(m, &ctx).iter().map(|f| f.line).collect()
     }
 
     #[test]
-    fn token_matching_ignores_longer_identifiers() {
-        assert!(has_token("let m: HashMap<u8, u8>;", "HashMap"));
-        assert!(!has_token("struct MyHashMapLike;", "HashMap"));
-        assert!(!has_token("let hash_map = 1;", "HashMap"));
-    }
-
-    #[test]
-    fn unordered_fires_on_hashmap_and_respects_allow() {
+    fn unordered_fires_on_hashmap_tokens_only() {
         let f = file(
             "crates/sim/src/x.rs",
-            "use std::collections::HashMap;\n\
-             let a: HashMap<u8, u8> = HashMap::new(); // audit:allow(unordered)\n",
+            "use std::collections::HashMap;\nstruct MyHashMapLike;\nlet s = \"HashMap\";\n",
         );
-        let v = check_unordered(&f);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].0, 1);
+        assert_eq!(run(check_unordered, &f), vec![1]);
     }
 
     #[test]
@@ -487,211 +720,202 @@ mod tests {
             "crates/sim/src/x.rs",
             "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n",
         );
-        assert!(check_unordered(&f).is_empty());
+        assert!(run(check_unordered, &f).is_empty());
     }
 
     #[test]
     fn float_eq_fires_on_literal_and_f64_comparisons() {
         let f = file(
             "crates/grid/src/x.rs",
-            "if dist == 1.0 { }\nif (a as f64) != b { }\nif n == 3 { }\n",
+            "fn g(dist: f64, a: u32, b: f64, n: u32) {\nif dist == 1.0 { }\nif (a as f64) != b { }\nif n == 3 { }\n}\n",
         );
-        let v = check_float_eq(&f);
-        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(run(check_float_eq, &f), vec![2, 3]);
     }
 
     #[test]
-    fn float_eq_ignores_ranges_and_tuple_indices() {
-        assert!(!has_float_hint("for i in 0..n { }"));
-        assert!(!has_float_hint("let y = pair.0;"));
-        assert!(has_float_hint("let y = 2.5;"));
-        assert!(has_float_hint("let y = 2.;"));
+    fn float_eq_sees_multi_line_comparisons() {
+        // The old per-line engine missed a comparison whose float operand
+        // sat on the next line.
+        let f = file(
+            "crates/grid/src/x.rs",
+            "fn g(dist: f64) -> bool {\n    dist ==\n        1.0\n}\n",
+        );
+        assert_eq!(run(check_float_eq, &f), vec![2]);
     }
 
     #[test]
-    fn float_eq_ignores_identifier_digits_and_method_calls() {
-        assert!(!has_float_hint("b != a && Metric::L2.within(a, b, r)"));
-        assert!(!has_float_hint("debug_assert_eq!(d1.len(), d2.len());"));
-        assert!(has_float_hint("if x == 10.5 { }"));
+    fn float_eq_ignores_ranges_tuple_indices_and_method_calls() {
+        let f = file(
+            "crates/grid/src/x.rs",
+            "fn g(pair: (u32, u32), n: u32, d1: &[u8], d2: &[u8]) {\n\
+             for i in 0..n { let _ = i; }\n\
+             let y = pair.0 == n;\n\
+             let z = d1.len() != d2.len();\n\
+             }\n",
+        );
+        assert!(run(check_float_eq, &f).is_empty());
     }
 
     #[test]
-    fn unwrap_panic_fires_and_expect_is_allowed() {
+    fn unwrap_panic_fires_and_expect_is_fine() {
         let f = file(
             "crates/flow/src/x.rs",
             "let a = x.unwrap();\nlet b = y.expect(\"invariant\");\npanic!(\"boom\");\n",
         );
-        let v = check_unwrap_panic(&f);
-        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(run(check_unwrap_panic, &f), vec![1, 3]);
     }
 
     #[test]
-    fn nondeterminism_fires_and_annotation_silences() {
+    fn unwrap_split_across_lines_is_caught() {
+        let f = file("crates/flow/src/x.rs", "let a = x\n    .unwrap\n    ();\n");
+        assert_eq!(run(check_unwrap_panic, &f), vec![2]);
+    }
+
+    #[test]
+    fn nondeterminism_fires_and_ignores_strings_and_comments() {
         let f = file(
             "crates/protocols/src/x.rs",
-            "let r = rand::thread_rng();\n\
-             let t = Instant::now(); // audit:allow(wall-clock)\n",
+            "let r = rand::thread_rng();\n// thread_rng banned\nlet s = \"Instant::now\";\n",
         );
-        let v = check_nondeterminism(&f);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].0, 1);
+        assert_eq!(run(check_nondeterminism, &f), vec![1]);
     }
 
     #[test]
-    fn nondeterminism_ignores_strings_and_comments() {
-        let f = file(
-            "crates/sim/src/x.rs",
-            "// thread_rng is banned here\nlet s = \"Instant::now\";\n",
-        );
-        assert!(check_nondeterminism(&f).is_empty());
+    fn nondeterminism_catches_multi_line_instant_now() {
+        let f = file("crates/sim/src/x.rs", "let t = Instant::\n    now();\n");
+        assert_eq!(run(check_nondeterminism, &f), vec![1]);
     }
 
     #[test]
-    fn obs_wallclock_fires_outside_obs_and_respects_allow() {
-        let f = file(
-            "crates/bench/src/perf.rs",
-            "let t0 = std::time::Instant::now();\n\
-             let t = SystemTime::now(); // audit:allow(obs-wallclock)\n\
-             let sw = obs::Stopwatch::start();\n",
-        );
-        let v = check_obs_wallclock(&f);
-        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
-    }
-
-    #[test]
-    fn obs_wallclock_exempts_the_obs_module() {
-        let f = file(
+    fn obs_wallclock_exempts_the_defining_module() {
+        let obs = file(
             "crates/core/src/obs.rs",
-            "start: Instant::now(),\nlet t = SystemTime::now();\n",
+            "pub fn span() {}\nfn t() { let _ = Instant::now(); }\n",
         );
-        assert!(check_obs_wallclock(&f).is_empty());
+        let other = file(
+            "crates/bench/src/perf.rs",
+            "let t0 = std::time::Instant::now();\n",
+        );
+        let idx = ctx_over(&[/* obs defines span */ FileModel::parse(
+            Path::new("crates/core/src/obs.rs"),
+            "pub fn span() {}\n",
+        )]);
+        let ctx = Ctx { index: &idx };
+        assert!(check_obs_wallclock(&obs, &ctx).is_empty());
+        assert_eq!(check_obs_wallclock(&other, &ctx).len(), 1);
     }
 
     #[test]
-    fn obs_wallclock_skips_tests_and_longer_identifiers() {
-        let f = file(
-            "crates/sim/src/x.rs",
-            "struct MySystemTimeLike;\n\
-             #[cfg(test)]\n\
-             mod tests {\n\
-                 fn t() { let _ = std::time::Instant::now(); }\n\
-             }\n",
-        );
-        assert!(check_obs_wallclock(&f).is_empty());
-    }
-
-    #[test]
-    fn raw_thread_spawn_fires_outside_the_engine() {
-        let f = file(
-            "crates/sim/src/worker.rs",
-            "let h = std::thread::spawn(|| 7);\n\
-             std::thread::scope(|s| {}); // audit:allow(raw-thread)\n",
-        );
-        let v = check_raw_thread_spawn(&f);
-        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
-    }
-
-    #[test]
-    fn raw_thread_spawn_exempts_the_engine_module() {
-        let f = file(
-            "crates/core/src/engine.rs",
-            "std::thread::scope(|s| { s.spawn(|| {}); });\n",
-        );
-        assert!(check_raw_thread_spawn(&f).is_empty());
-    }
-
-    #[test]
-    fn raw_thread_spawn_skips_test_mods() {
-        let f = file(
-            "crates/core/src/experiment.rs",
-            "#[cfg(test)]\nmod tests {\n    let h = std::thread::spawn(|| 7);\n}\n",
-        );
-        assert!(check_raw_thread_spawn(&f).is_empty());
-    }
-
-    #[test]
-    fn catch_unwind_fires_outside_the_supervisor() {
-        let f = file(
-            "crates/core/src/engine.rs",
-            "let r = std::panic::catch_unwind(|| 7);\n\
-             let s = panic::catch_unwind(f); // audit:allow(catch-unwind)\n",
-        );
-        let v = check_catch_unwind(&f);
-        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
-    }
-
-    #[test]
-    fn catch_unwind_exempts_the_supervisor_module() {
-        let f = file(
+    fn raw_thread_spawn_and_catch_unwind_follow_their_modules() {
+        let idx = WorkspaceIndex::default();
+        let ctx = Ctx { index: &idx };
+        let eng = file("crates/core/src/engine.rs", "std::thread::scope(|s| {});\n");
+        assert!(check_raw_thread_spawn(&eng, &ctx).is_empty());
+        let sup = file(
             "crates/core/src/supervisor.rs",
-            "let r = std::panic::catch_unwind(AssertUnwindSafe(f));\n",
+            "let r = panic::catch_unwind(f);\n",
         );
-        assert!(check_catch_unwind(&f).is_empty());
-    }
-
-    #[test]
-    fn catch_unwind_skips_test_mods_and_longer_identifiers() {
-        let f = file(
-            "crates/sim/src/x.rs",
-            "fn no_catch_unwind_here() {}\n\
-             #[cfg(test)]\n\
-             mod tests {\n\
-                 fn t() { let _ = std::panic::catch_unwind(|| 1); }\n\
-             }\n",
-        );
-        assert!(check_catch_unwind(&f).is_empty());
-    }
-
-    #[test]
-    fn adhoc_neighborhood_fires_outside_the_arena() {
-        let f = file(
-            "crates/core/src/scan.rs",
-            "let d = torus.neighborhood(id, r, metric).count();\n\
-             let e = torus.neighborhood(id, r, metric); // audit:allow(adhoc-neighborhood)\n",
-        );
-        let v = check_adhoc_neighborhood(&f);
-        assert_eq!(v.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
-    }
-
-    #[test]
-    fn adhoc_neighborhood_exempts_the_arena_module() {
-        let f = file(
-            "crates/grid/src/arena.rs",
-            "let targets = torus.neighborhood(id, r, metric);\n",
-        );
-        assert!(check_adhoc_neighborhood(&f).is_empty());
-    }
-
-    #[test]
-    fn adhoc_neighborhood_skips_tests_and_plain_identifiers() {
-        let f = file(
-            "crates/protocols/src/x.rs",
-            "fn fits_single_neighborhood(r: u32) {}\n\
-             #[cfg(test)]\n\
-             mod tests {\n\
-                 fn t(torus: &Torus) { torus.neighborhood(id, 1, m); }\n\
-             }\n",
-        );
-        assert!(check_adhoc_neighborhood(&f).is_empty());
+        assert!(check_catch_unwind(&sup, &ctx).is_empty());
+        let elsewhere = file("crates/sim/src/w.rs", "let h = std::thread::spawn(|| 7);\n");
+        assert_eq!(check_raw_thread_spawn(&elsewhere, &ctx).len(), 1);
     }
 
     #[test]
     fn lint_header_requires_both_attributes() {
+        let idx = WorkspaceIndex::default();
+        let ctx = Ctx { index: &idx };
         let f = file("crates/grid/src/lib.rs", "#![forbid(unsafe_code)]\n");
-        let v = check_lint_header(&f);
+        let v = check_lint_header(&f, &ctx);
         assert_eq!(v.len(), 1);
-        assert!(v[0].1.contains("missing_docs"));
+        assert!(v[0].message.contains("missing_docs"));
         let ok = file(
             "crates/grid/src/lib.rs",
             "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n",
         );
-        assert!(check_lint_header(&ok).is_empty());
+        assert!(check_lint_header(&ok, &ctx).is_empty());
+        let not_root = file("crates/grid/src/torus.rs", "fn f() {}\n");
+        assert!(check_lint_header(&not_root, &ctx).is_empty());
     }
 
     #[test]
-    fn lint_header_only_checks_crate_roots() {
-        let f = file("crates/grid/src/torus.rs", "fn f() {}\n");
-        assert!(check_lint_header(&f).is_empty());
+    fn hot_loop_alloc_fires_only_inside_loops() {
+        let f = file(
+            "crates/sim/src/x.rs",
+            "fn f(v: &[u32], names: &[String]) {\n\
+             let setup = names.to_vec();\n\
+             for n in names {\n    let s = n.clone();\n    let m = format!(\"{s}\");\n}\n\
+             let after = names[0].clone();\n\
+             }\n",
+        );
+        assert_eq!(run(check_hot_loop_alloc, &f), vec![4, 5]);
+    }
+
+    #[test]
+    fn atomic_ordering_flags_variants_not_cmp_ordering() {
+        let f = file(
+            "crates/flow/src/x.rs",
+            "a.fetch_add(1, Ordering::Relaxed);\nlet c = Ordering::Less;\nuse std::sync::atomic::Ordering;\n",
+        );
+        assert_eq!(run(check_atomic_ordering, &f), vec![1]);
+    }
+
+    #[test]
+    fn threshold_arith_requires_widening_in_fn() {
+        let f = file(
+            "crates/core/src/thresholds.rs",
+            "pub fn bad(r: u32) -> u32 { 2 * r * r / 3 }\n\
+             pub fn good(r: u32) -> u64 { let r = u64::from(r); r * (2 * r + 1) }\n\
+             pub fn checked(r: u32) -> Option<u32> { r.checked_mul(2) }\n\
+             pub fn wide(r: u32) -> u64 { let x = 2u128 * u128::from(r); x as u64 }\n",
+        );
+        assert_eq!(run(check_threshold_arith, &f), vec![1, 1]);
+    }
+
+    #[test]
+    fn threshold_arith_only_applies_in_threshold_modules() {
+        let f = file(
+            "crates/core/src/engine.rs",
+            "fn f(a: usize) -> usize { a * 2 }\n",
+        );
+        assert!(run(check_threshold_arith, &f).is_empty());
+    }
+
+    #[test]
+    fn threshold_arith_ignores_deref_and_flags_shift() {
+        let f = file(
+            "crates/core/src/thresholds.rs",
+            "pub fn deref(p: &u32) -> u32 { let x = *p; x }\n\
+             pub fn shl(r: u32) -> u32 { r << 1 }\n",
+        );
+        assert_eq!(run(check_threshold_arith, &f), vec![2]);
+    }
+
+    #[test]
+    fn env_read_confined_to_config_module() {
+        let idx = WorkspaceIndex::default();
+        let ctx = Ctx { index: &idx };
+        let cfg = file(
+            "crates/core/src/config.rs",
+            "let v = std::env::var(\"RBCAST_X\");\n",
+        );
+        assert!(check_env_read(&cfg, &ctx).is_empty());
+        let eng = file(
+            "crates/core/src/engine.rs",
+            "let v = std::env::var(\"RBCAST_X\");\n",
+        );
+        assert_eq!(check_env_read(&eng, &ctx).len(), 1);
+    }
+
+    #[test]
+    fn allow_names_and_ids_both_resolve() {
+        assert!(is_known_allow_name("unordered"));
+        assert!(is_known_allow_name("unordered-iteration"));
+        assert!(is_known_allow_name("hot-loop-alloc"));
+        assert!(!is_known_allow_name("wall-clock-typo"));
+        let rule = rule_by_id("nondeterminism").expect("rule exists");
+        assert!(allow_name_matches(rule, "wall-clock"));
+        assert!(allow_name_matches(rule, "nondeterminism"));
+        assert!(!allow_name_matches(rule, "obs-wallclock"));
     }
 
     #[test]
