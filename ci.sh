@@ -89,4 +89,18 @@ echo "trace smoke passed"
 echo "==> sweep_engine smoke (multi-thread throughput >= 85% of serial)"
 cargo bench -q -p rbcast-bench --bench sweep_engine -- --smoke
 
+echo "==> scale smoke (sparse engine matches the dense oracle at 10^4 nodes)"
+# Release build: the smoke gate carries a wall budget, and a debug bin
+# is opt-0 here ([profile.dev] is not overridden), an order of
+# magnitude off the numbers the gate is calibrated against.
+cargo run -q --release -p rbcast-bench --bin scale_bench -- --smoke
+
+echo "==> BENCH_scale.json shape (checked-in scale baseline is current)"
+grep -q '"schema": "rbcast-bench-scale/v1"' BENCH_scale.json \
+    || { echo "BENCH_scale.json: missing/wrong schema tag"; exit 1; }
+grep -q '"nodes": 1000000' BENCH_scale.json \
+    || { echo "BENCH_scale.json: missing the 10^6-node cell"; exit 1; }
+grep -q '"timings": {' BENCH_scale.json \
+    || { echo "BENCH_scale.json: missing the obs timings block"; exit 1; }
+
 echo "CI: all gates passed"

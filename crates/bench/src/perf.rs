@@ -281,6 +281,116 @@ pub fn write_bench_json(path: &Path, default_threads: usize, timings: &[SweepTim
     }
 }
 
+/// One cell of the scale bench: a single fault-free broadcast on an
+/// `side × side` torus, timed wall-clock. Throughput is reported two
+/// ways — `nodes/sec` (population divided by wall time, the headline
+/// scaling number) and `rounds/sec` (simulated rounds per second, the
+/// per-step cost of the engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleCell {
+    /// Protocol label (`flood` / `cpa` / `indirect`).
+    pub protocol: String,
+    /// Torus side length; the population is `side * side`.
+    pub side: usize,
+    /// Node count (`side * side`).
+    pub nodes: usize,
+    /// Rounds the run executed.
+    pub rounds: u32,
+    /// Message deliveries performed.
+    pub deliveries: u64,
+    /// Local broadcasts performed.
+    pub messages: u64,
+    /// Wall-clock duration of the run, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ScaleCell {
+    /// Nodes simulated per second of wall time.
+    #[must_use]
+    pub fn nodes_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.nodes as f64 * 1000.0 / self.wall_ms
+        }
+    }
+
+    /// Simulated rounds per second of wall time.
+    #[must_use]
+    pub fn rounds_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            f64::from(self.rounds) * 1000.0 / self.wall_ms
+        }
+    }
+}
+
+/// Serialises scale cells to the `BENCH_scale.json` document: the
+/// engine label, one record per cell, and the same trailing
+/// [`rbcast_core::obs`] metrics / timings snapshots as
+/// `BENCH_sweep.json`. Key order is fixed and floats print with three
+/// decimals, so the output is byte-stable for identical inputs and
+/// identical counter state.
+#[must_use]
+pub fn to_scale_json(engine: &str, cells: &[ScaleCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-scale/v1\",");
+    let _ = writeln!(s, "  \"engine\": \"{}\",", json_escape(engine));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"protocol\": \"{}\", \"side\": {}, \"nodes\": {}, \
+             \"rounds\": {}, \"deliveries\": {}, \"messages\": {}, \
+             \"wall_ms\": {:.3}, \"nodes_per_sec\": {:.3}, \
+             \"rounds_per_sec\": {:.3}}}",
+            json_escape(&c.protocol),
+            c.side,
+            c.nodes,
+            c.rounds,
+            c.deliveries,
+            c.messages,
+            c.wall_ms,
+            c.nodes_per_sec(),
+            c.rounds_per_sec()
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let metrics = rbcast_core::obs::metrics_snapshot();
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let _ = write!(s, "    \"{}\": {value}", json_escape(name));
+        s.push_str(if i + 1 < metrics.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  },\n");
+    let spans = rbcast_core::obs::timings_snapshot();
+    s.push_str("  \"timings\": {\n");
+    for (i, (name, stat)) in spans.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    \"{}\": {{\"count\": {}, \"total_ms\": {:.3}}}",
+            json_escape(name),
+            stat.count,
+            stat.total_ms()
+        );
+        s.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Writes [`to_scale_json`] to `path`. I/O errors are reported, not
+/// fatal, matching [`write_bench_json`].
+pub fn write_scale_json(path: &Path, engine: &str, cells: &[ScaleCell]) {
+    match std::fs::write(path, to_scale_json(engine, cells)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -377,6 +487,50 @@ mod tests {
         let healthy: Vec<Outcome> = rows.iter().flatten().cloned().collect();
         assert_eq!(healthy, serial);
         std::fs::remove_file(journal_path("test/order")).ok();
+    }
+
+    fn cell(protocol: &str, side: usize, rounds: u32, wall_ms: f64) -> ScaleCell {
+        ScaleCell {
+            protocol: protocol.to_string(),
+            side,
+            nodes: side * side,
+            rounds,
+            deliveries: 40,
+            messages: 10,
+            wall_ms,
+        }
+    }
+
+    #[test]
+    fn scale_json_shape_is_stable_and_rates_are_derived() {
+        let cells = [
+            cell("flood", 100, 54, 500.0),
+            cell("cpa", 1000, 510, 2000.0),
+        ];
+        let j = to_scale_json("sparse", &cells);
+        assert!(j.contains("\"schema\": \"rbcast-bench-scale/v1\""));
+        assert!(j.contains("\"engine\": \"sparse\""));
+        // 10 000 nodes in 0.5 s → 20 000 nodes/s; 54 rounds → 108 rounds/s
+        assert!(j.contains(
+            "\"protocol\": \"flood\", \"side\": 100, \"nodes\": 10000, \
+             \"rounds\": 54, \"deliveries\": 40, \"messages\": 10, \
+             \"wall_ms\": 500.000, \"nodes_per_sec\": 20000.000, \
+             \"rounds_per_sec\": 108.000"
+        ));
+        assert!(j.contains("\"nodes\": 1000000"));
+        // the trailing observability blocks ride along, as in sweep v3
+        assert!(j.contains("\"metrics\": {"));
+        assert!(j.contains("\"timings\": {"));
+        // byte-stable up to the live counter snapshots
+        let stable = |s: &str| s.split("\"metrics\"").next().map(str::to_owned);
+        assert_eq!(stable(&j), stable(&to_scale_json("sparse", &cells)));
+    }
+
+    #[test]
+    fn scale_rates_handle_zero_wall() {
+        let c = cell("flood", 10, 5, 0.0);
+        assert!(c.nodes_per_sec().abs() < 1e-12);
+        assert!(c.rounds_per_sec().abs() < 1e-12);
     }
 
     #[test]

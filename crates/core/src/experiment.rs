@@ -6,7 +6,7 @@ use rbcast_grid::{Coord, Metric, NeighborTable, NodeId, Torus};
 use rbcast_protocols::{
     attackers, Cpa, Flood, Indirect, IndirectConfig, Msg, PersistentFlood, ProtocolParams,
 };
-use rbcast_sim::{ChannelConfig, Network, Process, RunStats, Value};
+use rbcast_sim::{ChannelConfig, EngineKind, Network, Process, RunStats, Value};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -147,6 +147,7 @@ pub struct Experiment {
     early_termination: bool,
     round_budget: Option<u32>,
     trace_path: Option<PathBuf>,
+    engine: EngineKind,
 }
 
 impl Experiment {
@@ -168,6 +169,7 @@ impl Experiment {
             early_termination: true,
             round_budget: None,
             trace_path: None,
+            engine: EngineKind::default(),
         }
     }
 
@@ -280,6 +282,23 @@ impl Experiment {
     pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace_path = Some(path.into());
         self
+    }
+
+    /// Selects the simulator round loop (default:
+    /// [`EngineKind::Sparse`]). The dense loop is the `--dense` escape
+    /// hatch / parity oracle: both engines are byte-identical in every
+    /// observable — trace hash, event stream, stats — which the
+    /// determinism gate asserts on every torus it covers.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured simulator engine.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// The default fault budget when `with_t` was not called: the
@@ -476,6 +495,7 @@ impl Experiment {
         net.set_completion_mask(&honest_ids);
         net.set_early_termination(self.early_termination);
         net.set_round_budget(self.round_budget);
+        net.set_engine(self.engine);
         if self.t2_oracle_applies(audited_bound, t) {
             net.set_safety_oracle(self.value, &faults);
         }

@@ -50,3 +50,4 @@ pub mod supervisor;
 pub mod thresholds;
 
 pub use experiment::{Experiment, FaultKind, Outcome, ProtocolKind};
+pub use rbcast_sim::EngineKind;

@@ -9,8 +9,8 @@
 //! this test doubles as the engine-level replay gate in CI.
 
 use rbcast_adversary::Placement;
-use rbcast_core::supervisor::{self, Journal, SupervisorConfig, TaskReport};
-use rbcast_core::{engine, percolation, Experiment, FaultKind, ProtocolKind};
+use rbcast_core::supervisor::{self, ChaosConfig, Journal, SupervisorConfig, TaskReport};
+use rbcast_core::{engine, percolation, EngineKind, Experiment, FaultKind, ProtocolKind};
 use rbcast_grid::Torus;
 
 /// A representative sweep: three protocol families, adversarial and
@@ -263,6 +263,120 @@ fn trace_jsonl_byte_identical_across_thread_counts_and_supervision() {
             *want,
             read("sup", i),
             "task {i} trace diverged under supervision"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("trace dir is removable");
+}
+
+/// The sweep grid with every experiment forced onto the dense oracle.
+fn dense_grid() -> Vec<Experiment> {
+    sweep_grid()
+        .into_iter()
+        .map(|e| e.with_engine(EngineKind::Dense))
+        .collect()
+}
+
+#[test]
+fn sparse_and_dense_engines_byte_identical_at_1_2_8_threads() {
+    // The sparse wavefront engine vs the dense oracle, full matrix:
+    // ordered outcomes (RunStats, decisions, message kinds) AND per-run
+    // delivery-trace hashes must agree at every worker-thread count.
+    let sparse = sweep_grid();
+    let dense = dense_grid();
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            engine::run_experiments_traced(&sparse, threads),
+            engine::run_experiments_traced(&dense, threads),
+            "sparse vs dense engines diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn sparse_and_dense_engines_agree_with_early_termination_off() {
+    // Both engines, both termination modes: all four combinations must
+    // freeze the same per-run hash, and within a termination mode the
+    // engines must agree on everything.
+    let idle = |grid: Vec<Experiment>| -> Vec<Experiment> {
+        grid.into_iter()
+            .map(|e| e.with_early_termination(false))
+            .collect()
+    };
+    let sparse_stop = engine::run_experiments_traced(&sweep_grid(), 2);
+    let dense_idle = engine::run_experiments_traced(&idle(dense_grid()), 2);
+    let sparse_idle = engine::run_experiments_traced(&idle(sweep_grid()), 2);
+    assert_eq!(
+        sparse_idle, dense_idle,
+        "engines diverged with early termination off"
+    );
+    for (i, ((os, hs), (oi, hi))) in sparse_stop.iter().zip(&dense_idle).enumerate() {
+        assert_eq!(
+            hs, hi,
+            "run {i}: sparse+early-stop hash differs from dense+idle hash"
+        );
+        assert_eq!(
+            (os.committed_correct, os.committed_wrong, os.undecided),
+            (oi.committed_correct, oi.committed_wrong, oi.undecided),
+            "run {i}: decisions diverged across the engine × termination matrix"
+        );
+    }
+}
+
+#[test]
+fn sparse_and_dense_traces_byte_identical_and_supervision_chaos_agree() {
+    // Event-stream parity: per-task JSONL traces from the two engines
+    // must be byte-for-byte equal. Then the supervisor envelope with
+    // chaos armed (panics/stalls injected and retried) must reproduce
+    // the same digests for whichever engine runs underneath.
+    let dir = std::env::temp_dir().join("rbcast_determinism_engines");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let traced = |tag: &str, grid: Vec<Experiment>| -> Vec<Experiment> {
+        grid.into_iter()
+            .enumerate()
+            .map(|(i, e)| e.with_trace_path(dir.join(format!("{tag}-task{i}.jsonl"))))
+            .collect()
+    };
+    let read = |tag: &str, i: usize| -> String {
+        std::fs::read_to_string(dir.join(format!("{tag}-task{i}.jsonl"))).expect("trace written")
+    };
+
+    let n = sweep_grid().len();
+    let sparse = engine::run_experiments_traced(&traced("sparse", sweep_grid()), 2);
+    let dense = engine::run_experiments_traced(&traced("dense", dense_grid()), 2);
+    assert_eq!(sparse, dense);
+    for i in 0..n {
+        assert_eq!(
+            read("sparse", i),
+            read("dense", i),
+            "task {i}: sparse and dense event streams are not byte-identical"
+        );
+    }
+
+    // Chaos supervision: injected failures are retried, and the retry
+    // reproduces the same digest the plain engine computed — for both
+    // engines, which must also agree with each other.
+    let chaos = ChaosConfig::new(0.3, 0.0, 11).expect("valid chaos spec");
+    let config = SupervisorConfig::new()
+        .with_max_attempts(10)
+        .with_chaos(Some(chaos));
+    let sparse_report = supervisor::run_experiments_supervised(&sweep_grid(), 2, &config);
+    let dense_report = supervisor::run_experiments_supervised(&dense_grid(), 2, &config);
+    assert!(sparse_report.fully_healthy(), "chaos defeated the retries");
+    for (i, (st, dt)) in sparse_report
+        .tasks
+        .iter()
+        .zip(&dense_report.tasks)
+        .enumerate()
+    {
+        assert_eq!(
+            st.digest(),
+            dt.digest(),
+            "task {i}: engines diverged under chaos supervision"
+        );
+        assert_eq!(
+            st.digest(),
+            Some(sparse[i].1),
+            "task {i}: chaos retry changed the digest"
         );
     }
     std::fs::remove_dir_all(&dir).expect("trace dir is removable");

@@ -22,6 +22,8 @@
 //!   constructive proofs: regions A, B1/B2, C1/C2, D1/D2/D3, J, K1/K2, …).
 //! * [`TdmaSchedule`] — the pre-determined collision-free transmission
 //!   schedule the model assumes (§II).
+//! * [`BitSet`] — bit-packed node sets backing the simulator's sparse
+//!   wavefront engine (delivered/wake/decided sets, completion masks).
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod bitset;
 mod coord;
 mod metric;
 mod nbd;
@@ -47,6 +50,7 @@ mod tdma;
 mod torus;
 
 pub use arena::NeighborTable;
+pub use bitset::BitSet;
 pub use coord::Coord;
 pub use metric::Metric;
 pub use nbd::{linf_offsets, metric_offsets, pnbd_centers, Neighborhood};

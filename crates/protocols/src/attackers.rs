@@ -48,6 +48,11 @@ impl Process<Msg> for Spoofer {
     }
 
     fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+
+    // Fires everything in `on_start`; no round-end behaviour.
+    fn needs_round_end(&self) -> bool {
+        false
+    }
 }
 
 /// A node that never transmits anything.
@@ -61,6 +66,11 @@ struct Silent;
 impl Process<Msg> for Silent {
     fn on_start(&mut self, _ctx: &mut Ctx<'_, Msg>) {}
     fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+
+    // Does nothing, ever — certainly not at round end.
+    fn needs_round_end(&self) -> bool {
+        false
+    }
 }
 
 /// A node that announces having committed to `wrong` and relays every
@@ -119,6 +129,11 @@ impl Process<Msg> for Liar {
                 }
             }
         }
+    }
+
+    // All lying happens in `on_start`/`on_message`; no round-end logic.
+    fn needs_round_end(&self) -> bool {
+        false
     }
 }
 
@@ -187,6 +202,11 @@ impl Process<Msg> for Forger {
             }
         }
         let _ = from;
+    }
+
+    // Forges on start and on delivery only; no round-end behaviour.
+    fn needs_round_end(&self) -> bool {
+        false
     }
 }
 

@@ -109,6 +109,12 @@ impl Process<Msg> for Cpa {
             Msg::Heard { .. } => {}
         }
     }
+
+    // CPA's commit rule fires inside `on_message`; with no deliveries
+    // its state cannot change, so round-end polling is unnecessary.
+    fn needs_round_end(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

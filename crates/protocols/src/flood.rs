@@ -68,6 +68,12 @@ impl Process<Msg> for Flood {
         ctx.decide(msg.value());
         ctx.broadcast(Msg::Committed(msg.value()));
     }
+
+    // Flood acts only on deliveries; it has no round-end behaviour, so
+    // the sparse engine never needs to poll it.
+    fn needs_round_end(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

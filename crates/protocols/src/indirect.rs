@@ -298,6 +298,14 @@ impl Process<Msg> for Indirect {
             self.commit(ctx, v);
         }
     }
+
+    // The commit rule is a pure function of the evidence store, which
+    // only grows in `on_message`: a round without deliveries cannot
+    // change `evaluate`'s answer, so the sparse engine may skip the
+    // round-end callback until the next delivery.
+    fn needs_round_end(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

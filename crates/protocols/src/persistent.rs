@@ -59,6 +59,14 @@ impl Process<Msg> for PersistentFlood {
             }
         }
     }
+
+    // A standing wakeup while the retransmission budget lasts: the
+    // sparse engine must keep polling until `repeats` broadcasts have
+    // gone out, after which the process is permanently quiescent at
+    // round end. (Undecided polls are harmless no-ops either way.)
+    fn needs_round_end(&self) -> bool {
+        self.sent < self.repeats
+    }
 }
 
 #[cfg(test)]

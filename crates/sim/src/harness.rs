@@ -5,7 +5,7 @@
 //! whole [`crate::Network`]. The protocols crate uses it to pin down
 //! message-validation behaviour hop by hop.
 
-use crate::process::NodeState;
+use crate::process::{DecisionLedger, NodeState};
 use crate::{Ctx, Process, Round, Value};
 use rbcast_grid::{Metric, NeighborTable, NodeId, Torus};
 
@@ -39,6 +39,7 @@ pub struct Harness<M> {
     state: NodeState<M>,
     round: Round,
     messages_sent: u64,
+    ledger: DecisionLedger,
 }
 
 impl<M> Harness<M> {
@@ -46,12 +47,14 @@ impl<M> Harness<M> {
     /// private topology arena for it).
     #[must_use]
     pub fn new(torus: Torus, radius: u32, metric: Metric, id: NodeId) -> Self {
+        let n = torus.len();
         Harness {
             arena: NeighborTable::build(&torus, radius, metric),
             id,
             state: NodeState::default(),
             round: 0,
             messages_sent: 0,
+            ledger: DecisionLedger::new(n),
         }
     }
 
@@ -63,6 +66,7 @@ impl<M> Harness<M> {
             round: self.round,
             state: &mut self.state,
             messages_sent: &mut self.messages_sent,
+            ledger: &mut self.ledger,
         };
         f(&mut ctx);
     }

@@ -65,7 +65,7 @@ pub mod trace;
 
 pub use channel::ChannelConfig;
 pub use harness::Harness;
-pub use network::Network;
+pub use network::{EngineKind, Network};
 pub use process::{Ctx, Process};
 pub use stats::{RoundReport, RunStats, StopReason};
 

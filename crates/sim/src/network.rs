@@ -1,11 +1,36 @@
 //! The synchronous round-based network engine.
 
 use crate::channel::delivery_lost;
-use crate::process::NodeState;
+use crate::process::{DecisionLedger, NodeState};
 use crate::trace::{TraceEvent, TraceSink, FNV_OFFSET};
 use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, StopReason, Value};
-use rbcast_grid::{Metric, NeighborTable, NodeId, TdmaSchedule, Torus};
+use rbcast_grid::{BitSet, Metric, NeighborTable, NodeId, TdmaSchedule, Torus};
 use std::sync::Arc;
+
+/// Sentinel for "never crashes" in the SoA crash array: no real crash
+/// round can reach it, so `crashed_at[i] <= round` is the whole test.
+const NEVER: Round = Round::MAX;
+
+/// Which round loop drives [`Network::run`].
+///
+/// Both engines execute the same model and are **byte-identical** in
+/// every observable: trace hash, event stream, [`RunStats`], history,
+/// per-kind tallies, decisions. The sparse engine is the default; the
+/// dense loop survives as the parity oracle the determinism gate runs
+/// both engines against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Event-driven sparse wavefront loop: only *frontier* nodes — those
+    /// delivered to this round, plus those whose process declared a
+    /// pending self-wakeup via [`Process::needs_round_end`] — run
+    /// `on_round_end` and have their outboxes collected. Cost per round
+    /// is proportional to the wavefront, not the torus area.
+    #[default]
+    Sparse,
+    /// The original every-node-every-round loop. Kept behind the
+    /// `--dense` escape hatch as a test oracle.
+    Dense,
+}
 
 /// The T2 ground truth a run is audited against: the source's value and
 /// the set of faulty nodes. Only consulted under `debug-invariants`.
@@ -45,9 +70,17 @@ pub struct Network<M> {
     /// networks (and threads) running the same geometry.
     arena: Arc<NeighborTable>,
     order: Vec<NodeId>,
+    /// TDMA rank of each node: `rank_of[id.index()]` is `id`'s position
+    /// in `order`. Lets the sparse engine sort a frontier into
+    /// transmission order without consulting the schedule.
+    rank_of: Vec<u32>,
+    engine: EngineKind,
     processes: Vec<Option<Box<dyn Process<M>>>>,
     states: Vec<NodeState<M>>,
-    crashed_at: Vec<Option<Round>>,
+    /// SoA crash schedule: round at which each node crash-stops,
+    /// [`NEVER`] if it doesn't. Replaces a `Vec<Option<Round>>` so the
+    /// per-delivery liveness test is one compare on a dense `u32` array.
+    crashed_at: Vec<Round>,
     channel: ChannelConfig,
     /// Remaining collision battery per jammer (parallel to
     /// `channel.jammers`).
@@ -61,10 +94,11 @@ pub struct Network<M> {
     oracle: Option<SafetyOracle>,
     classifier: Option<fn(&M) -> &'static str>,
     kind_counts: std::collections::BTreeMap<&'static str, u64>,
-    /// Nodes whose decisions complete the run (typically the honest
-    /// set). Once every masked node has decided, the trace hash freezes
-    /// — and, with [`Network::set_early_termination`], the run stops.
-    completion_mask: Option<Vec<bool>>,
+    /// Incremental decision bookkeeping: decided bitset, completion
+    /// mask, and popcount-maintained counters, updated by [`Ctx::decide`]
+    /// at the moment a node commits. Replaces both the O(n) per-round
+    /// decided recount and the O(n) completion-mask scan.
+    ledger: DecisionLedger,
     early_termination: bool,
     /// Cooperative per-run deadline set by the supervisor (see
     /// [`Network::set_round_budget`]): the watchdog that turns a runaway
@@ -84,10 +118,20 @@ pub struct Network<M> {
     /// is the null sink: non-hashed events are never even constructed,
     /// so an untraced run pays only a branch per site.
     sink: Option<Box<dyn TraceSink>>,
-    /// Which nodes' decisions have already produced a
-    /// [`TraceEvent::Decision`] (maintained only while a sink is
-    /// installed).
-    decided_seen: Vec<bool>,
+    /// Sparse-engine scratch: nodes that had a message delivered to them
+    /// this round. Cleared every round.
+    delivered: BitSet,
+    /// Sparse-engine scratch: nodes whose process answered `true` to
+    /// [`Process::needs_round_end`] at its last callback — pending
+    /// self-wakeups. Refreshed after every callback the engine runs.
+    wake: BitSet,
+    /// Sparse-engine scratch: the current round's frontier
+    /// (`delivered ∪ wake`, minus crashed), sorted into TDMA rank order.
+    frontier: Vec<NodeId>,
+    /// Reusable per-round jammer assignment (parallel to the on-air
+    /// vector): which jammer, if any, collides each transmission.
+    /// Hoisted out of the round loop — same pattern as `PackScratch`.
+    jam_scratch: Vec<Option<NodeId>>,
 }
 
 impl<M> Network<M> {
@@ -142,14 +186,20 @@ impl<M> Network<M> {
         if let Ok(tdma) = TdmaSchedule::new(torus, arena.radius()) {
             order.sort_by_key(|&id| (tdma.slot_of(torus.coord(id)), id));
         }
+        let mut rank_of = vec![0u32; n];
+        for (rank, &id) in order.iter().enumerate() {
+            rank_of[id.index()] = u32::try_from(rank).expect("node count fits u32");
+        }
         let processes = torus.node_ids().map(|id| Some(make(id))).collect();
         let states = (0..n).map(|_| NodeState::default()).collect();
         Network {
             arena,
             order,
+            rank_of,
+            engine: EngineKind::default(),
             processes,
             states,
-            crashed_at: vec![None; n],
+            crashed_at: vec![NEVER; n],
             jam_remaining: vec![channel.jam_budget; channel.jammers.len()],
             channel,
             history: Vec::new(),
@@ -157,7 +207,7 @@ impl<M> Network<M> {
             oracle: None,
             classifier: None,
             kind_counts: std::collections::BTreeMap::new(),
-            completion_mask: None,
+            ledger: DecisionLedger::new(n),
             early_termination: false,
             round_budget: None,
             hash_frozen: false,
@@ -167,7 +217,10 @@ impl<M> Network<M> {
             jammed_deliveries: 0,
             jammed_transmissions: 0,
             sink: None,
-            decided_seen: Vec::new(),
+            delivered: BitSet::new(n),
+            wake: BitSet::new(n),
+            frontier: Vec::new(),
+            jam_scratch: Vec::new(),
         }
     }
 
@@ -210,11 +263,24 @@ impl<M> Network<M> {
     /// and no hash *relative to the early-terminating run* — that
     /// equivalence is what the determinism gate pins.
     pub fn set_completion_mask(&mut self, nodes: &[NodeId]) {
-        let mut mask = vec![false; self.arena.len()];
+        let mut mask = BitSet::new(self.arena.len());
         for id in nodes {
-            mask[id.index()] = true;
+            mask.set(id.index());
         }
-        self.completion_mask = Some(mask);
+        self.ledger.set_mask(Some(mask));
+    }
+
+    /// Selects the round loop (see [`EngineKind`]). Both engines are
+    /// observationally identical; the dense loop exists as a parity
+    /// oracle and costs torus-area work per round.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// The engine currently selected.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// Enables or disables early termination at the completion round
@@ -241,13 +307,13 @@ impl<M> Network<M> {
     /// means the node never participates.
     pub fn crash_at(&mut self, id: NodeId, round: Round) {
         let slot = &mut self.crashed_at[id.index()];
-        *slot = Some(slot.map_or(round, |prev| prev.min(round)));
+        *slot = (*slot).min(round);
     }
 
     /// Whether `id` is crashed as of round `round`.
     #[must_use]
     pub fn is_crashed(&self, id: NodeId, round: Round) -> bool {
-        self.crashed_at[id.index()].is_some_and(|c| c <= round)
+        self.crashed_at[id.index()] <= round
     }
 
     /// Runs the simulation until quiescence or `max_rounds`, returning
@@ -267,11 +333,16 @@ impl<M> Network<M> {
         self.jammed_deliveries = 0;
         self.jammed_transmissions = 0;
         self.kind_counts.clear();
-        self.decided_seen = if self.sink.is_some() {
-            vec![false; self.arena.len()]
-        } else {
-            Vec::new()
-        };
+        // Decisions persist across runs; seed the fresh-list with every
+        // node already decided so a traced re-run re-announces them at
+        // round 0, exactly as the dense scan used to after its
+        // `decided_seen` reset.
+        {
+            let mut fresh = std::mem::take(&mut self.ledger.fresh);
+            fresh.clear();
+            self.ledger.decided.for_each(|idx| fresh.push(idx));
+            self.ledger.fresh = fresh;
+        }
 
         // Hot-path de-allocation: `order` is moved out of `self` and the
         // arena handle cloned (one refcount bump) for the duration of
@@ -281,8 +352,10 @@ impl<M> Network<M> {
         // message clone.
         let order = std::mem::take(&mut self.order);
         let arena = Arc::clone(&self.arena);
+        let sparse = self.engine == EngineKind::Sparse;
 
-        // Round 0: starts.
+        // Round 0 runs dense under both engines: every process gets its
+        // `on_start` and first `on_round_end` regardless of traffic.
         for &id in &order {
             if !self.is_crashed(id, 0) {
                 self.with_ctx(id, 0, |proc, ctx| proc.on_start(ctx));
@@ -291,6 +364,19 @@ impl<M> Network<M> {
         for &id in &order {
             if !self.is_crashed(id, 0) {
                 self.with_ctx(id, 0, |proc, ctx| proc.on_round_end(ctx));
+            }
+        }
+        if sparse {
+            // Seed the wake set: ask every live process once whether it
+            // wants round-end callbacks without traffic. From here on the
+            // answer is only re-read after a callback actually runs (the
+            // contract forbids spontaneous changes in between).
+            self.wake.clear_all();
+            self.delivered.clear_all();
+            for &id in &order {
+                if !self.is_crashed(id, 0) && self.process(id).needs_round_end() {
+                    self.wake.set(id.index());
+                }
             }
         }
         // Round-0 decisions (e.g. a source committing at start-up)
@@ -307,24 +393,24 @@ impl<M> Network<M> {
         while !on_air.is_empty() && round < cap {
             round += 1;
             let deliveries_before = self.deliveries;
-            let decided_before = self
-                .states
-                .iter()
-                .filter(|st| st.decision.is_some())
-                .count() as u64;
+            let decided_before = self.ledger.decided_count;
             // Deliberate collisions (§X): each jammer destroys up to its
             // budget of this round's transmissions, greedily in order; a
             // jammed transmission is lost exactly at receivers within the
             // jammer's range.
-            let jam_of: Vec<Option<NodeId>> = self.assign_jammers(&arena, &on_air, round);
-            self.jammed_transmissions += jam_of.iter().flatten().count() as u64;
+            self.assign_jammers(&arena, &on_air, round);
+            self.jammed_transmissions += self.jam_scratch.iter().flatten().count() as u64;
             if self.tracing() {
                 self.emit(TraceEvent::RoundStart {
                     round,
                     on_air: on_air.len() as u64,
                 });
             }
-            // Deliver everything on the air, in global transmission order.
+            if sparse {
+                self.delivered.clear_all();
+            }
+            // Deliver everything on the air, in global transmission
+            // order, walking each sender's fan-out as a flat CSR slice.
             for (tx_index, tx) in on_air.iter().enumerate() {
                 if self.tracing() {
                     self.emit(TraceEvent::Transmission {
@@ -338,7 +424,7 @@ impl<M> Network<M> {
                     if self.is_crashed(rid, round) {
                         continue;
                     }
-                    if let Some(jammer) = jam_of[tx_index] {
+                    if let Some(jammer) = self.jam_scratch[tx_index] {
                         if arena.torus().within(
                             arena.torus().coord(jammer),
                             arena.torus().coord(rid),
@@ -375,14 +461,60 @@ impl<M> Network<M> {
                         receiver: rid.index() as u64,
                         claimed: tx.claimed.index() as u64,
                     });
+                    if sparse {
+                        self.delivered.set(rid.index());
+                    }
                     self.with_ctx(rid, round, |proc, ctx| {
                         proc.on_message(ctx, tx.claimed, &tx.msg);
                     });
                 }
             }
-            for &id in &order {
-                if !self.is_crashed(id, round) {
+            // Round end. Sparse: gather the frontier (delivered ∪ wake,
+            // minus crashed), sort it into TDMA rank order — the same
+            // relative order the dense sweep visits — and run callbacks
+            // only there. Dense: sweep every live node.
+            if sparse {
+                let mut frontier = std::mem::take(&mut self.frontier);
+                frontier.clear();
+                {
+                    let delivered = &self.delivered;
+                    let wake = &self.wake;
+                    delivered.for_each_union(wake, |idx| frontier.push(NodeId(idx)));
+                }
+                {
+                    // Crash-stop is permanent: drop crashed nodes from
+                    // the frontier and retire their standing wakeups.
+                    let crashed_at = &self.crashed_at;
+                    let wake = &mut self.wake;
+                    frontier.retain(|id| {
+                        if crashed_at[id.index()] <= round {
+                            wake.clear(id.index());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                {
+                    let rank_of = &self.rank_of;
+                    frontier.sort_unstable_by_key(|id| rank_of[id.index()]);
+                }
+                for &id in &frontier {
                     self.with_ctx(id, round, |proc, ctx| proc.on_round_end(ctx));
+                    // Re-read the quiescence declaration now that the
+                    // callback may have changed the process's state.
+                    if self.process(id).needs_round_end() {
+                        self.wake.set(id.index());
+                    } else {
+                        self.wake.clear(id.index());
+                    }
+                }
+                self.frontier = frontier;
+            } else {
+                for &id in &order {
+                    if !self.is_crashed(id, round) {
+                        self.with_ctx(id, round, |proc, ctx| proc.on_round_end(ctx));
+                    }
                 }
             }
             let decided_after = self.scan_decisions(round);
@@ -390,13 +522,10 @@ impl<M> Network<M> {
             // can carry the freeze marker — but applied only *after*
             // folding, so the hash freezes at the same round whether or
             // not early termination is on and both modes hash
-            // identically.
-            let frozen_after = self.hash_frozen
-                || self.completion_mask.as_ref().is_some_and(|mask| {
-                    mask.iter()
-                        .zip(self.states.iter())
-                        .all(|(&m, st)| !m || st.decision.is_some())
-                });
+            // identically. O(1): the ledger's popcounts replace the old
+            // zip scan over the whole mask.
+            let frozen_after =
+                self.hash_frozen || (self.ledger.mask.is_some() && self.ledger.mask_complete());
             self.emit(TraceEvent::RoundEnd {
                 round,
                 decided: decided_after,
@@ -404,6 +533,7 @@ impl<M> Network<M> {
             });
             self.hash_frozen = frozen_after;
             self.check_safety(round);
+            self.check_decided_counter(round);
             self.history.push(RoundReport {
                 round,
                 transmissions: on_air.len() as u64,
@@ -413,7 +543,20 @@ impl<M> Network<M> {
             // Collect before the early-exit check so everything a
             // process emitted is classified and counted: per-kind
             // tallies sum to `messages_sent` in both termination modes.
-            on_air = self.collect_transmissions(&order, round);
+            //
+            // Sparse: only frontier nodes ran a callback this round, and
+            // outboxes are drained every round, so the frontier (already
+            // in TDMA rank order) is exactly the set of possibly
+            // non-empty outboxes — collecting it yields the identical
+            // transmission vector the dense full sweep would.
+            on_air = if sparse {
+                let frontier = std::mem::take(&mut self.frontier);
+                let out = self.collect_transmissions(&frontier, round);
+                self.frontier = frontier;
+                out
+            } else {
+                self.collect_transmissions(&order, round)
+            };
             if self.hash_frozen && self.early_termination {
                 early_stopped = !on_air.is_empty();
                 break;
@@ -465,33 +608,57 @@ impl<M> Network<M> {
         }
     }
 
-    /// Counts decided nodes and, while tracing, emits a
-    /// [`TraceEvent::Decision`] for each node not yet seen decided — in
-    /// node-index order, so the stream is deterministic.
+    /// Drains the ledger's fresh-decision list and, while tracing, emits
+    /// a [`TraceEvent::Decision`] for each — sorted into node-index
+    /// order, exactly the order the old full scan discovered them in.
+    /// Returns the (incrementally maintained) decided count; no O(n)
+    /// scan in either mode.
     fn scan_decisions(&mut self, round: Round) -> u64 {
-        if !self.tracing() {
-            return self
-                .states
-                .iter()
-                .filter(|st| st.decision.is_some())
-                .count() as u64;
-        }
-        let mut decided = 0u64;
-        let mut fresh: Vec<(u64, Value)> = Vec::new();
-        for (i, st) in self.states.iter().enumerate() {
-            if let Some((v, _)) = st.decision {
-                decided += 1;
-                if !self.decided_seen[i] {
-                    fresh.push((i as u64, v));
-                }
+        let mut fresh = std::mem::take(&mut self.ledger.fresh);
+        if self.tracing() && !fresh.is_empty() {
+            fresh.sort_unstable();
+            for &idx in &fresh {
+                let (value, _) = self.states[idx as usize]
+                    .decision
+                    .expect("ledger fresh entry has a decision");
+                self.emit(TraceEvent::Decision {
+                    round,
+                    node: u64::from(idx),
+                    value,
+                });
             }
         }
-        for (node, value) in fresh {
-            self.decided_seen[node as usize] = true;
-            self.emit(TraceEvent::Decision { round, node, value });
-        }
-        decided
+        fresh.clear();
+        self.ledger.fresh = fresh;
+        self.ledger.decided_count
     }
+
+    /// Satellite regression gate: the incremental decided counter must
+    /// match a full scan of node states after every round (and the
+    /// mask-restricted popcounts must match a recount). Compiled only
+    /// under `debug-invariants`, which the determinism gate runs with.
+    #[cfg(feature = "debug-invariants")]
+    fn check_decided_counter(&self, round: Round) {
+        let scanned = self
+            .states
+            .iter()
+            .filter(|st| st.decision.is_some())
+            .count() as u64;
+        assert_eq!(
+            self.ledger.decided_count, scanned,
+            "incremental decided counter diverged from the full scan at round {round}",
+        );
+        if let Some(mask) = &self.ledger.mask {
+            assert_eq!(
+                self.ledger.masked_decided,
+                mask.intersection_count(&self.ledger.decided),
+                "masked decided counter diverged from a recount at round {round}",
+            );
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    fn check_decided_counter(&self, _round: Round) {}
 
     /// Installs a structured trace sink receiving every event of the
     /// next (and any later) [`Network::run`] — see [`crate::trace`].
@@ -509,15 +676,14 @@ impl<M> Network<M> {
     /// order, spends its remaining lifetime battery on not-yet-jammed
     /// transmissions it can disrupt (any transmission with at least one
     /// receiver in its range), earliest first.
-    fn assign_jammers(
-        &mut self,
-        arena: &NeighborTable,
-        on_air: &[Transmission<M>],
-        round: Round,
-    ) -> Vec<Option<NodeId>> {
-        let mut jam_of = vec![None; on_air.len()];
+    fn assign_jammers(&mut self, arena: &NeighborTable, on_air: &[Transmission<M>], round: Round) {
+        // Reusable scratch owned by the network (the `PackScratch`
+        // pattern): clear + resize instead of allocating a fresh table
+        // every round of every run.
+        self.jam_scratch.clear();
+        self.jam_scratch.resize(on_air.len(), None);
         if self.channel.jam_budget == 0 || self.channel.jammers.is_empty() {
-            return jam_of;
+            return;
         }
         let torus = arena.torus();
         for (j, &jammer) in self.channel.jammers.iter().enumerate() {
@@ -529,7 +695,7 @@ impl<M> Network<M> {
                 if self.jam_remaining[j] == 0 {
                     break;
                 }
-                if jam_of[i].is_some() || tx.sender == jammer {
+                if self.jam_scratch[i].is_some() || tx.sender == jammer {
                     continue;
                 }
                 let reachable = arena
@@ -537,12 +703,11 @@ impl<M> Network<M> {
                     .iter()
                     .any(|&rid| torus.within(jc, torus.coord(rid), arena.radius(), arena.metric()));
                 if reachable {
-                    jam_of[i] = Some(jammer);
+                    self.jam_scratch[i] = Some(jammer);
                     self.jam_remaining[j] -= 1;
                 }
             }
         }
-        jam_of
     }
 
     /// Order-sensitive digest of the run so far: every delivery
@@ -651,6 +816,7 @@ impl<M> Network<M> {
                 round,
                 state: &mut self.states[id.index()],
                 messages_sent: &mut self.messages_sent,
+                ledger: &mut self.ledger,
             };
             f(proc.as_mut(), &mut ctx);
         }
@@ -1356,6 +1522,137 @@ mod tests {
             .count() as u64;
         // one note per delivery (every process notes every message)
         assert_eq!(notes, stats.deliveries);
+    }
+
+    #[test]
+    fn dense_and_sparse_engines_are_byte_identical() {
+        // An adversarial mix for the parity oracle: an echoing/deciding
+        // wave, a Chatter that relies on the default needs_round_end()
+        // polling, a mid-run crash, a jammer burning its battery, and a
+        // lossy channel — traced, so the full event stream is compared.
+        struct Decider {
+            seed: bool,
+            echoed: bool,
+        }
+        impl Process<u32> for Decider {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if self.seed {
+                    ctx.decide(true);
+                    ctx.broadcast(0);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, m: &u32) {
+                ctx.decide(true);
+                if !self.echoed {
+                    self.echoed = true;
+                    ctx.broadcast(m + 1);
+                }
+            }
+        }
+        let run = |engine: EngineKind| {
+            let torus = Torus::new(12, 12);
+            let seed = torus.id(Coord::new(5, 5));
+            let talker = torus.id(Coord::new(0, 0));
+            let jammer = torus.id(Coord::new(6, 5));
+            let victim = torus.id(Coord::new(4, 4));
+            let channel = crate::ChannelConfig::lossy(0.2, 1, 99).with_jammers(vec![jammer], 2);
+            let events = Rc::new(RefCell::new(Vec::new()));
+            let mut net =
+                Network::new_with_channel(torus.clone(), 2, Metric::Linf, channel, |id| {
+                    if id == talker {
+                        Box::new(Chatter) as Box<dyn Process<u32>>
+                    } else {
+                        Box::new(Decider {
+                            seed: id == seed,
+                            echoed: false,
+                        })
+                    }
+                });
+            net.set_engine(engine);
+            net.crash_at(victim, 2);
+            net.set_classifier(|&m| if m == 0 { "seed" } else { "relay" });
+            net.set_trace_sink(Box::new(SharedSink(events.clone())));
+            let stats = net.run(8);
+            let events = events.borrow().clone();
+            (
+                stats,
+                net.trace_hash(),
+                events,
+                net.history().to_vec(),
+                net.kind_counts().clone(),
+                net.decisions(),
+            )
+        };
+        let dense = run(EngineKind::Dense);
+        let sparse = run(EngineKind::Sparse);
+        assert_eq!(dense.0, sparse.0, "RunStats diverged");
+        assert_eq!(dense.1, sparse.1, "trace hash diverged");
+        assert_eq!(dense.2, sparse.2, "event stream diverged");
+        assert_eq!(dense.3, sparse.3, "history diverged");
+        assert_eq!(dense.4, sparse.4, "kind tallies diverged");
+        assert_eq!(dense.5, sparse.5, "decisions diverged");
+    }
+
+    #[test]
+    fn sparse_engine_skips_quiescent_round_ends() {
+        // A process that counts its round-end callbacks and declares
+        // quiescence: once the wave has passed a node, the sparse engine
+        // must stop polling it while the dense oracle keeps sweeping.
+        struct CountingEcho {
+            seed: bool,
+            echoed: bool,
+            round_ends: Rc<RefCell<u64>>,
+        }
+        impl Process<u32> for CountingEcho {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if self.seed {
+                    ctx.broadcast(0);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _: NodeId, m: &u32) {
+                if !self.echoed {
+                    self.echoed = true;
+                    ctx.broadcast(m + 1);
+                }
+            }
+            fn on_round_end(&mut self, _: &mut Ctx<'_, u32>) {
+                *self.round_ends.borrow_mut() += 1;
+            }
+            fn needs_round_end(&self) -> bool {
+                false
+            }
+        }
+        let run = |engine: EngineKind| {
+            let torus = Torus::new(12, 12);
+            let seed = torus.id(Coord::new(5, 5));
+            let round_ends = Rc::new(RefCell::new(0u64));
+            let counter = round_ends.clone();
+            let mut net = Network::new(torus, 2, Metric::Linf, move |id| {
+                Box::new(CountingEcho {
+                    seed: id == seed,
+                    echoed: false,
+                    round_ends: counter.clone(),
+                }) as Box<dyn Process<u32>>
+            });
+            net.set_engine(engine);
+            let stats = net.run(30);
+            let ends = *round_ends.borrow();
+            (stats, net.trace_hash(), ends)
+        };
+        let dense = run(EngineKind::Dense);
+        let sparse = run(EngineKind::Sparse);
+        assert_eq!(dense.0, sparse.0);
+        assert_eq!(dense.1, sparse.1);
+        // Dense polls all 144 nodes every round; sparse only the round-0
+        // sweep plus actual delivery targets.
+        assert!(
+            sparse.2 < dense.2,
+            "sparse ran {} round-ends, dense {} — no work was saved",
+            sparse.2,
+            dense.2
+        );
+        // ... but never fewer than the round-0 sweep over all 144 nodes.
+        assert!(sparse.2 >= 144);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The protocol-facing node abstraction.
 
 use crate::{Round, Value};
-use rbcast_grid::{Coord, Metric, NeighborTable, NodeId, Torus};
+use rbcast_grid::{BitSet, Coord, Metric, NeighborTable, NodeId, Torus};
 
 /// A node's protocol logic.
 ///
@@ -20,6 +20,27 @@ pub trait Process<M> {
     /// this node was alive. Protocols with expensive commit rules batch
     /// their evaluation here.
     fn on_round_end(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Quiescence declaration for the sparse wavefront engine.
+    ///
+    /// Returning `false` is a promise that, until the next message is
+    /// delivered to this node, [`Process::on_round_end`] would have no
+    /// observable effect: no broadcast, no decision, no note, and no
+    /// internal state change that a later callback depends on. The sparse
+    /// engine then skips the callback in rounds where the node heard
+    /// nothing, which is what turns an area-proportional round scan into
+    /// a frontier-proportional one.
+    ///
+    /// The engine re-reads this after every callback it runs on the node,
+    /// so the answer may change with internal state (e.g. a transmission
+    /// budget draining to zero). It must not change *between* callbacks —
+    /// a process has no spontaneous transitions in this model.
+    ///
+    /// The default is `true` (poll every round), which preserves exact
+    /// dense semantics for implementations that predate this contract.
+    fn needs_round_end(&self) -> bool {
+        true
+    }
 }
 
 /// Per-node simulator state exposed to [`Process`] callbacks.
@@ -44,6 +65,73 @@ impl<M> Default for NodeState<M> {
     }
 }
 
+/// Incrementally maintained decision bookkeeping, updated at the moment
+/// [`Ctx::decide`] commits a node. Replaces the dense engine's O(n)
+/// per-round recount of `states[..].decision` and the O(n) completion-mask
+/// zip scan with popcount-maintained counters and an O(1) frozen check.
+#[derive(Debug)]
+pub(crate) struct DecisionLedger {
+    /// One bit per node: has this node decided? Kept in lockstep with
+    /// `NodeState::decision` — `Ctx::decide` is the only writer of either.
+    pub decided: BitSet,
+    /// Completion mask (nodes that must decide before the trace-hash
+    /// freeze), when one is installed.
+    pub mask: Option<BitSet>,
+    /// Popcount of `decided`.
+    pub decided_count: u64,
+    /// Popcount of `decided ∩ mask` (0 when no mask is installed).
+    pub masked_decided: u64,
+    /// Popcount of `mask` (0 when no mask is installed).
+    pub mask_count: u64,
+    /// Node indices that decided since the last `scan_decisions` drain,
+    /// in decision order; re-sorted by node index before Decision events
+    /// are emitted so the event stream matches the dense scan's.
+    pub fresh: Vec<u32>,
+}
+
+impl DecisionLedger {
+    pub(crate) fn new(n: usize) -> DecisionLedger {
+        DecisionLedger {
+            decided: BitSet::new(n),
+            mask: None,
+            decided_count: 0,
+            masked_decided: 0,
+            mask_count: 0,
+            fresh: Vec::new(),
+        }
+    }
+
+    /// Records a fresh (first-time) decision by node `idx`.
+    pub(crate) fn record(&mut self, idx: usize) {
+        if self.decided.set(idx) {
+            self.decided_count += 1;
+            if self.mask.as_ref().is_some_and(|m| m.get(idx)) {
+                self.masked_decided += 1;
+            }
+            self.fresh
+                .push(u32::try_from(idx).expect("node index fits u32"));
+        }
+    }
+
+    /// Installs (or clears) the completion mask and recomputes the two
+    /// mask-derived counters by popcount — O(n/64), run outside the loop.
+    pub(crate) fn set_mask(&mut self, mask: Option<BitSet>) {
+        self.mask = mask;
+        self.mask_count = self.mask.as_ref().map_or(0, BitSet::count_ones);
+        self.masked_decided = self
+            .mask
+            .as_ref()
+            .map_or(0, |m| m.intersection_count(&self.decided));
+    }
+
+    /// All nodes in the (installed) completion mask have decided. With no
+    /// mask — or an empty one — this is vacuously true, matching the dense
+    /// engine's `iter().all()` over the mask.
+    pub(crate) fn mask_complete(&self) -> bool {
+        self.masked_decided == self.mask_count
+    }
+}
+
 /// The execution context handed to [`Process`] callbacks: node identity,
 /// network geometry, and the two effects a node can have — broadcasting a
 /// message and deciding a value.
@@ -55,6 +143,7 @@ pub struct Ctx<'a, M> {
     pub(crate) round: Round,
     pub(crate) state: &'a mut NodeState<M>,
     pub(crate) messages_sent: &'a mut u64,
+    pub(crate) ledger: &'a mut DecisionLedger,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -132,6 +221,7 @@ impl<'a, M> Ctx<'a, M> {
     pub fn decide(&mut self, v: Value) {
         if self.state.decision.is_none() {
             self.state.decision = Some((v, self.round));
+            self.ledger.record(self.id.index());
         }
     }
 

@@ -32,3 +32,27 @@ pub fn hoisted(rounds: &[Vec<u64>]) -> u64 {
     }
     acc
 }
+
+// The jammer-table shape: a fresh Option table sized to the round's
+// on-air traffic, allocated every round. (The real fix owns one table
+// and clear()+resize()s it — see `jam_table_hoisted` below.)
+pub fn jam_table_per_round(rounds: &[Vec<u64>]) -> usize {
+    let mut assigned = 0;
+    for round in rounds {
+        let jam_of: Vec<Option<u64>> = vec![None; round.len()];
+        assigned += jam_of.iter().flatten().count();
+    }
+    assigned
+}
+
+pub fn jam_table_hoisted(rounds: &[Vec<u64>]) -> usize {
+    // The sanctioned shape: one reusable table, cleared and resized.
+    let mut jam_of: Vec<Option<u64>> = Vec::new();
+    let mut assigned = 0;
+    for round in rounds {
+        jam_of.clear();
+        jam_of.resize(round.len(), None);
+        assigned += jam_of.iter().flatten().count();
+    }
+    assigned
+}

@@ -12,7 +12,7 @@
 
 use crate::adversary::{local_fault_bound, Placement};
 use crate::core::supervisor::{self, Journal, JournalHeader, SupervisorConfig, TaskReport};
-use crate::core::{engine, obs, thresholds, Experiment, FaultKind, ProtocolKind};
+use crate::core::{engine, obs, thresholds, EngineKind, Experiment, FaultKind, ProtocolKind};
 use crate::grid::{Metric, Torus};
 use crate::sim::ChannelConfig;
 use std::path::PathBuf;
@@ -101,6 +101,9 @@ pub struct RunSpec {
     /// Stream the run's structured trace events to this file as JSONL
     /// (`--trace`).
     pub trace: Option<PathBuf>,
+    /// Simulator round loop (`--dense` selects the dense oracle; the
+    /// sparse wavefront engine is the default).
+    pub engine: EngineKind,
 }
 
 /// Usage text.
@@ -112,7 +115,7 @@ USAGE:
   rbcast run   [--protocol P] [--r N] [--t N] [--metric M] [--placement PL]
                [--behavior B] [--seed N] [--prob F] [--repeats N]
                [--loss F] [--redundancy N] [--spoofing] [--jam N]
-               [--no-early-term] [--trace FILE]
+               [--no-early-term] [--trace FILE] [--dense]
   rbcast sweep --t-max N [--threads N] [--journal FILE] [--resume FILE]
                [--retries N] [--round-budget N] [--trace-dir DIR]
                [--timings] [run options]
@@ -141,6 +144,12 @@ USAGE:
   hash is frozen at that round either way, so determinism gates are
   unaffected). --no-early-term lets the run idle to quiescence instead,
   which is what message-complexity measurements need.
+
+  The simulator's default round loop is the sparse wavefront engine:
+  only nodes on the active frontier (heard something, or declared a
+  pending wakeup) do per-round work. --dense falls back to the original
+  every-node-every-round loop — byte-identical output, torus-area cost —
+  which the determinism gate keeps as a parity oracle.
 
   --trace FILE streams the run's structured events (rounds,
   transmissions, deliveries, jams, losses, decisions, protocol notes) as
@@ -230,6 +239,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
     let mut jam = 0u32;
     let mut early_termination = true;
     let mut trace: Option<PathBuf> = None;
+    let mut engine = EngineKind::default();
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -268,6 +278,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
             "--spoofing" => spoofing = true,
             "--jam" => jam = parse_value(&mut it, flag)?,
             "--no-early-term" => early_termination = false,
+            "--dense" => engine = EngineKind::Dense,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -332,6 +343,7 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
             channel,
             early_termination,
             trace,
+            engine,
         },
         t_max,
         opts,
@@ -351,7 +363,8 @@ fn build(spec: &RunSpec, t_override: Option<usize>) -> Experiment {
         .with_metric(spec.metric)
         .with_fault_kind(spec.behavior)
         .with_channel(spec.channel.clone())
-        .with_early_termination(spec.early_termination);
+        .with_early_termination(spec.early_termination)
+        .with_engine(spec.engine);
     if let Some(t) = t_override.or(spec.t) {
         e = e.with_t(t);
     }
