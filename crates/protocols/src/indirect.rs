@@ -252,11 +252,11 @@ impl Process<Msg> for Indirect {
                 if *committer == me || relays.contains(&me) || relays.contains(committer) {
                     return;
                 }
-                let mut sorted = relays.clone();
-                sorted.sort_unstable();
-                sorted.dedup();
-                if sorted.len() != relays.len() {
-                    return; // repeated relay: degenerate
+                // Repeated relay = degenerate chain. k ≤ max_relays ≤ 3,
+                // so a quadratic scan beats clone + sort + dedup and
+                // allocates nothing.
+                if (1..relays.len()).any(|i| relays[..i].contains(&relays[i])) {
+                    return;
                 }
                 let committer_coord = ctx.torus().coord(*committer);
                 if !Self::fits_single_neighborhood(ctx, committer_coord, relays, false) {
