@@ -96,11 +96,13 @@ echo "==> scale smoke (sparse engine matches the dense oracle at 10^4 nodes)"
 cargo run -q --release -p rbcast-bench --bin scale_bench -- --smoke
 
 echo "==> BENCH_scale.json shape (checked-in scale baseline is current)"
-grep -q '"schema": "rbcast-bench-scale/v1"' BENCH_scale.json \
+grep -q '"schema": "rbcast-bench-scale/v2"' BENCH_scale.json \
     || { echo "BENCH_scale.json: missing/wrong schema tag"; exit 1; }
 grep -q '"nodes": 1000000' BENCH_scale.json \
     || { echo "BENCH_scale.json: missing the 10^6-node cell"; exit 1; }
 grep -q '"timings": {' BENCH_scale.json \
     || { echo "BENCH_scale.json: missing the obs timings block"; exit 1; }
+grep -q '"peak_rss_kb"' BENCH_scale.json \
+    || { echo "BENCH_scale.json: missing the v2 peak-RSS column"; exit 1; }
 
 echo "CI: all gates passed"

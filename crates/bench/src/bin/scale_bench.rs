@@ -40,6 +40,14 @@ const SIDES: [u32; 3] = [100, 316, 1000];
 /// multiplies the 10⁴ cell several-fold).
 const SMOKE_BUDGET_MS: f64 = 30_000.0;
 
+/// Throughput floor for the indirect-report 10⁴ smoke cell, nodes/sec.
+/// The packed-chain fast path clears 100k nodes/s in release on one
+/// core; the pre-packing implementation managed ~30k. The floor sits
+/// far below both so machine noise cannot flake CI, yet a return to
+/// per-delivery chain allocation (which costs a multiple, not a few
+/// percent) still trips it.
+const INDIRECT_SMOKE_FLOOR_NODES_PER_SEC: f64 = 10_000.0;
+
 /// One fault-free broadcast on a `side × side` torus under `engine`.
 fn experiment(kind: ProtocolKind, side: u32, engine: EngineKind) -> Experiment {
     Experiment::new(1, kind)
@@ -67,10 +75,15 @@ fn run_cell(label: &str, kind: ProtocolKind, side: u32, engine: EngineKind) -> (
         deliveries: outcome.stats.deliveries,
         messages: outcome.stats.messages_sent,
         wall_ms,
+        peak_rss_kb: perf::peak_rss_kb(),
+    };
+    let rss = match cell.peak_rss_kb {
+        Some(kb) => format!(", peak rss {} MB", kb / 1024),
+        None => String::new(),
     };
     println!(
         "{label:>9} side {side:>4} ({nodes:>7} nodes): {} rounds, {} deliveries \
-         in {:.1} ms ({:.0} nodes/s, {:.0} rounds/s)",
+         in {:.1} ms ({:.0} nodes/s, {:.0} rounds/s{rss})",
         cell.rounds,
         cell.deliveries,
         cell.wall_ms,
@@ -98,6 +111,14 @@ fn smoke() -> ! {
             eprintln!(
                 "scale smoke FAILED: {label}@100 took {:.0} ms (budget {:.0} ms)",
                 cell.wall_ms, SMOKE_BUDGET_MS
+            );
+            ok = false;
+        }
+        if label == "indirect" && cell.nodes_per_sec() < INDIRECT_SMOKE_FLOOR_NODES_PER_SEC {
+            eprintln!(
+                "scale smoke FAILED: indirect@100 ran at {:.0} nodes/s \
+                 (floor {INDIRECT_SMOKE_FLOOR_NODES_PER_SEC:.0})",
+                cell.nodes_per_sec()
             );
             ok = false;
         }

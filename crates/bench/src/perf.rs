@@ -302,6 +302,23 @@ pub struct ScaleCell {
     pub messages: u64,
     /// Wall-clock duration of the run, milliseconds.
     pub wall_ms: f64,
+    /// Process peak RSS (`VmHWM`) in kilobytes when the cell finished,
+    /// or `None` where the probe is unavailable. The high-water mark is
+    /// monotone across a bench run, so a cell's value bounds the memory
+    /// of everything up to and including it; the final cell carries the
+    /// run's true peak. Memory regressions (e.g. per-node evidence
+    /// blow-up) surface here without any allocator instrumentation.
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// Process peak resident-set size in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). Std-only, no allocator hooks; returns
+/// `None` on platforms without procfs or if the field is missing.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 impl ScaleCell {
@@ -336,7 +353,7 @@ impl ScaleCell {
 pub fn to_scale_json(engine: &str, cells: &[ScaleCell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-scale/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"rbcast-bench-scale/v2\",");
     let _ = writeln!(s, "  \"engine\": \"{}\",", json_escape(engine));
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -345,7 +362,7 @@ pub fn to_scale_json(engine: &str, cells: &[ScaleCell]) -> String {
             "    {{\"protocol\": \"{}\", \"side\": {}, \"nodes\": {}, \
              \"rounds\": {}, \"deliveries\": {}, \"messages\": {}, \
              \"wall_ms\": {:.3}, \"nodes_per_sec\": {:.3}, \
-             \"rounds_per_sec\": {:.3}}}",
+             \"rounds_per_sec\": {:.3}, \"peak_rss_kb\": {}}}",
             json_escape(&c.protocol),
             c.side,
             c.nodes,
@@ -354,7 +371,11 @@ pub fn to_scale_json(engine: &str, cells: &[ScaleCell]) -> String {
             c.messages,
             c.wall_ms,
             c.nodes_per_sec(),
-            c.rounds_per_sec()
+            c.rounds_per_sec(),
+            match c.peak_rss_kb {
+                Some(kb) => kb.to_string(),
+                None => "null".to_string(),
+            }
         );
         s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -498,6 +519,7 @@ mod tests {
             deliveries: 40,
             messages: 10,
             wall_ms,
+            peak_rss_kb: Some(2048),
         }
     }
 
@@ -508,15 +530,19 @@ mod tests {
             cell("cpa", 1000, 510, 2000.0),
         ];
         let j = to_scale_json("sparse", &cells);
-        assert!(j.contains("\"schema\": \"rbcast-bench-scale/v1\""));
+        assert!(j.contains("\"schema\": \"rbcast-bench-scale/v2\""));
         assert!(j.contains("\"engine\": \"sparse\""));
         // 10 000 nodes in 0.5 s → 20 000 nodes/s; 54 rounds → 108 rounds/s
         assert!(j.contains(
             "\"protocol\": \"flood\", \"side\": 100, \"nodes\": 10000, \
              \"rounds\": 54, \"deliveries\": 40, \"messages\": 10, \
              \"wall_ms\": 500.000, \"nodes_per_sec\": 20000.000, \
-             \"rounds_per_sec\": 108.000"
+             \"rounds_per_sec\": 108.000, \"peak_rss_kb\": 2048"
         ));
+        // an absent probe serialises as JSON null, not a sentinel
+        let mut no_probe = cell("flood", 10, 5, 1.0);
+        no_probe.peak_rss_kb = None;
+        assert!(to_scale_json("dense", &[no_probe]).contains("\"peak_rss_kb\": null"));
         assert!(j.contains("\"nodes\": 1000000"));
         // the trailing observability blocks ride along, as in sweep v3
         assert!(j.contains("\"metrics\": {"));
@@ -524,6 +550,19 @@ mod tests {
         // byte-stable up to the live counter snapshots
         let stable = |s: &str| s.split("\"metrics\"").next().map(str::to_owned);
         assert_eq!(stable(&j), stable(&to_scale_json("sparse", &cells)));
+    }
+
+    #[test]
+    fn peak_rss_probe_reports_a_plausible_value_on_procfs_platforms() {
+        // On Linux the probe must succeed and report at least a few
+        // hundred kB (the test binary alone maps more than that).
+        // Elsewhere `None` is the documented answer.
+        if std::path::Path::new("/proc/self/status").exists() {
+            let kb = peak_rss_kb().expect("VmHWM present on procfs");
+            assert!(kb > 100, "implausible peak RSS: {kb} kB");
+        } else {
+            assert_eq!(peak_rss_kb(), None);
+        }
     }
 
     #[test]

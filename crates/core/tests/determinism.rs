@@ -49,6 +49,24 @@ fn sweep_grid() -> Vec<Experiment> {
             .with_placement(Placement::FrontierCluster { t: 1 })
             .with_fault_kind(FaultKind::Forger),
     );
+    // The full protocol exercises the multi-relay chain and two-level
+    // evidence paths, which the simplified rows above never touch.
+    grid.push(
+        Experiment::new(1, ProtocolKind::IndirectFull)
+            .with_t(1)
+            .with_placement(Placement::FrontierCluster { t: 1 })
+            .with_fault_kind(FaultKind::Forger),
+    );
+    grid.push(
+        Experiment::new(1, ProtocolKind::IndirectFull)
+            .with_t(1)
+            .with_placement(Placement::RandomLocal {
+                t: 1,
+                seed: 11,
+                attempts: 30,
+            })
+            .with_fault_kind(FaultKind::Liar),
+    );
     grid
 }
 

@@ -41,4 +41,4 @@ pub use disjoint::{
     min_vertex_cut, try_min_vertex_cut, try_vertex_disjoint_count, try_vertex_disjoint_paths,
     vertex_disjoint_count, vertex_disjoint_paths, DisjointError,
 };
-pub use packing::{Chain, ChainPacker, PackScratch};
+pub use packing::{Chain, ChainPacker, PackScratch, MAX_CHAIN_KEYS};

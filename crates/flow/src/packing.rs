@@ -18,33 +18,67 @@
 //! Exceeding the budget only *under*-reports (delaying a commit, never
 //! causing a wrong one), so protocol safety is unaffected.
 
-use std::collections::HashSet;
+/// Maximum keys one stored chain can carry. Report chains are bounded by
+/// the protocol (≤ 3 relays in the full §VI protocol, plus a possible
+/// committer prefix under the one-level rule); the slack above that keeps
+/// the cap safely away from every in-repo producer. Longer sequences are
+/// rejected by [`ChainPacker::insert`] — they can never arise from
+/// bounded-hop reports, and rejecting only under-counts (never commits
+/// wrongly).
+pub const MAX_CHAIN_KEYS: usize = 8;
 
 /// A reported relay chain: the ordered relays between a committer and the
 /// observing node (committer and observer excluded). An empty chain is a
 /// direct observation of the committer's `COMMITTED` broadcast.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Relays are stored inline (chains are bounded at [`MAX_CHAIN_KEYS`]),
+/// so a `Chain` is `Copy` and a packer's chain list is one flat
+/// allocation — no per-chain heap traffic on the simulator's delivery
+/// path. Unused slots are zero-filled, which keeps the derived
+/// `Eq`/`Hash`/`Ord` consistent with the logical relay sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Chain {
-    relays: Vec<u64>,
+    len: u8,
+    relays: [u64; MAX_CHAIN_KEYS],
 }
 
 impl Chain {
     /// Creates a chain from its relay sequence (committer side first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relays` exceeds [`MAX_CHAIN_KEYS`]; use
+    /// [`Chain::try_new`] for a fallible version.
     #[must_use]
-    pub fn new(relays: Vec<u64>) -> Self {
-        Chain { relays }
+    pub fn new(relays: &[u64]) -> Self {
+        Chain::try_new(relays).expect("chain exceeds MAX_CHAIN_KEYS")
+    }
+
+    /// Creates a chain from its relay sequence, or `None` if it exceeds
+    /// [`MAX_CHAIN_KEYS`].
+    #[must_use]
+    pub fn try_new(relays: &[u64]) -> Option<Self> {
+        if relays.len() > MAX_CHAIN_KEYS {
+            return None;
+        }
+        let mut inline = [0u64; MAX_CHAIN_KEYS];
+        inline[..relays.len()].copy_from_slice(relays);
+        Some(Chain {
+            len: relays.len() as u8,
+            relays: inline,
+        })
     }
 
     /// The relay sequence.
     #[must_use]
     pub fn relays(&self) -> &[u64] {
-        &self.relays
+        &self.relays[..self.len as usize]
     }
 
     /// True iff this chain is a direct observation (no relays).
     #[must_use]
     pub fn is_direct(&self) -> bool {
-        self.relays.is_empty()
+        self.len == 0
     }
 
     /// True iff the chain repeats a relay (degenerate; only a faulty relay
@@ -53,10 +87,11 @@ impl Chain {
     pub fn has_repeats(&self) -> bool {
         // relay chains are short (≤ 3 in the paper's protocol): quadratic
         // scan beats hashing
-        self.relays
+        let relays = self.relays();
+        relays
             .iter()
             .enumerate()
-            .any(|(i, r)| self.relays[i + 1..].contains(r))
+            .any(|(i, r)| relays[i + 1..].contains(r))
     }
 
     /// True iff `self` *dominates* `other`: `self` is non-direct and
@@ -68,13 +103,13 @@ impl Chain {
     /// and can share a packing with its supersets.
     #[must_use]
     pub fn dominates(&self, other: &Chain) -> bool {
-        !self.is_direct() && self.relays.iter().all(|r| other.relays.contains(r))
+        !self.is_direct() && self.relays().iter().all(|r| other.relays().contains(r))
     }
 
     /// True iff the two chains share a relay.
     #[must_use]
     pub fn conflicts_with(&self, other: &Chain) -> bool {
-        self.relays.iter().any(|r| other.relays.contains(r))
+        self.relays().iter().any(|r| other.relays().contains(r))
     }
 }
 
@@ -96,7 +131,6 @@ impl Chain {
 #[derive(Debug, Clone, Default)]
 pub struct ChainPacker {
     chains: Vec<Chain>,
-    seen: HashSet<Chain>,
     has_direct: bool,
 }
 
@@ -119,28 +153,39 @@ impl ChainPacker {
     /// Records a reported chain. Returns `true` if the chain was new and
     /// undominated.
     ///
-    /// Rejected outright: duplicates, degenerate (repeated-relay) chains,
-    /// and chains *dominated* by an already-stored chain (one whose relay
-    /// set is a subset of the new chain's) — the stored chain is at least
-    /// as good under every admissibility filter, so the newcomer can
-    /// never matter. Conversely, stored chains dominated by the newcomer
-    /// are evicted. This keeps the packer an antichain, which is what
-    /// bounds memory when report traffic is combinatorial.
+    /// Rejected outright: over-length chains (beyond [`MAX_CHAIN_KEYS`]),
+    /// duplicates, degenerate (repeated-relay) chains, and chains
+    /// *dominated* by an already-stored chain (one whose relay set is a
+    /// subset of the new chain's) — the stored chain is at least as good
+    /// under every admissibility filter, so the newcomer can never
+    /// matter. Conversely, stored chains dominated by the newcomer are
+    /// evicted. This keeps the packer an antichain, which is what bounds
+    /// memory when report traffic is combinatorial.
+    ///
+    /// The antichain invariant doubles as the duplicate filter, so no
+    /// seen-set is kept: a duplicate direct chain short-circuits on
+    /// `has_direct`, and any non-direct repeat — stored, rejected, or
+    /// since evicted — is dominated by a stored chain (dominance is
+    /// transitive through evictions) and bounces off the same check.
     pub fn insert(&mut self, relays: &[u64]) -> bool {
-        let chain = Chain::new(relays.to_vec());
-        if chain.has_repeats() || self.seen.contains(&chain) {
+        let Some(chain) = Chain::try_new(relays) else {
+            return false;
+        };
+        if chain.has_repeats() {
             return false;
         }
+        if chain.is_direct() {
+            if self.has_direct {
+                return false;
+            }
+            self.has_direct = true;
+            self.chains.push(chain);
+            return true;
+        }
         if self.chains.iter().any(|c| c.dominates(&chain)) {
-            // remember it to short-circuit repeats, but do not store it
-            self.seen.insert(chain);
             return false;
         }
         self.chains.retain(|c| !chain.dominates(c));
-        if chain.is_direct() {
-            self.has_direct = true;
-        }
-        self.seen.insert(chain.clone());
         self.chains.push(chain);
         true
     }
@@ -544,6 +589,47 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_direct_chains_rejected_without_a_seen_set() {
+        let mut p = ChainPacker::new();
+        assert!(p.insert(&[]));
+        assert!(!p.insert(&[]));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn evicted_chain_reoffered_still_rejected() {
+        // [5,6] stored, then evicted by its dominator [5]; re-offering
+        // [5,6] must still return false (dominance survives eviction).
+        let mut p = ChainPacker::new();
+        assert!(p.insert(&[5, 6]));
+        assert!(p.insert(&[5]));
+        assert_eq!(p.len(), 1);
+        assert!(!p.insert(&[5, 6]));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn over_length_chains_rejected() {
+        let mut p = ChainPacker::new();
+        let long: Vec<u64> = (0..=MAX_CHAIN_KEYS as u64).collect();
+        assert!(!p.insert(&long));
+        assert!(p.is_empty());
+        let max: Vec<u64> = (0..MAX_CHAIN_KEYS as u64).collect();
+        assert!(p.insert(&max));
+    }
+
+    #[test]
+    fn chains_are_copy_and_zero_padded_consistently() {
+        // Equality/ordering must ignore the unused inline slots.
+        let a = Chain::new(&[1, 2]);
+        let b = Chain::new(&[1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a.relays(), &[1, 2]);
+        let c = a; // Copy
+        assert_eq!(c, b);
+    }
+
+    #[test]
     fn target_zero_is_zero() {
         let mut p = ChainPacker::new();
         p.insert(&[1]);
@@ -583,7 +669,7 @@ mod tests {
             let distinct: Vec<Chain> = {
                 let mut s = std::collections::BTreeSet::new();
                 for c in &chains {
-                    let ch = Chain::new(c.clone());
+                    let ch = Chain::new(c);
                     if !ch.has_repeats() {
                         s.insert(ch);
                     }

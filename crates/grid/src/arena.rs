@@ -144,6 +144,66 @@ impl NeighborTable {
     pub fn ball_offsets(&self, d: u32) -> &[Coord] {
         &self.balls[d as usize]
     }
+
+    /// A [`LocalFrame`] centered on `me` spanning L∞ displacement
+    /// `span` per axis — the dense small-integer index space the
+    /// evidence store uses for ball-local committer slots.
+    #[must_use]
+    pub fn local_frame(&self, me: Coord, span: u32) -> LocalFrame {
+        LocalFrame {
+            torus: self.torus.clone(),
+            me,
+            span: i64::from(span),
+            side: 2 * i64::from(span) + 1,
+        }
+    }
+}
+
+/// Ball-local coordinate frame around one node: maps every torus
+/// coordinate whose minimal wrap displacement from the center fits in
+/// the `(2·span + 1)²` box to a dense slot index in `0..slots()`.
+///
+/// [`Torus::displacement`] assigns each canonical coordinate a unique
+/// minimal displacement, so the mapping is injective over all nodes it
+/// accepts — even when the box is larger than the torus itself (slots
+/// simply go unused). Coordinates outside the box map to `None`.
+#[derive(Debug, Clone)]
+pub struct LocalFrame {
+    torus: Torus,
+    me: Coord,
+    span: i64,
+    side: i64,
+}
+
+impl LocalFrame {
+    /// The center coordinate the frame was built around.
+    #[must_use]
+    pub fn center(&self) -> Coord {
+        self.me
+    }
+
+    /// Number of slots in the frame: `(2·span + 1)²`.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        (self.side * self.side) as usize
+    }
+
+    /// Dense slot of node `id` (see [`LocalFrame::slot_of`]).
+    #[must_use]
+    pub fn slot_of_id(&self, id: NodeId) -> Option<usize> {
+        self.slot_of(self.torus.coord(id))
+    }
+
+    /// Dense slot of `c`, or `None` if its minimal displacement from
+    /// the center exceeds the span on either axis.
+    #[must_use]
+    pub fn slot_of(&self, c: Coord) -> Option<usize> {
+        let d = self.torus.displacement(self.me, c);
+        if d.x.abs() > self.span || d.y.abs() > self.span {
+            return None;
+        }
+        Some(((d.y + self.span) * self.side + (d.x + self.span)) as usize)
+    }
 }
 
 /// Every offset with metric distance ≤ `d` from the origin (origin
@@ -279,6 +339,45 @@ mod tests {
         assert_eq!(d1[0], Coord::new(-1, -1));
         assert_eq!(d1[4], Coord::ORIGIN);
         assert_eq!(d1[8], Coord::new(1, 1));
+    }
+
+    #[test]
+    fn local_frame_is_injective_and_center_inclusive() {
+        for torus in [Torus::for_radius(2), Torus::new(11, 11)] {
+            let table = NeighborTable::build(&torus, 2, Metric::Linf);
+            let me = Coord::new(3, 7);
+            let frame = table.local_frame(me, 6); // span 3r for r = 2
+            assert_eq!(frame.center(), me);
+            assert_eq!(frame.slots(), 13 * 13);
+            let center_slot = frame.slot_of(me).unwrap();
+            assert_eq!(center_slot, (6 * 13 + 6) as usize);
+            // Injective over every accepted node, even when the box is
+            // larger than the torus (the 11×11 case).
+            let mut seen = std::collections::BTreeMap::new();
+            for c in torus.coords() {
+                if let Some(slot) = frame.slot_of(c) {
+                    assert!(slot < frame.slots());
+                    if let Some(prev) = seen.insert(slot, c) {
+                        panic!("slot {slot} aliases {prev} and {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_frame_rejects_out_of_span_coords() {
+        let torus = Torus::new(40, 40);
+        let table = NeighborTable::build(&torus, 2, Metric::Linf);
+        let frame = table.local_frame(Coord::new(2, 2), 6);
+        assert!(frame.slot_of(Coord::new(2, 2)).is_some());
+        assert!(frame.slot_of(Coord::new(8, 2)).is_some());
+        assert!(frame.slot_of(Coord::new(9, 2)).is_none());
+        assert!(frame.slot_of(Coord::new(2, 9)).is_none());
+        // Wraparound: (39, 2) has minimal displacement (-3, 0), well
+        // inside the span even though the raw difference is 37.
+        assert!(frame.slot_of(Coord::new(39, 2)).is_some());
+        assert!(frame.slot_of(Coord::new(35, 2)).is_none());
     }
 
     #[test]

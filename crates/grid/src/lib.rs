@@ -49,7 +49,7 @@ mod region;
 mod tdma;
 mod torus;
 
-pub use arena::NeighborTable;
+pub use arena::{LocalFrame, NeighborTable};
 pub use bitset::BitSet;
 pub use coord::Coord;
 pub use metric::Metric;

@@ -17,6 +17,7 @@
 //!   any disjoint-evidence set — the structural reason `t` forgers cannot
 //!   defeat the `t+1` disjoint-chain rule.
 
+use crate::chain::ChainRepr;
 use crate::Msg;
 use rbcast_grid::NodeId;
 use rbcast_sim::{Ctx, Process, Value};
@@ -87,7 +88,10 @@ pub fn liar(wrong: Value) -> Box<dyn Process<Msg>> {
 struct Liar {
     wrong: Value,
     announced: bool,
-    relayed: BTreeSet<(NodeId, Vec<NodeId>)>,
+    /// Chains already corrupted, keyed on the repacked (committer,
+    /// relays) pair — the value is always `wrong`, so it carries no
+    /// extra information; `Copy` keys mean dedup allocates nothing.
+    relayed: BTreeSet<ChainRepr>,
 }
 
 impl Process<Msg> for Liar {
@@ -101,31 +105,20 @@ impl Process<Msg> for Liar {
         match msg {
             Msg::Source(_) | Msg::Committed(_) => {
                 // Relay a corrupted report: claim `from` committed wrong.
-                if self.relayed.insert((from, vec![])) {
-                    ctx.broadcast(Msg::Heard {
-                        committer: from,
-                        value: self.wrong,
-                        relays: vec![ctx.id()],
-                    });
+                let lie = ChainRepr::direct(from, self.wrong);
+                if self.relayed.insert(lie) {
+                    ctx.broadcast(Msg::Heard(lie.extended(ctx.id())));
                 }
             }
-            Msg::Heard {
-                committer, relays, ..
-            } => {
+            Msg::Heard(chain) => {
                 // Forward the chain with the value flipped (the liar must
                 // still affix its true identifier).
-                if relays.len() < 3
-                    && !relays.contains(&ctx.id())
-                    && *committer != ctx.id()
-                    && self.relayed.insert((*committer, relays.clone()))
-                {
-                    let mut extended = relays.clone();
-                    extended.push(ctx.id());
-                    ctx.broadcast(Msg::Heard {
-                        committer: *committer,
-                        value: self.wrong,
-                        relays: extended,
-                    });
+                let committer = chain.committer();
+                if chain.len() < 3 && !chain.contains_relay(ctx.id()) && committer != ctx.id() {
+                    let lie = ChainRepr::new(committer, self.wrong, chain.relays());
+                    if self.relayed.insert(lie) {
+                        ctx.broadcast(Msg::Heard(lie.extended(ctx.id())));
+                    }
                 }
             }
         }
@@ -162,12 +155,7 @@ impl Process<Msg> for Forger {
         // The arena slice matches `torus.neighborhood` order exactly.
         let neighbors = ctx.neighbors();
         for &n in neighbors {
-            ctx.broadcast(Msg::Heard {
-                committer: n,
-                value: self.wrong,
-                // audit:allow(hot-loop-alloc): each forged Msg owns its relay chain
-                relays: vec![me],
-            });
+            ctx.broadcast(Msg::Heard(ChainRepr::direct(n, self.wrong).extended(me)));
         }
         // Deep fabrications: invent a relay between a committer and us.
         // (Bounded to keep the message volume proportional to a node's
@@ -175,30 +163,23 @@ impl Process<Msg> for Forger {
         for (i, &c) in neighbors.iter().enumerate() {
             let relay = neighbors[(i + 1) % neighbors.len()];
             if relay != c {
-                ctx.broadcast(Msg::Heard {
-                    committer: c,
-                    value: self.wrong,
-                    // audit:allow(hot-loop-alloc): each forged Msg owns its relay chain
-                    relays: vec![relay, me],
-                });
+                ctx.broadcast(Msg::Heard(
+                    ChainRepr::direct(c, self.wrong)
+                        .extended(relay)
+                        .extended(me),
+                ));
             }
         }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
         // Also corrupt genuine chains passing by, like the liar.
-        if let Msg::Heard {
-            committer, relays, ..
-        } = msg
-        {
-            if relays.len() < 3 && !relays.contains(&ctx.id()) && *committer != ctx.id() {
-                let mut extended = relays.clone();
-                extended.push(ctx.id());
-                ctx.broadcast(Msg::Heard {
-                    committer: *committer,
-                    value: self.wrong,
-                    relays: extended,
-                });
+        if let Msg::Heard(chain) = msg {
+            let committer = chain.committer();
+            if chain.len() < 3 && !chain.contains_relay(ctx.id()) && committer != ctx.id() {
+                ctx.broadcast(Msg::Heard(
+                    ChainRepr::new(committer, self.wrong, chain.relays()).extended(ctx.id()),
+                ));
             }
         }
         let _ = from;

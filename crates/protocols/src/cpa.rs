@@ -106,7 +106,7 @@ impl Process<Msg> for Cpa {
                 }
             }
             // CPA ignores indirect reports entirely.
-            Msg::Heard { .. } => {}
+            Msg::Heard(_) => {}
         }
     }
 

@@ -23,10 +23,10 @@
 //! they differ in liveness/latency and in evaluation cost (benched in
 //! `rbcast-bench`).
 
-use rbcast_flow::{ChainPacker, PackScratch};
-use rbcast_grid::{Coord, NeighborTable, NodeId};
+use rbcast_flow::{ChainPacker, PackScratch, MAX_CHAIN_KEYS};
+use rbcast_grid::{Coord, LocalFrame, NeighborTable, NodeId};
 use rbcast_sim::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Which commit rule the indirect protocol evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,18 +98,65 @@ impl<'a> Geometry<'a> {
 pub struct EvidenceStore {
     t: usize,
     rule: CommitRule,
-    /// Per-(committer, value) chains, relays only (two-level rule).
+    /// Ball-local committer frame (span `3r`), bound once per run by
+    /// the protocol's `on_start` via [`EvidenceStore::bind`]. When
+    /// bound, two-level evidence lives in dense slot-indexed vectors;
+    /// unbound stores (harness-driven tests) spill to the ordered map
+    /// with identical semantics.
+    frame: Option<LocalFrame>,
+    /// Dense per-(slot, value) chain packers for the bound two-level
+    /// rule: `slots[2 * slot + value]`.
+    slots: Vec<ChainPacker>,
+    /// Ordered spill: unbound stores and out-of-frame committers
+    /// (relays only, two-level rule).
     packers: BTreeMap<(NodeId, Value), ChainPacker>,
-    /// Per-value chains with the committer prefixed (one-level rule).
+    /// Per-value chains with the committer prefixed (one-level rule) —
+    /// already dense: two packers, no keying at all.
     combined: [ChainPacker; 2],
     /// Pairs whose evidence changed since the last evaluation.
-    dirty: BTreeSet<(NodeId, Value)>,
+    /// Unsorted and possibly duplicated; drained sorted + deduped so
+    /// the refresh order matches the old ordered-set drain exactly.
+    dirty: Vec<(NodeId, Value)>,
     /// Committers reliably determined (first value wins).
     determined: BTreeMap<NodeId, Value>,
     /// Set when a commit re-evaluation is warranted.
     commit_dirty: bool,
     /// Reusable packing-query buffers (never affects answers).
     scratch: PackScratch,
+}
+
+/// Inline key buffer for packer insertions: an optional committer
+/// prefix followed by the relay keys, no heap.
+struct KeyBuf {
+    buf: [u64; MAX_CHAIN_KEYS],
+    len: usize,
+}
+
+impl KeyBuf {
+    /// Packs `prefix` (if any) followed by `relays`, or `None` when the
+    /// combined chain exceeds [`MAX_CHAIN_KEYS`] — such a chain could
+    /// never enter a packer anyway (`ChainPacker::insert` rejects
+    /// over-length chains).
+    fn pack(prefix: Option<NodeId>, relays: &[NodeId]) -> Option<KeyBuf> {
+        if relays.len() + usize::from(prefix.is_some()) > MAX_CHAIN_KEYS {
+            return None;
+        }
+        let mut buf = [0u64; MAX_CHAIN_KEYS];
+        let mut len = 0;
+        if let Some(p) = prefix {
+            buf[0] = u64::from(p.0);
+            len = 1;
+        }
+        for &k in relays {
+            buf[len] = u64::from(k.0);
+            len += 1;
+        }
+        Some(KeyBuf { buf, len })
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len]
+    }
 }
 
 impl EvidenceStore {
@@ -121,6 +168,31 @@ impl EvidenceStore {
             rule,
             ..EvidenceStore::default()
         }
+    }
+
+    /// Binds the store to its node's ball-local committer frame. Every
+    /// legal committer lies within L∞ distance `3r` of the receiver (at
+    /// most `2r` from the last relay — they share a radius-`r` ball —
+    /// which itself is within `r`), so a span-`3r` frame indexes all of
+    /// them; two-level evidence then lives in dense slot vectors
+    /// instead of an ordered map.
+    ///
+    /// Call before recording any evidence (the protocol binds in
+    /// `on_start`). Stores that never bind, and committers outside the
+    /// frame, use the ordered spill map with identical semantics.
+    pub fn bind(&mut self, frame: LocalFrame) {
+        debug_assert_eq!(self.chain_count(), 0, "bind() after evidence was recorded");
+        if self.rule == CommitRule::TwoLevel {
+            // audit:allow(checked-threshold-arith): slot-vector sizing, not bound arithmetic
+            self.slots.resize_with(2 * frame.slots(), ChainPacker::new);
+            self.frame = Some(frame);
+        }
+    }
+
+    /// Dense slot of `committer` when the store is bound and the
+    /// committer is inside the frame.
+    fn slot_index(&self, committer: NodeId) -> Option<usize> {
+        self.frame.as_ref()?.slot_of_id(committer)
     }
 
     /// Records that the committer was heard announcing `v` directly.
@@ -137,22 +209,25 @@ impl EvidenceStore {
     pub fn record_chain(&mut self, committer: NodeId, v: Value, relays: &[NodeId]) -> bool {
         match self.rule {
             CommitRule::TwoLevel => {
-                let relay_keys: Vec<u64> = relays.iter().map(|k| u64::from(k.0)).collect();
-                let new = self
-                    .packers
-                    .entry((committer, v))
-                    .or_default()
-                    .insert(&relay_keys);
+                let Some(keys) = KeyBuf::pack(None, relays) else {
+                    return false;
+                };
+                let packer = match self.slot_index(committer) {
+                    // audit:allow(checked-threshold-arith): dense slot indexing, not bound arithmetic
+                    Some(slot) => &mut self.slots[2 * slot + usize::from(v)],
+                    None => self.packers.entry((committer, v)).or_default(),
+                };
+                let new = packer.insert(keys.as_slice());
                 if new && !self.determined.contains_key(&committer) {
-                    self.dirty.insert((committer, v));
+                    self.dirty.push((committer, v));
                 }
                 new
             }
             CommitRule::OneLevel => {
-                let mut prefixed = Vec::with_capacity(relays.len() + 1);
-                prefixed.push(u64::from(committer.0));
-                prefixed.extend(relays.iter().map(|k| u64::from(k.0)));
-                let new = self.combined[usize::from(v)].insert(&prefixed);
+                let Some(keys) = KeyBuf::pack(Some(committer), relays) else {
+                    return false;
+                };
+                let new = self.combined[usize::from(v)].insert(keys.as_slice());
                 if new {
                     self.commit_dirty = true;
                 }
@@ -172,7 +247,41 @@ impl EvidenceStore {
     #[must_use]
     pub fn chain_count(&self) -> usize {
         self.packers.values().map(ChainPacker::len).sum::<usize>()
+            + self.slots.iter().map(ChainPacker::len).sum::<usize>()
             + self.combined.iter().map(ChainPacker::len).sum::<usize>()
+    }
+
+    /// Deterministic FNV-1a fingerprint of every stored chain — traced
+    /// alongside the chain count when a commit fires, so two runs can
+    /// be compared on *what* evidence produced each decision, not just
+    /// how much. Folds packers in storage order (dense slots, then the
+    /// spill map, then the combined per-value packers); empty packers
+    /// contribute nothing, so the digest is independent of how many
+    /// unused slots the frame reserved.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        use rbcast_sim::trace::{fold_words, FNV_OFFSET};
+        let mut hash = FNV_OFFSET;
+        let fold_packer = |hash: &mut u64, key: u64, p: &ChainPacker| {
+            if p.is_empty() {
+                return;
+            }
+            fold_words(hash, &[key, u64::from(p.has_direct())]);
+            for c in p.iter() {
+                fold_words(hash, &[c.relays().len() as u64]);
+                fold_words(hash, c.relays());
+            }
+        };
+        for (slot, p) in self.slots.iter().enumerate() {
+            fold_packer(&mut hash, slot as u64, p);
+        }
+        for (&(id, v), p) in &self.packers {
+            fold_packer(&mut hash, (u64::from(id.0) << 1) | u64::from(v), p);
+        }
+        for (v, p) in self.combined.iter().enumerate() {
+            fold_packer(&mut hash, v as u64, p);
+        }
+        hash
     }
 
     /// Evaluates the commit rule against the current evidence. Returns
@@ -191,9 +300,12 @@ impl EvidenceStore {
         // Level 1: refresh determinations for dirty (committer, value)
         // pairs. A pair failing now is re-marked dirty by the next chain
         // arrival for it.
-        // Sorted drain: BTreeSet iteration is (committer, value) order,
-        // so refresh order is identical on every run with the same seed.
-        let dirty: Vec<(NodeId, Value)> = std::mem::take(&mut self.dirty).into_iter().collect();
+        // Sorted + deduped drain: reproduces the (committer, value)
+        // iteration order of the ordered set this list replaced, so
+        // refresh order is identical on every run with the same seed.
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.sort_unstable();
+        dirty.dedup();
         // Take the scratch out so packing queries can borrow it mutably
         // alongside `&self` reads of the packers; put it back after.
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -246,8 +358,13 @@ impl EvidenceStore {
         committer: NodeId,
         v: Value,
     ) -> bool {
-        let Some(packer) = self.packers.get(&(committer, v)) else {
-            return false;
+        let packer = match self.slot_index(committer) {
+            // audit:allow(checked-threshold-arith): dense slot indexing, not bound arithmetic
+            Some(slot) => &self.slots[2 * slot + usize::from(v)],
+            None => match self.packers.get(&(committer, v)) {
+                Some(p) => p,
+                None => return false,
+            },
         };
         if packer.has_direct() {
             return true;
@@ -298,6 +415,7 @@ mod tests {
     use super::*;
 
     use rbcast_grid::{Metric, Torus};
+    use std::collections::BTreeSet;
 
     fn table(torus: &Torus) -> NeighborTable {
         NeighborTable::build(torus, 2, Metric::Linf)

@@ -21,11 +21,58 @@
 //! neighborhood can never serve as evidence and are pruned ("earmarking
 //! exact messages that a node should look out for", §VI).
 
+use crate::chain::{ChainRepr, CHAIN_CAP};
 use crate::evidence::{CommitRule, EvidenceStore, Geometry};
 use crate::{Msg, ProtocolParams};
 use rbcast_grid::{Coord, Metric, NodeId};
 use rbcast_sim::{Ctx, Process, Value};
 use std::collections::BTreeMap;
+
+/// Slots in the per-node duplicate-`HEARD` cache. Direct-mapped and
+/// deliberately tiny: the cache only needs to absorb the bursty
+/// re-deliveries of one wavefront, not remember every chain ever seen
+/// (an unbounded set is exactly the memory hog this module removes).
+const SEEN_SLOTS: usize = 8;
+
+/// Duplicate-`HEARD` short-circuit: a direct-mapped cache keyed by an
+/// FNV hash of the packed chain. Pure cache semantics — a hit skips
+/// work whose outcome is already known (an exact duplicate can neither
+/// enter the evidence store nor be re-forwarded); a miss falls through
+/// to the store's dominance check, which rejects duplicates
+/// identically. Eviction therefore never changes behavior, only cost.
+#[derive(Debug)]
+struct SeenCache([Option<ChainRepr>; SEEN_SLOTS]);
+
+impl SeenCache {
+    fn new() -> Self {
+        SeenCache([None; SEEN_SLOTS])
+    }
+
+    fn slot(chain: &ChainRepr) -> usize {
+        // FNV-1a over the live chain words.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        fold(chain.committer().index() as u64);
+        fold(u64::from(chain.value()));
+        for &k in chain.relays() {
+            fold(k.index() as u64);
+        }
+        (h as usize) % SEEN_SLOTS
+    }
+
+    /// True iff `chain` is already cached; caches it otherwise.
+    fn check_and_insert(&mut self, chain: &ChainRepr) -> bool {
+        let i = Self::slot(chain);
+        if self.0[i].as_ref() == Some(chain) {
+            return true;
+        }
+        self.0[i] = Some(*chain);
+        false
+    }
+}
 
 /// Configuration of the indirect-report protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +142,8 @@ pub struct Indirect {
     /// First `COMMITTED` value heard per neighbor (§V: on contradiction,
     /// accept only the first).
     first_commit: BTreeMap<NodeId, Value>,
+    /// Duplicate-`HEARD` short-circuit cache.
+    seen: SeenCache,
     committed: bool,
 }
 
@@ -107,6 +156,7 @@ impl Indirect {
             config,
             evidence: EvidenceStore::new(params.t, config.rule),
             first_commit: BTreeMap::new(),
+            seen: SeenCache::new(),
             committed: false,
         }
     }
@@ -144,11 +194,9 @@ impl Indirect {
         self.evidence.record_direct(committer, v);
         // Relay the report one hop, affixing our identifier.
         if self.config.max_relays >= 1 {
-            ctx.broadcast(Msg::Heard {
-                committer,
-                value: v,
-                relays: vec![ctx.id()],
-            });
+            ctx.broadcast(Msg::Heard(
+                ChainRepr::direct(committer, v).extended(ctx.id()),
+            ));
         }
     }
 
@@ -166,22 +214,25 @@ impl Indirect {
         let metric = ctx.metric();
         // Work in displacement space relative to the committer (chain
         // members are always within a few hops, far from the wrap seam).
-        let mut members: Vec<Coord> = Vec::with_capacity(relays.len() + 2);
-        members.push(Coord::ORIGIN);
-        members.extend(
-            relays
-                .iter()
-                .map(|&k| torus.displacement(committer, torus.coord(k))),
-        );
-        if include_self {
-            members.push(torus.displacement(committer, ctx.coord()));
+        // Chains are bounded at CHAIN_CAP relays, so the member list
+        // (origin + relays + optionally us) lives on the stack.
+        let mut members = [Coord::ORIGIN; CHAIN_CAP + 2];
+        let mut n = 1;
+        for &k in relays {
+            members[n] = torus.displacement(committer, torus.coord(k));
+            n += 1;
         }
+        if include_self {
+            members[n] = torus.displacement(committer, ctx.coord());
+            n += 1;
+        }
+        let members = &members[..n];
         match metric {
             Metric::Linf => {
                 // A lattice center within r of every member exists iff the
                 // bounding box spans at most 2r per axis.
                 let (mut min_x, mut max_x, mut min_y, mut max_y) = (0i64, 0i64, 0i64, 0i64);
-                for m in &members {
+                for m in members {
                     min_x = min_x.min(m.x);
                     max_x = max_x.max(m.x);
                     min_y = min_y.min(m.y);
@@ -212,6 +263,11 @@ impl Indirect {
 
 impl Process<Msg> for Indirect {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Bind the evidence store to this node's ball-local committer
+        // frame: any committer a valid chain can name is within 3r (2r
+        // from the last relay, which is within r of us).
+        self.evidence
+            .bind(ctx.arena().local_frame(ctx.coord(), 3 * ctx.radius()));
         if ctx.id() == self.params.source {
             self.committed = true;
             ctx.decide(self.params.value);
@@ -234,53 +290,69 @@ impl Process<Msg> for Indirect {
             Msg::Committed(v) => {
                 self.observe_commit(ctx, from, *v);
             }
-            Msg::Heard {
-                committer,
-                value,
-                relays,
-            } => {
+            Msg::Heard(chain) => {
+                // Once committed, a maximum-length chain is dead on
+                // arrival: it cannot be forwarded (forwarding requires
+                // `len < max_relays`) and recording it is unreadable
+                // (`on_round_end` never evaluates again; the commit
+                // notes fired at commit time). Skipping it cannot
+                // perturb a later forwardable chain's novelty either —
+                // dominance needs the dominator's relay set contained
+                // in the other's, so a longer chain never dominates a
+                // shorter one. Shorter chains still record below, since
+                // their extensions may serve nodes yet to commit. In a
+                // fault-free run most deliveries are post-commit
+                // re-reports, so this gate is the difference between
+                // O(1) and a packer scan for the bulk of the traffic.
+                if self.committed && chain.len() >= self.config.max_relays {
+                    return;
+                }
                 // Validate: the last affixed relay must be the true
                 // transmitter (mismatch = detectable forgery), the chain
                 // must be sane, and we must not appear in it.
-                if relays.last() != Some(&from) {
+                if chain.last_relay() != Some(from) {
                     return;
                 }
-                if relays.len() > self.config.max_relays {
+                if chain.len() > self.config.max_relays {
                     return;
                 }
                 let me = ctx.id();
-                if *committer == me || relays.contains(&me) || relays.contains(committer) {
+                let committer = chain.committer();
+                if committer == me || chain.contains_relay(me) || chain.contains_relay(committer) {
                     return;
                 }
+                let relays = chain.relays();
                 // Repeated relay = degenerate chain. k ≤ max_relays ≤ 3,
                 // so a quadratic scan beats clone + sort + dedup and
                 // allocates nothing.
                 if (1..relays.len()).any(|i| relays[..i].contains(&relays[i])) {
                     return;
                 }
-                let committer_coord = ctx.torus().coord(*committer);
+                // Exact-duplicate short-circuit: re-deliveries of a
+                // chain we already fully processed skip the geometry
+                // scan and the evidence store entirely.
+                if self.seen.check_and_insert(chain) {
+                    return;
+                }
+                let committer_coord = ctx.torus().coord(committer);
                 if !Self::fits_single_neighborhood(ctx, committer_coord, relays, false) {
                     return; // can never be evidence for anyone
                 }
-                let new = self.evidence.record_chain(*committer, *value, relays);
+                let new = self.evidence.record_chain(committer, chain.value(), relays);
                 // Forward with our identifier affixed while the extended
                 // chain remains potentially useful. If we heard the
                 // committer's own COMMITTED, our one-relay report
                 // `[me]` dominates every extension `[…, me]` at every
                 // receiver, so deeper chains need not be forwarded —
-                // the paper's "earmarking" state reduction.
+                // the paper's "earmarking" state reduction. The packed
+                // repr makes the fan-out a pure copy: extend in place,
+                // no per-hop reallocation.
                 if new
-                    && !self.first_commit.contains_key(committer)
-                    && relays.len() < self.config.max_relays
+                    && !self.first_commit.contains_key(&committer)
+                    && chain.len() < self.config.max_relays
                     && Self::fits_single_neighborhood(ctx, committer_coord, relays, true)
                 {
-                    let mut extended = relays.clone();
-                    extended.push(me);
-                    ctx.broadcast(Msg::Heard {
-                        committer: *committer,
-                        value: *value,
-                        relays: extended,
-                    });
+                    ctx.broadcast(Msg::Heard(chain.extended(me)));
                 }
             }
         }
@@ -292,9 +364,11 @@ impl Process<Msg> for Indirect {
         }
         let geo = Geometry::new(ctx.arena(), ctx.coord());
         if let Some(v) = self.evidence.evaluate(&geo) {
-            // Trace how much evidence the commit rested on: the number of
-            // distinct chains recorded when the rule first fired.
+            // Trace the evidence the commit rested on: how many distinct
+            // chains, and a digest of their contents (so divergent runs
+            // can be compared on *what* evidence fired, not just volume).
             ctx.note("commit-evidence", self.evidence.chain_count() as u64);
+            ctx.note("commit-digest", self.evidence.digest());
             self.commit(ctx, v);
         }
     }
@@ -429,28 +503,16 @@ mod tests {
             let (mut h, mut p, torus) = setup();
             let committer = id(&torus, 13, 10);
             let relay = id(&torus, 11, 10);
-            h.deliver(
-                &mut p,
-                relay,
-                &Msg::Heard {
-                    committer,
-                    value: true,
-                    relays: vec![relay],
-                },
-            );
+            h.deliver(&mut p, relay, &Msg::heard(committer, true, &[relay]));
             assert_eq!(p.evidence().chain_count(), 1);
             let out = h.drain_outbox();
             assert_eq!(out.len(), 1);
             let me = id(&torus, 10, 10);
             match &out[0] {
-                Msg::Heard {
-                    committer: c,
-                    value,
-                    relays: fwd,
-                } => {
-                    assert_eq!(*c, committer);
-                    assert!(*value);
-                    assert_eq!(fwd, &vec![relay, me], "must affix own id last");
+                Msg::Heard(chain) => {
+                    assert_eq!(chain.committer(), committer);
+                    assert!(chain.value());
+                    assert_eq!(chain.relays(), &[relay, me], "must affix own id last");
                 }
                 other => panic!("expected forwarded HEARD, got {other:?}"),
             }
@@ -463,11 +525,8 @@ mod tests {
             h.deliver(
                 &mut p,
                 id(&torus, 11, 10), // true transmitter
-                &Msg::Heard {
-                    committer,
-                    value: true,
-                    relays: vec![id(&torus, 12, 10)], // claims someone else
-                },
+                // claims someone else relayed it
+                &Msg::heard(committer, true, &[id(&torus, 12, 10)]),
             );
             assert_eq!(p.evidence().chain_count(), 0);
             assert!(h.drain_outbox().is_empty());
@@ -481,11 +540,8 @@ mod tests {
             h.deliver(
                 &mut p,
                 relay,
-                &Msg::Heard {
-                    committer: id(&torus, 13, 10),
-                    value: true,
-                    relays: vec![me, relay], // I never sent that
-                },
+                // I never sent that
+                &Msg::heard(id(&torus, 13, 10), true, &[me, relay]),
             );
             assert_eq!(p.evidence().chain_count(), 0);
         }
@@ -498,11 +554,7 @@ mod tests {
             h.deliver(
                 &mut p,
                 relay,
-                &Msg::Heard {
-                    committer,
-                    value: true,
-                    relays: vec![committer, relay],
-                },
+                &Msg::heard(committer, true, &[committer, relay]),
             );
             assert_eq!(p.evidence().chain_count(), 0);
         }
@@ -514,11 +566,7 @@ mod tests {
             h.deliver(
                 &mut p,
                 relay,
-                &Msg::Heard {
-                    committer: id(&torus, 13, 10),
-                    value: true,
-                    relays: vec![relay, relay],
-                },
+                &Msg::heard(id(&torus, 13, 10), true, &[relay, relay]),
             );
             assert_eq!(p.evidence().chain_count(), 0);
         }
@@ -530,16 +578,17 @@ mod tests {
             h.deliver(
                 &mut p,
                 last,
-                &Msg::Heard {
-                    committer: id(&torus, 13, 13),
-                    value: true,
-                    relays: vec![
+                // 4 relays > max 3
+                &Msg::heard(
+                    id(&torus, 13, 13),
+                    true,
+                    &[
                         id(&torus, 13, 12),
                         id(&torus, 12, 11),
                         id(&torus, 12, 10),
                         last,
-                    ], // 4 relays > max 3
-                },
+                    ],
+                ),
             );
             assert_eq!(p.evidence().chain_count(), 0);
         }
@@ -550,15 +599,7 @@ mod tests {
             let last = id(&torus, 11, 10);
             // committer at (15, 15) is L∞ 5 from relay (11, 10): no ball
             // of radius 2 covers both
-            h.deliver(
-                &mut p,
-                last,
-                &Msg::Heard {
-                    committer: id(&torus, 15, 15),
-                    value: true,
-                    relays: vec![last],
-                },
-            );
+            h.deliver(&mut p, last, &Msg::heard(id(&torus, 15, 15), true, &[last]));
             assert_eq!(p.evidence().chain_count(), 0);
         }
 
@@ -566,11 +607,7 @@ mod tests {
         fn duplicate_chain_not_reforwarded() {
             let (mut h, mut p, torus) = setup();
             let relay = id(&torus, 11, 10);
-            let msg = Msg::Heard {
-                committer: id(&torus, 13, 10),
-                value: true,
-                relays: vec![relay],
-            };
+            let msg = Msg::heard(id(&torus, 13, 10), true, &[relay]);
             h.deliver(&mut p, relay, &msg);
             let first = h.drain_outbox().len();
             h.deliver(&mut p, relay, &msg);
@@ -588,7 +625,7 @@ mod tests {
             let outs = h.drain_outbox();
             assert_eq!(outs.len(), 1);
             match &outs[0] {
-                Msg::Heard { value, .. } => assert!(*value),
+                Msg::Heard(chain) => assert!(chain.value()),
                 other => panic!("expected HEARD, got {other:?}"),
             }
         }
@@ -602,15 +639,7 @@ mod tests {
             // a 1-relay chain about the same committer arrives: recorded
             // or dominated, but NOT forwarded (our [me] report dominates)
             let relay = id(&torus, 10, 11);
-            h.deliver(
-                &mut p,
-                relay,
-                &Msg::Heard {
-                    committer,
-                    value: true,
-                    relays: vec![relay],
-                },
-            );
+            h.deliver(&mut p, relay, &Msg::heard(committer, true, &[relay]));
             assert!(h.drain_outbox().is_empty());
         }
 

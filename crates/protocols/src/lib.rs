@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod attackers;
+mod chain;
 mod cpa;
 mod evidence;
 mod flood;
@@ -60,6 +61,7 @@ mod indirect;
 mod msg;
 mod persistent;
 
+pub use chain::{ChainRepr, CHAIN_CAP};
 pub use cpa::Cpa;
 pub use evidence::{CommitRule, EvidenceStore, Geometry};
 pub use flood::Flood;

@@ -1,5 +1,6 @@
 //! The wire message vocabulary.
 
+use crate::chain::ChainRepr;
 use rbcast_grid::NodeId;
 use rbcast_sim::Value;
 
@@ -12,33 +13,41 @@ use rbcast_sim::Value;
 /// identifier to the message"). Receivers verify that the last affixed
 /// relay matches the true transmitter and discard mismatches as proof of
 /// fault.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The whole enum is `Copy`: relay chains are packed inline
+/// ([`ChainRepr`]), so broadcasting, queueing, and re-forwarding a
+/// message never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Msg {
     /// The source's initial local broadcast of its value.
     Source(Value),
     /// `COMMITTED(i, v)` — the transmitter announces it has committed to
     /// `v` (transmitted exactly once by honest nodes).
     Committed(Value),
-    /// `HEARD(k_m, …, k_1, i, v)` — an indirect report that `committer`
-    /// committed `value`, relayed along `relays` (committer-side first;
-    /// the last entry is the transmitter itself).
-    Heard {
-        /// The node whose commit is being reported.
-        committer: NodeId,
-        /// The reported committed value.
-        value: Value,
-        /// The relay chain, committer-side first, transmitter last.
-        relays: Vec<NodeId>,
-    },
+    /// `HEARD(k_m, …, k_1, i, v)` — an indirect report that the chain's
+    /// committer committed its value, relayed committer-side first; the
+    /// last relay is the transmitter itself.
+    Heard(ChainRepr),
 }
 
 impl Msg {
+    /// Convenience constructor keeping the paper-shaped call sites: a
+    /// `HEARD` report with explicit committer, value, and relay slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relays` exceeds [`crate::chain::CHAIN_CAP`].
+    #[must_use]
+    pub fn heard(committer: NodeId, value: Value, relays: &[NodeId]) -> Self {
+        Msg::Heard(ChainRepr::new(committer, value, relays))
+    }
+
     /// The value carried by this message.
     #[must_use]
     pub fn value(&self) -> Value {
         match self {
             Msg::Source(v) | Msg::Committed(v) => *v,
-            Msg::Heard { value, .. } => *value,
+            Msg::Heard(chain) => chain.value(),
         }
     }
 
@@ -48,7 +57,7 @@ impl Msg {
         match self {
             Msg::Source(_) => "SOURCE",
             Msg::Committed(_) => "COMMITTED",
-            Msg::Heard { .. } => "HEARD",
+            Msg::Heard(_) => "HEARD",
         }
     }
 }
@@ -61,11 +70,7 @@ mod tests {
     fn value_extraction() {
         assert!(Msg::Source(true).value());
         assert!(!Msg::Committed(false).value());
-        let h = Msg::Heard {
-            committer: NodeId(3),
-            value: true,
-            relays: vec![NodeId(1)],
-        };
+        let h = Msg::heard(NodeId(3), true, &[NodeId(1)]);
         assert!(h.value());
     }
 
@@ -73,14 +78,19 @@ mod tests {
     fn kinds_are_paper_names() {
         assert_eq!(Msg::Source(true).kind(), "SOURCE");
         assert_eq!(Msg::Committed(true).kind(), "COMMITTED");
-        assert_eq!(
-            Msg::Heard {
-                committer: NodeId(0),
-                value: false,
-                relays: vec![]
+        assert_eq!(Msg::heard(NodeId(0), false, &[]).kind(), "HEARD");
+    }
+
+    #[test]
+    fn heard_exposes_chain_accessors() {
+        let h = Msg::heard(NodeId(9), true, &[NodeId(4), NodeId(5)]);
+        match h {
+            Msg::Heard(chain) => {
+                assert_eq!(chain.committer(), NodeId(9));
+                assert_eq!(chain.relays(), &[NodeId(4), NodeId(5)]);
+                assert_eq!(chain.last_relay(), Some(NodeId(5)));
             }
-            .kind(),
-            "HEARD"
-        );
+            other => panic!("expected HEARD, got {other:?}"),
+        }
     }
 }

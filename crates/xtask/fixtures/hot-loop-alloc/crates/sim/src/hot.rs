@@ -56,3 +56,23 @@ pub fn jam_table_hoisted(rounds: &[Vec<u64>]) -> usize {
     }
     assigned
 }
+
+// A protocol-style delivery handler: no visible loop, but the engine
+// calls it once per delivery, so straight-line allocation here is a
+// per-iteration allocation in disguise and must fire.
+pub struct Proto {
+    seen: Vec<String>,
+}
+
+impl Proto {
+    pub fn on_message(&mut self, from: u32) {
+        let key = from.to_string();
+        self.seen.push(key);
+    }
+
+    pub fn on_round_end(&mut self) -> usize {
+        // Same allocation outside on_message: cold, does not fire.
+        let snapshot = self.seen.clone();
+        snapshot.len()
+    }
+}

@@ -264,7 +264,8 @@ pub fn all_rules() -> &'static [Rule] {
             allow_name: "hot-loop-alloc",
             summary: "no allocation (clone / format! / to_string / to_vec / vec! / \
                       String::new / Box::new) inside for/while/loop bodies in the \
-                      sim and protocols hot paths",
+                      sim and protocols hot paths, nor anywhere in a protocol \
+                      on_message body (it runs once per delivery — an implicit loop)",
             fix: "hoist the allocation out of the loop or reuse a scratch buffer",
             scopes: ORDER_SENSITIVE_SRC,
             check: check_hot_loop_alloc,
@@ -563,18 +564,29 @@ fn check_hot_loop_alloc(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
     let mut out = Vec::new();
     for (pats, name) in ALLOCS {
         for i in m.find_seq(pats, true) {
-            if m.meta[i].loop_depth == 0 {
+            // `on_message` runs once per delivery — the engine's true
+            // inner loop, even though no `for` is visible in the file —
+            // so straight-line allocation there costs the same as a
+            // loop-body allocation anywhere else.
+            let per_delivery = m.meta[i]
+                .fn_idx
+                .is_some_and(|fi| m.code_text(m.fns[fi].kw + 1) == "on_message");
+            if m.meta[i].loop_depth == 0 && !per_delivery {
                 continue;
             }
+            let site = if m.meta[i].loop_depth > 0 {
+                format!("inside a loop body (depth {})", m.meta[i].loop_depth)
+            } else {
+                "in an on_message body (one call per delivery)".to_string()
+            };
             out.push(finding(
                 m,
                 i,
                 format!(
-                    "{name} inside a loop body (depth {}) on a sim/protocols hot \
+                    "{name} {site} on a sim/protocols hot \
                      path: per-iteration allocation dominates round cost at scale; \
                      hoist it out of the loop, reuse a scratch buffer, or annotate \
-                     audit:allow(hot-loop-alloc) at a proven-cold site",
-                    m.meta[i].loop_depth
+                     audit:allow(hot-loop-alloc) at a proven-cold site"
                 ),
             ));
         }
@@ -848,6 +860,32 @@ mod tests {
              }\n",
         );
         assert_eq!(run(check_hot_loop_alloc, &f), vec![4, 5]);
+    }
+
+    #[test]
+    fn hot_loop_alloc_treats_on_message_bodies_as_implicit_loops() {
+        // Straight-line allocation fires inside `on_message` (one call
+        // per delivery) but not in a same-file helper of another name.
+        let f = file(
+            "crates/protocols/src/x.rs",
+            "fn on_message(&mut self, from: u32) {\n\
+             let key = from.to_string();\n\
+             self.seen.push(key);\n\
+             }\n\
+             fn on_round_end(&mut self) {\n\
+             let snapshot = self.seen.clone();\n\
+             drop(snapshot);\n\
+             }\n",
+        );
+        let v = run(check_hot_loop_alloc, &f);
+        assert_eq!(v, vec![2]);
+        let msgs = check_hot_loop_alloc(
+            &f,
+            &Ctx {
+                index: &WorkspaceIndex::default(),
+            },
+        );
+        assert!(msgs[0].message.contains("on_message body"));
     }
 
     #[test]
