@@ -86,6 +86,27 @@ fi
 rm -f "$trace_out"
 echo "trace smoke passed"
 
+echo "==> cluster chaos smoke (3x3 UDP processes, burst loss, kill+restart)"
+# Nine `rbcast serve` OS processes on loopback UDP ports, every link
+# behind the seeded Gilbert-Elliott chaos shim, node 4 killed mid-run
+# and restarted from its JSONL journal. The run must commit exactly
+# what the sim oracle commits (parity: MATCH => exit 0) and the victim
+# must have resumed from its journal (two boot records = epoch bump).
+cluster_dir=target/cluster_smoke
+cluster_out=target/cluster_smoke.out
+rm -rf "$cluster_dir"
+cargo run -q --release --bin rbcast -- cluster \
+    --width 3 --height 3 --instances 4 --rounds 16 \
+    --base-port 47500 --chaos-seed 3405691582 --kill 4 --dir "$cluster_dir" \
+    > "$cluster_out" 2>&1 \
+    || { cat "$cluster_out"; echo "cluster smoke: run failed"; exit 1; }
+grep -q "parity: MATCH" "$cluster_out" \
+    || { cat "$cluster_out"; echo "cluster smoke: digest mismatch vs sim oracle"; exit 1; }
+test "$(grep -c '"boot"' "$cluster_dir/node4.jsonl")" -eq 2 \
+    || { echo "cluster smoke: victim did not resume from its journal"; exit 1; }
+rm -rf "$cluster_dir" "$cluster_out"
+echo "cluster chaos smoke passed"
+
 echo "==> sweep_engine smoke (multi-thread throughput >= 85% of serial)"
 cargo bench -q -p rbcast-bench --bench sweep_engine -- --smoke
 

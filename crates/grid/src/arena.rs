@@ -88,6 +88,49 @@ impl NeighborTable {
         }
     }
 
+    /// Builds the table for tori too small to faithfully emulate the
+    /// infinite grid at `radius` (where [`NeighborTable::build`] would
+    /// panic): the metric stencil wraps, so offsets that alias through
+    /// the torus collapse to one neighbor entry (first occurrence kept)
+    /// and the node itself is dropped.
+    ///
+    /// On a torus that *does* support the radius this is exactly
+    /// [`NeighborTable::build`]. The networked cluster harness uses the
+    /// relaxed form for small deployments (e.g. a 3×3 torus at `r = 1`,
+    /// where every node simply hears every other node); the faithful
+    /// constructor remains the required path for paper experiments.
+    #[must_use]
+    pub fn build_wrapping(torus: &Torus, radius: u32, metric: Metric) -> Self {
+        if torus.supports_radius(radius) {
+            return NeighborTable::build(torus, radius, metric);
+        }
+        let offs = crate::metric_offsets(radius, metric);
+        let n = torus.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(n * offs.len());
+        offsets.push(0u32);
+        for id in torus.node_ids() {
+            let c = torus.coord(id);
+            let row_start = targets.len();
+            for &off in &offs {
+                let nb = torus.id(c + off);
+                if nb != id && !targets[row_start..].contains(&nb) {
+                    targets.push(nb);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let balls = (0..=radius + 1).map(|d| ball_stencil(d, metric)).collect();
+        NeighborTable {
+            torus: torus.clone(),
+            radius,
+            metric,
+            offsets,
+            targets,
+            balls,
+        }
+    }
+
     /// The torus this table was built for.
     #[must_use]
     pub fn torus(&self) -> &Torus {
@@ -384,6 +427,46 @@ mod tests {
     #[should_panic(expected = "cannot faithfully host")]
     fn rejects_undersized_torus() {
         let _ = NeighborTable::build(&Torus::new(8, 8), 2, Metric::Linf);
+    }
+
+    #[test]
+    fn build_wrapping_matches_build_on_supported_tori() {
+        for r in 1..=2u32 {
+            for metric in [Metric::Linf, Metric::L2] {
+                let torus = Torus::for_radius(r);
+                let strict = NeighborTable::build(&torus, r, metric);
+                let relaxed = NeighborTable::build_wrapping(&torus, r, metric);
+                for id in torus.node_ids() {
+                    assert_eq!(strict.neighbors(id), relaxed.neighbors(id), "node {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_wrapping_hosts_a_3x3_torus_at_r1() {
+        // The cluster smoke topology: 9 nodes, everyone hears everyone.
+        let torus = Torus::new(3, 3);
+        let table = NeighborTable::build_wrapping(&torus, 1, Metric::Linf);
+        for id in torus.node_ids() {
+            let nbrs = table.neighbors(id);
+            assert_eq!(nbrs.len(), 8, "node {id} must hear all 8 others");
+            let set: std::collections::BTreeSet<NodeId> = nbrs.iter().copied().collect();
+            assert_eq!(set.len(), 8, "duplicate neighbor of {id}");
+            assert!(!nbrs.contains(&id), "node {id} must not hear itself");
+        }
+    }
+
+    #[test]
+    fn build_wrapping_collapses_aliased_offsets() {
+        // On a 2×2 torus at r = 1 the eight Moore offsets alias down to
+        // the three other nodes; the relaxed table must dedup them.
+        let torus = Torus::new(2, 2);
+        let table = NeighborTable::build_wrapping(&torus, 1, Metric::Linf);
+        for id in torus.node_ids() {
+            let nbrs = table.neighbors(id);
+            assert_eq!(nbrs.len(), 3, "node {id}: {nbrs:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Cluster orchestration: shared run configuration, the sim oracle,
+//! and a single-threaded in-process loopback cluster.
+//!
+//! [`ClusterSpec`] is the *entire* static configuration of a run —
+//! topology, protocol, instance set, round horizon — shared verbatim by
+//! every node (loopback or UDP child process) and by the
+//! [`ClusterSpec::sim_oracle`], which replays the identical run on the
+//! verified simulator. Oracle digest equality is the golden parity
+//! criterion: the networked runtime must be *byte-identical* in its
+//! decisions to the engine the paper's theorems were checked against.
+//!
+//! [`LoopbackCluster`] pumps every node round-robin on one thread over
+//! a [`LoopbackHub`] — no sockets, no scheduling nondeterminism — and
+//! supports mid-run kill/stall plus journal-backed restart, which is
+//! how the recovery tests exercise the crash path deterministically.
+
+use crate::chaos::{ChaosConfig, ChaosTransport};
+use crate::journal::SharedJournal;
+use crate::runtime::{NodeReport, NodeRuntime, RuntimeConfig};
+use crate::transport::{Datagram, LoopbackHub};
+use rbcast_grid::{Metric, NeighborTable, NodeId, Torus};
+use rbcast_protocols::{Cpa, Flood, Indirect, IndirectConfig, Msg, ProtocolParams};
+use rbcast_sim::driver::{commit_digest, InstanceId};
+use rbcast_sim::{ChannelConfig, Network, Process, Round, Value};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Which verified protocol a cluster runs. All nodes of all instances
+/// run the same protocol (the paper's setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetProtocol {
+    /// Unverified baseline flood (no Byzantine tolerance).
+    Flood,
+    /// The §VI indirect-report protocol, full two-level rule.
+    IndirectFull,
+    /// The §VI-B simplified one-level variant.
+    IndirectSimplified,
+    /// The §V Certified Propagation Algorithm.
+    Cpa,
+}
+
+impl NetProtocol {
+    /// Parses the CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "flood" => Some(NetProtocol::Flood),
+            "indirect" | "indirect-full" => Some(NetProtocol::IndirectFull),
+            "indirect-simplified" => Some(NetProtocol::IndirectSimplified),
+            "cpa" => Some(NetProtocol::Cpa),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NetProtocol::Flood => "flood",
+            NetProtocol::IndirectFull => "indirect",
+            NetProtocol::IndirectSimplified => "indirect-simplified",
+            NetProtocol::Cpa => "cpa",
+        }
+    }
+}
+
+/// Static configuration of one cluster run, identical on every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Torus width.
+    pub width: u32,
+    /// Torus height.
+    pub height: u32,
+    /// Transmission radius.
+    pub radius: u32,
+    /// Neighborhood metric.
+    pub metric: Metric,
+    /// The protocol every node runs.
+    pub protocol: NetProtocol,
+    /// Fault budget `t` the protocol is configured for.
+    pub t: usize,
+    /// Number of concurrent broadcast instances.
+    pub instances: u32,
+    /// Delivery rounds to run (must cover the protocol's decision
+    /// latency; extra rounds are idle under the sparse contract).
+    pub rounds: Round,
+}
+
+impl ClusterSpec {
+    /// The shared topology. Uses the wrapping builder so small
+    /// clusters (3×3 at r = 1, where wrap-around aliases neighbors)
+    /// host correctly.
+    #[must_use]
+    pub fn arena(&self) -> Arc<NeighborTable> {
+        Arc::new(NeighborTable::build_wrapping(
+            &Torus::new(self.width, self.height),
+            self.radius,
+            self.metric,
+        ))
+    }
+
+    /// The run's instance set: instance `i` originates at node
+    /// `i mod n` with sequence `i`. Deterministic, known to all nodes.
+    #[must_use]
+    pub fn instance_ids(&self) -> Vec<InstanceId> {
+        let n = (self.width as u64 * self.height as u64) as u32;
+        (0..self.instances)
+            .map(|i| InstanceId {
+                origin: NodeId(i % n),
+                seq: i,
+            })
+            .collect()
+    }
+
+    /// The value instance `inst` broadcasts (alternating, so parity
+    /// failures that swap values are caught).
+    #[must_use]
+    pub fn instance_value(inst: InstanceId) -> Value {
+        inst.seq.is_multiple_of(2)
+    }
+
+    /// Builds one node's process for one instance.
+    #[must_use]
+    pub fn process_for(&self, inst: InstanceId) -> Box<dyn Process<Msg>> {
+        let params = ProtocolParams {
+            source: inst.origin,
+            value: Self::instance_value(inst),
+            t: self.t,
+        };
+        match self.protocol {
+            NetProtocol::Flood => Box::new(Flood::new(params)),
+            NetProtocol::IndirectFull => Box::new(Indirect::new(params, IndirectConfig::full())),
+            NetProtocol::IndirectSimplified => {
+                Box::new(Indirect::new(params, IndirectConfig::simplified()))
+            }
+            NetProtocol::Cpa => Box::new(Cpa::new(params)),
+        }
+    }
+
+    /// Runs the identical configuration on the verified simulator — one
+    /// reliable-channel [`Network`] per instance — and returns every
+    /// decision plus the commit digest the cluster must reproduce.
+    #[must_use]
+    pub fn sim_oracle(&self) -> OracleReport {
+        let arena = self.arena();
+        let mut decisions = Vec::new();
+        for inst in self.instance_ids() {
+            let mut net =
+                Network::with_arena(Arc::clone(&arena), ChannelConfig::reliable(), |_| {
+                    self.process_for(inst)
+                });
+            net.run(self.rounds);
+            for id in arena.torus().node_ids() {
+                if let Some((value, round)) = net.decision(id) {
+                    decisions.push((inst, id, value, round));
+                }
+            }
+        }
+        let digest = commit_digest(&decisions);
+        OracleReport { decisions, digest }
+    }
+}
+
+/// The sim oracle's answer for a [`ClusterSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Every `(instance, node, value, round)` decision.
+    pub decisions: Vec<(InstanceId, NodeId, Value, Round)>,
+    /// [`commit_digest`] over those decisions.
+    pub digest: u64,
+}
+
+/// Aggregated outcome of a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Per-node summaries.
+    pub nodes: Vec<NodeReport>,
+    /// Every `(instance, node, value, round)` decision across nodes.
+    pub decisions: Vec<(InstanceId, NodeId, Value, Round)>,
+    /// [`commit_digest`] over those decisions.
+    pub digest: u64,
+    /// Fraction of `(instance, node)` pairs that committed.
+    pub commit_rate: f64,
+    /// Ticks the run loop executed.
+    pub ticks: u64,
+}
+
+/// An in-process cluster: every node is a [`NodeRuntime`] pumped
+/// round-robin on the calling thread, exchanging datagrams through a
+/// [`LoopbackHub`] (optionally behind per-node chaos shims).
+pub struct LoopbackCluster {
+    spec: ClusterSpec,
+    cfg: RuntimeConfig,
+    chaos: Option<ChaosConfig>,
+    arena: Arc<NeighborTable>,
+    hub: Rc<LoopbackHub>,
+    nodes: Vec<Option<NodeRuntime>>,
+    journals: Vec<SharedJournal>,
+    /// Nodes frozen (not pumped) until the given tick — stall chaos.
+    stalled_until: Vec<u64>,
+    ticks: u64,
+}
+
+impl std::fmt::Debug for LoopbackCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackCluster")
+            .field("spec", &self.spec)
+            .field("live", &self.nodes.iter().filter(|n| n.is_some()).count())
+            .field("ticks", &self.ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LoopbackCluster {
+    /// Boots every node of `spec`. `chaos` (if any) wraps each node's
+    /// transport with a shim seeded per node, so loss patterns differ
+    /// across links but replay identically across runs.
+    #[must_use]
+    pub fn new(spec: ClusterSpec, cfg: RuntimeConfig, chaos: Option<ChaosConfig>) -> Self {
+        let arena = spec.arena();
+        let n = arena.len();
+        let mut cluster = LoopbackCluster {
+            spec,
+            cfg,
+            chaos,
+            arena,
+            hub: LoopbackHub::new(),
+            nodes: (0..n).map(|_| None).collect(),
+            journals: (0..n).map(|_| SharedJournal::new()).collect(),
+            stalled_until: vec![0; n],
+            ticks: 0,
+        };
+        for i in 0..n {
+            cluster.boot(i as u32);
+        }
+        cluster
+    }
+
+    fn boot(&mut self, node: u32) {
+        let port = self.hub.attach(node);
+        let transport: Box<dyn Datagram> = match self.chaos {
+            Some(base) => {
+                let mut cfg = base;
+                cfg.seed = base.seed ^ (u64::from(node) << 17);
+                Box::new(ChaosTransport::new(node, port, cfg))
+            }
+            None => Box::new(port),
+        };
+        let spec = self.spec;
+        let rt = NodeRuntime::open(
+            Arc::clone(&self.arena),
+            NodeId(node),
+            &spec.instance_ids(),
+            &mut |inst| spec.process_for(inst),
+            transport,
+            Box::new(self.journals[node as usize].clone()),
+            self.cfg,
+        )
+        .expect("loopback journals never corrupt");
+        self.nodes[node as usize] = Some(rt);
+    }
+
+    /// Kills a node: its runtime (including unacked link buffers and
+    /// in-memory round state) is dropped. The journal survives — it is
+    /// the only thing a real crash preserves.
+    pub fn kill(&mut self, node: u32) {
+        self.nodes[node as usize] = None;
+    }
+
+    /// Restarts a killed node from its journal (bumped epoch, replayed
+    /// state, re-sent outboxes).
+    pub fn restart(&mut self, node: u32) {
+        assert!(
+            self.nodes[node as usize].is_none(),
+            "restart of a live node"
+        );
+        self.boot(node);
+    }
+
+    /// Freezes a node for `ticks` cluster steps: it receives nothing
+    /// and sends nothing, then resumes with its state intact (a GC
+    /// pause / SIGSTOP, as opposed to a crash).
+    pub fn stall(&mut self, node: u32, ticks: u64) {
+        self.stalled_until[node as usize] = self.ticks + ticks;
+    }
+
+    /// True when a node is currently live (booted and not killed).
+    #[must_use]
+    pub fn is_live(&self, node: u32) -> bool {
+        self.nodes[node as usize].is_some()
+    }
+
+    /// Pumps every live, un-stalled node once. Returns true when every
+    /// live node has finished its rounds.
+    pub fn step(&mut self) -> bool {
+        self.ticks += 1;
+        let mut all_done = true;
+        for (i, slot) in self.nodes.iter_mut().enumerate() {
+            let Some(rt) = slot else { continue };
+            if self.stalled_until[i] > self.ticks {
+                all_done = false;
+                continue;
+            }
+            if !rt.pump() {
+                all_done = false;
+            }
+        }
+        all_done
+    }
+
+    /// Runs until every live node finishes or `max_ticks` elapse;
+    /// returns true on completion.
+    pub fn run(&mut self, max_ticks: u64) -> bool {
+        for _ in 0..max_ticks {
+            if self.step() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Ticks stepped so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Aggregates decisions and digest across all live nodes.
+    #[must_use]
+    pub fn report(&self) -> ClusterReport {
+        let nodes: Vec<NodeReport> = self
+            .nodes
+            .iter()
+            .flatten()
+            .map(NodeRuntime::report)
+            .collect();
+        summarize(&self.spec, nodes, self.ticks)
+    }
+}
+
+/// Folds per-node reports into the cluster-level summary (shared by the
+/// loopback cluster and the UDP cluster CLI, which collects the same
+/// per-node reports from child processes).
+#[must_use]
+pub fn summarize(spec: &ClusterSpec, nodes: Vec<NodeReport>, ticks: u64) -> ClusterReport {
+    let mut decisions = Vec::new();
+    for report in &nodes {
+        for &(inst, value, round) in &report.decisions {
+            decisions.push((inst, report.node, value, round));
+        }
+    }
+    let digest = commit_digest(&decisions);
+    let pairs = (spec.width as u64 * spec.height as u64) * u64::from(spec.instances);
+    let commit_rate = if pairs == 0 {
+        0.0
+    } else {
+        decisions.len() as f64 / pairs as f64
+    };
+    ClusterReport {
+        nodes,
+        decisions,
+        digest,
+        commit_rate,
+        ticks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec {
+            width: 3,
+            height: 3,
+            radius: 1,
+            metric: Metric::Linf,
+            protocol: NetProtocol::Flood,
+            t: 0,
+            instances: 2,
+            rounds: 12,
+        }
+    }
+
+    #[test]
+    fn loopback_flood_matches_oracle() {
+        let spec = spec();
+        let oracle = spec.sim_oracle();
+        assert!(!oracle.decisions.is_empty());
+        let mut cluster = LoopbackCluster::new(spec, RuntimeConfig::default(), None);
+        assert!(cluster.run(100_000), "cluster must finish");
+        let report = cluster.report();
+        assert_eq!(report.decisions.len(), oracle.decisions.len());
+        assert_eq!(report.digest, oracle.digest, "commit digests diverge");
+        assert!((report.commit_rate - 1.0).abs() < 1e-12);
+        assert!(report.nodes.iter().all(NodeReport::healthy));
+    }
+
+    #[test]
+    fn stalled_node_catches_up_without_suspicion() {
+        let spec = spec();
+        let oracle = spec.sim_oracle();
+        let mut cluster = LoopbackCluster::new(spec, RuntimeConfig::default(), None);
+        cluster.stall(4, 300);
+        assert!(cluster.run(100_000));
+        let report = cluster.report();
+        assert_eq!(report.digest, oracle.digest);
+        assert!(report.nodes.iter().all(NodeReport::healthy));
+    }
+}

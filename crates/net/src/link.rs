@@ -1,0 +1,463 @@
+//! Per-neighbor reliable links: sequencing, cumulative acks, bounded
+//! deterministic retransmission, duplicate suppression, epoch-based
+//! restart detection.
+//!
+//! A [`Link`] turns the lossy datagram transport into the FIFO channel
+//! the round barrier needs. Each direction is an independent stream:
+//!
+//! * **Tx** — frames get consecutive sequence numbers under the
+//!   sender's boot epoch and stay buffered until cumulatively acked;
+//!   unacked frames retransmit on a tick-based timeout with capped
+//!   exponential backoff and deterministic jitter derived from
+//!   [`rbcast_core::supervisor::retry_seed`], so two runs of the same
+//!   schedule retransmit at identical ticks.
+//! * **Rx** — frames release strictly in sequence order; out-of-order
+//!   arrivals buffer, duplicates re-trigger an ack and are dropped. An
+//!   incoming *higher* epoch means the peer restarted: its new stream
+//!   starts over at sequence 0, so the receive state resets (the
+//!   runtime layer discards that peer's un-consumed round buffers to
+//!   match). Acks carry the epoch they acknowledge, so a stale ack from
+//!   before a restart can never consume frames of the new stream.
+//!
+//! The ack split supports journal-before-ack crash recovery: the link
+//! *releases* frames immediately ([`Link::on_packet`]) but only
+//! acknowledges what the runtime has *confirmed*
+//! ([`Link::confirm_released`]) after journaling. A crash between
+//! release and confirm merely means the peer retransmits — frames the
+//! peer saw acked are always journaled.
+
+use crate::wire::{encode_packet, Packet, PacketKind, SeqFrame};
+use rbcast_core::supervisor::retry_seed;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Retransmission policy knobs (all in ticks — one tick per runtime
+/// pump, never wall clock, so behaviour is deterministic per schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Ticks before the first retransmission of a frame.
+    pub base_timeout: u64,
+    /// Backoff doubles per attempt up to `base_timeout << backoff_cap`.
+    pub backoff_cap: u32,
+    /// Deterministic jitter added per retransmission, in `0..=jitter`.
+    pub jitter: u64,
+    /// Give up on a frame after this many retransmissions (`None` =
+    /// retry forever — required when peers may crash *and return*).
+    pub max_attempts: Option<u32>,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            base_timeout: 16,
+            backoff_cap: 6,
+            jitter: 7,
+            max_attempts: None,
+        }
+    }
+}
+
+/// Counters for one link, both directions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames handed to the link for first transmission.
+    pub sent: u64,
+    /// Retransmissions (timeouts fired).
+    pub retransmits: u64,
+    /// Duplicate frames received and suppressed.
+    pub dup_rx: u64,
+    /// Packets dropped as stale (older epoch than current).
+    pub stale_rx: u64,
+    /// Cumulative acks received that advanced the tx window.
+    pub acks_rx: u64,
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    seq: u64,
+    frame: SeqFrame,
+    due: u64,
+    attempts: u32,
+}
+
+/// One bidirectional reliable link to a single neighbor.
+#[derive(Debug)]
+pub struct Link {
+    me: u32,
+    my_epoch: u32,
+    peer: u32,
+    cfg: LinkConfig,
+    // Tx state.
+    next_seq: u64,
+    unacked: VecDeque<Outstanding>,
+    exhausted: bool,
+    // Rx state.
+    peer_epoch: Option<u32>,
+    next_release: u64,
+    confirmed: u64,
+    ooo: BTreeMap<u64, SeqFrame>,
+    ack_due: bool,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+/// What [`Link::on_packet`] observed, so the runtime can react.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RxEvent {
+    /// Nothing released (ack, duplicate, stale, or out-of-order hold).
+    None,
+    /// The peer restarted: its epoch rose to the given value. The
+    /// runtime must discard un-consumed round state from this peer
+    /// *before* ingesting the frames released afterwards.
+    PeerRestarted(u32),
+}
+
+impl Link {
+    /// A fresh link from `me` (at boot epoch `my_epoch`) to `peer`.
+    #[must_use]
+    pub fn new(me: u32, my_epoch: u32, peer: u32, cfg: LinkConfig) -> Self {
+        Link {
+            me,
+            my_epoch,
+            peer,
+            cfg,
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            exhausted: false,
+            peer_epoch: None,
+            next_release: 0,
+            confirmed: 0,
+            ooo: BTreeMap::new(),
+            ack_due: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The neighbor this link serves.
+    #[must_use]
+    pub fn peer(&self) -> u32 {
+        self.peer
+    }
+
+    /// Restores receive-side state from the journal after a restart:
+    /// every journaled frame of `peer_epoch` was released in sequence
+    /// order starting at 0, so `count` frames are both released and
+    /// confirmed.
+    pub fn restore_rx(&mut self, peer_epoch: u32, count: u64) {
+        self.peer_epoch = Some(peer_epoch);
+        self.next_release = count;
+        self.confirmed = count;
+        // Tell the peer where we are so it prunes its unacked buffer.
+        self.ack_due = true;
+    }
+
+    /// Queues `frame` on the tx stream; it transmits on the next
+    /// [`Link::flush`] and retransmits until acked.
+    pub fn send(&mut self, frame: SeqFrame) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.sent += 1;
+        self.unacked.push_back(Outstanding {
+            seq,
+            frame,
+            due: 0, // due immediately: first flush transmits it
+            attempts: 0,
+        });
+    }
+
+    /// Ingests one decoded packet from this peer. Returns any frames
+    /// released in order (paired with their sequence numbers) plus an
+    /// [`RxEvent`] the runtime may need to act on *first*.
+    pub fn on_packet(&mut self, pkt: &Packet) -> (RxEvent, Vec<(u64, SeqFrame)>) {
+        match pkt.kind {
+            PacketKind::Ack { ack_epoch, cum } => {
+                // Acks are valid only for the stream they acknowledge:
+                // a pre-restart ack must not consume post-restart frames.
+                if ack_epoch == self.my_epoch {
+                    let before = self.unacked.len();
+                    while self.unacked.front().is_some_and(|o| o.seq < cum) {
+                        self.unacked.pop_front();
+                    }
+                    if self.unacked.len() < before {
+                        self.stats.acks_rx += 1;
+                    }
+                } else {
+                    self.stats.stale_rx += 1;
+                }
+                (RxEvent::None, Vec::new())
+            }
+            PacketKind::Seq { seq, frame } => {
+                let mut event = RxEvent::None;
+                match self.peer_epoch {
+                    None => self.peer_epoch = Some(pkt.epoch),
+                    Some(e) if pkt.epoch < e => {
+                        self.stats.stale_rx += 1;
+                        return (RxEvent::None, Vec::new());
+                    }
+                    Some(e) if pkt.epoch > e => {
+                        // Peer restarted: its stream starts over.
+                        self.peer_epoch = Some(pkt.epoch);
+                        self.next_release = 0;
+                        self.confirmed = 0;
+                        self.ooo.clear();
+                        event = RxEvent::PeerRestarted(pkt.epoch);
+                    }
+                    Some(_) => {}
+                }
+                if seq < self.next_release || self.ooo.contains_key(&seq) {
+                    self.stats.dup_rx += 1;
+                    // Re-ack so the peer stops retransmitting.
+                    self.ack_due = true;
+                    return (event, Vec::new());
+                }
+                self.ooo.insert(seq, frame);
+                let mut released = Vec::new();
+                while let Some(frame) = self.ooo.remove(&self.next_release) {
+                    released.push((self.next_release, frame));
+                    self.next_release += 1;
+                }
+                (event, released)
+            }
+        }
+    }
+
+    /// Marks every released frame as journaled, scheduling a cumulative
+    /// ack. Call after durably recording the frames [`Link::on_packet`]
+    /// returned — never before.
+    pub fn confirm_released(&mut self) {
+        if self.confirmed != self.next_release {
+            self.confirmed = self.next_release;
+            self.ack_due = true;
+        }
+    }
+
+    /// Emits every datagram due at `tick`: a cumulative ack if one is
+    /// pending, and any unacked frame whose retransmission timer
+    /// expired. Encoded datagrams are appended to `out` (all destined
+    /// for [`Link::peer`]).
+    pub fn flush(&mut self, tick: u64, out: &mut Vec<Vec<u8>>) {
+        if self.ack_due {
+            self.ack_due = false;
+            if let Some(pe) = self.peer_epoch {
+                out.push(encode_packet(&Packet {
+                    src: self.me,
+                    epoch: self.my_epoch,
+                    kind: PacketKind::Ack {
+                        ack_epoch: pe,
+                        cum: self.confirmed,
+                    },
+                }));
+            }
+        }
+        let cfg = self.cfg;
+        for o in &mut self.unacked {
+            if o.due > tick {
+                continue;
+            }
+            if let Some(max) = cfg.max_attempts {
+                if o.attempts > max {
+                    self.exhausted = true;
+                    continue;
+                }
+            }
+            if o.attempts > 0 {
+                self.stats.retransmits += 1;
+            }
+            out.push(encode_packet(&Packet {
+                src: self.me,
+                epoch: self.my_epoch,
+                kind: PacketKind::Seq {
+                    seq: o.seq,
+                    frame: o.frame,
+                },
+            }));
+            let shift = o.attempts.min(cfg.backoff_cap);
+            let backoff = cfg.base_timeout << shift;
+            let jitter = if cfg.jitter == 0 {
+                0
+            } else {
+                retry_seed(self.peer as usize, o.attempts) % (cfg.jitter + 1)
+            };
+            o.due = tick + backoff + jitter;
+            o.attempts += 1;
+        }
+    }
+
+    /// Frames sent but not yet cumulatively acked.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// True once any frame ran out of retransmission attempts (only
+    /// possible with a bounded [`LinkConfig::max_attempts`]).
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The peer's epoch as last observed (None before first contact).
+    #[must_use]
+    pub fn peer_epoch(&self) -> Option<u32> {
+        self.peer_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(round: u32) -> SeqFrame {
+        SeqFrame::Mark { round }
+    }
+
+    fn seq_packet(src: u32, epoch: u32, seq: u64, frame: SeqFrame) -> Packet {
+        Packet {
+            src,
+            epoch,
+            kind: PacketKind::Seq { seq, frame },
+        }
+    }
+
+    #[test]
+    fn releases_in_order_and_buffers_gaps() {
+        let mut link = Link::new(0, 1, 1, LinkConfig::default());
+        let (_, r) = link.on_packet(&seq_packet(1, 1, 1, mark(2)));
+        assert!(r.is_empty(), "gap must hold release");
+        let (_, r) = link.on_packet(&seq_packet(1, 1, 0, mark(1)));
+        assert_eq!(r, vec![(0, mark(1)), (1, mark(2))]);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_and_reacked() {
+        let mut link = Link::new(0, 1, 1, LinkConfig::default());
+        let (_, r) = link.on_packet(&seq_packet(1, 1, 0, mark(1)));
+        assert_eq!(r.len(), 1);
+        link.confirm_released();
+        let (_, r) = link.on_packet(&seq_packet(1, 1, 0, mark(1)));
+        assert!(r.is_empty());
+        assert_eq!(link.stats.dup_rx, 1);
+        let mut out = Vec::new();
+        link.flush(0, &mut out);
+        assert_eq!(out.len(), 1, "duplicate triggers a fresh ack");
+    }
+
+    #[test]
+    fn retransmits_until_acked_with_backoff() {
+        let cfg = LinkConfig {
+            base_timeout: 4,
+            backoff_cap: 2,
+            jitter: 0,
+            max_attempts: None,
+        };
+        let mut link = Link::new(0, 1, 1, cfg);
+        link.send(mark(1));
+        let mut out = Vec::new();
+        link.flush(0, &mut out);
+        assert_eq!(out.len(), 1, "first transmission");
+        out.clear();
+        link.flush(1, &mut out);
+        assert!(out.is_empty(), "not due yet");
+        link.flush(4, &mut out);
+        assert_eq!(out.len(), 1, "first retransmission at base timeout");
+        assert_eq!(link.stats.retransmits, 1);
+        // Ack for the frame stops retransmission.
+        link.on_packet(&Packet {
+            src: 1,
+            epoch: 9,
+            kind: PacketKind::Ack {
+                ack_epoch: 1,
+                cum: 1,
+            },
+        });
+        assert_eq!(link.in_flight(), 0);
+        out.clear();
+        link.flush(100, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_acks_do_not_consume_new_stream() {
+        let mut link = Link::new(0, 2, 1, LinkConfig::default());
+        link.send(mark(1));
+        link.on_packet(&Packet {
+            src: 1,
+            epoch: 1,
+            kind: PacketKind::Ack {
+                ack_epoch: 1, // acknowledges epoch 1; we are epoch 2
+                cum: 5,
+            },
+        });
+        assert_eq!(link.in_flight(), 1, "stale ack ignored");
+        assert_eq!(link.stats.stale_rx, 1);
+    }
+
+    #[test]
+    fn peer_epoch_bump_resets_rx_and_reports_restart() {
+        let mut link = Link::new(0, 1, 1, LinkConfig::default());
+        let (_, r) = link.on_packet(&seq_packet(1, 1, 0, mark(1)));
+        assert_eq!(r.len(), 1);
+        link.confirm_released();
+        // Peer restarts: epoch 2, stream restarts at seq 0.
+        let (ev, r) = link.on_packet(&seq_packet(1, 2, 0, mark(1)));
+        assert_eq!(ev, RxEvent::PeerRestarted(2));
+        assert_eq!(r, vec![(0, mark(1))]);
+        // Old-epoch stragglers are now stale.
+        let (ev, r) = link.on_packet(&seq_packet(1, 1, 1, mark(2)));
+        assert_eq!(ev, RxEvent::None);
+        assert!(r.is_empty());
+        assert_eq!(link.stats.stale_rx, 1);
+    }
+
+    #[test]
+    fn restore_rx_suppresses_journaled_frames() {
+        let mut link = Link::new(0, 1, 1, LinkConfig::default());
+        link.restore_rx(3, 2); // journal held seqs 0 and 1 of epoch 3
+        let (_, r) = link.on_packet(&seq_packet(1, 3, 0, mark(1)));
+        assert!(r.is_empty());
+        assert_eq!(link.stats.dup_rx, 1);
+        let (_, r) = link.on_packet(&seq_packet(1, 3, 2, mark(2)));
+        assert_eq!(r, vec![(2, mark(2))]);
+    }
+
+    #[test]
+    fn bounded_attempts_exhaust() {
+        let cfg = LinkConfig {
+            base_timeout: 1,
+            backoff_cap: 0,
+            jitter: 0,
+            max_attempts: Some(2),
+        };
+        let mut link = Link::new(0, 1, 1, cfg);
+        link.send(mark(1));
+        let mut out = Vec::new();
+        for tick in 0..10 {
+            link.flush(tick, &mut out);
+        }
+        assert!(link.exhausted());
+    }
+
+    #[test]
+    fn jitter_is_deterministic() {
+        let cfg = LinkConfig {
+            base_timeout: 4,
+            backoff_cap: 3,
+            jitter: 5,
+            max_attempts: None,
+        };
+        let run = || {
+            let mut link = Link::new(0, 1, 1, cfg);
+            link.send(mark(1));
+            let mut ticks = Vec::new();
+            let mut out = Vec::new();
+            for tick in 0..200 {
+                out.clear();
+                link.flush(tick, &mut out);
+                if !out.is_empty() {
+                    ticks.push(tick);
+                }
+            }
+            ticks
+        };
+        assert_eq!(run(), run());
+    }
+}

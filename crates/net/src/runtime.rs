@@ -1,0 +1,514 @@
+//! The networked node runtime: lockstep rounds over reliable links.
+//!
+//! [`NodeRuntime`] runs one grid node's [`InstanceHost`] — every
+//! concurrent broadcast instance the node participates in — over a
+//! [`Datagram`] transport, reproducing the simulator's round semantics
+//! exactly:
+//!
+//! * entering round `k`, a node sends each neighbor its round-`k`
+//!   deliveries (`Data`) followed by a `Mark(k)` barrier token on the
+//!   per-neighbor FIFO [`Link`];
+//! * round `k` *completes* once `Mark(k)` arrived from every
+//!   non-suspected neighbor — the link's in-order release guarantees
+//!   all of a peer's round-`k` data precedes its mark;
+//! * completed deliveries are replayed to the host sorted by the
+//!   sender's TDMA rank ([`transmission_order`]), per-sender FIFO — the
+//!   simulator's exact global delivery order restricted to this
+//!   neighborhood. Same inputs, same callbacks, same decisions: the
+//!   golden parity tests assert digest equality against the sim oracle.
+//!
+//! **Degraded mode.** A peer that stays silent past the configured
+//! patience is *suspected* and the barrier proceeds without it —
+//! quarantine rather than wedging, mirroring the supervisor's
+//! degraded-task taxonomy ([`rbcast_core::supervisor::TaskError`]): a
+//! dead neighbor costs its input, not the cluster's liveness. A frame
+//! from a suspect lifts the suspicion.
+//!
+//! **Crash recovery.** Every released frame is journaled *before* it is
+//! acknowledged and every round completion is journaled before the next
+//! round's sends — so a restarted node can deterministically re-run
+//! ingestion from its [`NetJournal`], rebuild protocol state and link
+//! receive windows, and re-send the (regenerated) rounds its peers may
+//! still be missing, under a bumped epoch that tells peers to reset.
+
+use crate::journal::{JournalError, NetJournal, Record};
+use crate::link::{Link, LinkConfig, LinkStats};
+use crate::transport::Datagram;
+use crate::wire::{decode_packet, SeqFrame};
+use rbcast_grid::{NeighborTable, NodeId};
+use rbcast_protocols::Msg;
+use rbcast_sim::driver::{transmission_order, transmission_ranks, InstanceHost, InstanceId};
+use rbcast_sim::{Process, Round, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Lockstep runtime parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Delivery rounds to run (rounds `1..=rounds`; round 0 is the
+    /// spawn round). Every node in a cluster must agree.
+    pub rounds: Round,
+    /// Link-layer retransmission policy.
+    pub link: LinkConfig,
+    /// Ticks without progress (no frame released, no round completed)
+    /// before the missing neighbors are suspected and the barrier
+    /// proceeds degraded.
+    pub patience: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            rounds: 32,
+            link: LinkConfig::default(),
+            patience: 50_000,
+        }
+    }
+}
+
+/// Runtime-level counters (link counters live in [`LinkStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Datagrams that failed wire decoding (corruption, truncation).
+    pub wire_errors: u64,
+    /// Datagrams whose header source is not a neighbor.
+    pub unknown_src: u64,
+    /// Frames delivered into round buffers.
+    pub frames_ingested: u64,
+    /// Frames dropped as stale (rounds already completed).
+    pub stale_frames: u64,
+    /// Deliveries addressed to an instance this node does not host.
+    pub unknown_instance: u64,
+    /// Rounds completed without a full mark set (degraded).
+    pub forced_rounds: u64,
+}
+
+/// End-of-run summary for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Boot epoch of the reporting incarnation.
+    pub epoch: u32,
+    /// Rounds closed (including round 0).
+    pub rounds_closed: Round,
+    /// Per-instance decisions with the round each was made in.
+    pub decisions: Vec<(InstanceId, Value, Round)>,
+    /// Neighbors still suspected at the end.
+    pub suspects: Vec<u32>,
+    /// Runtime counters.
+    pub stats: RuntimeStats,
+    /// Link counters summed over all neighbors.
+    pub link_totals: LinkStats,
+}
+
+impl NodeReport {
+    /// True when the run stayed fully synchronous: no suspected peers
+    /// and no force-completed rounds. A degraded (but live) node maps
+    /// to the supervisor taxonomy's quarantine outcome instead.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.suspects.is_empty() && self.stats.forced_rounds == 0
+    }
+}
+
+/// One node of the networked cluster. See the module docs for the
+/// protocol; construction is via [`NodeRuntime::open`], which handles
+/// both fresh starts and journal-driven resumption.
+pub struct NodeRuntime {
+    me: NodeId,
+    epoch: u32,
+    cfg: RuntimeConfig,
+    rank_of: Vec<u32>,
+    host: InstanceHost<Msg>,
+    links: BTreeMap<u32, Link>,
+    /// Un-consumed deliveries per round per sending neighbor, in link
+    /// release (= sequence) order.
+    buffers: BTreeMap<Round, BTreeMap<u32, Vec<(InstanceId, Msg)>>>,
+    /// Barrier tokens per round.
+    marks: BTreeMap<Round, BTreeSet<u32>>,
+    /// Highest epoch ingested per neighbor (restart detection for the
+    /// deterministic ingestion path, live and replay alike).
+    peer_epochs: BTreeMap<u32, u32>,
+    /// Broadcast payloads of the last two closed rounds, keyed by the
+    /// round they are delivered in — exactly what a resumed node must
+    /// re-send.
+    recent_outs: VecDeque<(Round, Vec<(InstanceId, Msg)>)>,
+    suspects: BTreeSet<u32>,
+    transport: Box<dyn Datagram>,
+    journal: Box<dyn NetJournal>,
+    replaying: bool,
+    tick: u64,
+    last_progress: u64,
+    /// Counters.
+    pub stats: RuntimeStats,
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("me", &self.me)
+            .field("epoch", &self.epoch)
+            .field("round", &self.host.round())
+            .field("suspects", &self.suspects)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeRuntime {
+    /// Starts (or resumes) node `me`. When `journal` already holds
+    /// records, the node replays them — rebuilding host state, link
+    /// receive windows, and the outboxes peers may still be missing —
+    /// and comes back under a bumped epoch; an empty journal is a fresh
+    /// start at epoch 1.
+    ///
+    /// `instances` lists every broadcast instance of the run (the
+    /// instance set is static configuration, known to all nodes before
+    /// round 0 closes); `spawn` builds this node's process for each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError`] when an existing journal is corrupt.
+    pub fn open(
+        arena: Arc<NeighborTable>,
+        me: NodeId,
+        instances: &[InstanceId],
+        spawn: &mut dyn FnMut(InstanceId) -> Box<dyn Process<Msg>>,
+        transport: Box<dyn Datagram>,
+        mut journal: Box<dyn NetJournal>,
+        cfg: RuntimeConfig,
+    ) -> Result<Self, JournalError> {
+        let prior = journal.records()?;
+        let epoch = 1 + prior
+            .iter()
+            .filter_map(|r| match r {
+                Record::Boot { epoch } => Some(*epoch),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        journal.append(&Record::Boot { epoch });
+
+        let order = transmission_order(&arena);
+        let rank_of = transmission_ranks(&order, arena.len());
+        let mut host = InstanceHost::new(Arc::clone(&arena), me);
+        for &inst in instances {
+            host.spawn(inst, spawn(inst));
+        }
+
+        let mut rt = NodeRuntime {
+            me,
+            epoch,
+            cfg,
+            rank_of,
+            host,
+            links: BTreeMap::new(),
+            buffers: BTreeMap::new(),
+            marks: BTreeMap::new(),
+            peer_epochs: BTreeMap::new(),
+            recent_outs: VecDeque::new(),
+            suspects: BTreeSet::new(),
+            transport,
+            journal,
+            replaying: true,
+            tick: 0,
+            last_progress: 0,
+            stats: RuntimeStats::default(),
+        };
+
+        // Deterministic re-ingestion: the journal records exactly the
+        // frame sequence the previous incarnations processed, so
+        // running the live ingestion logic over it reproduces their
+        // state — including drops and epoch resets.
+        let mut rx_state: BTreeMap<u32, (u32, u64)> = BTreeMap::new();
+        for record in &prior {
+            match record {
+                Record::Boot { .. } => {}
+                Record::Frame {
+                    peer,
+                    peer_epoch,
+                    seq,
+                    frame,
+                } => {
+                    let entry = rx_state.entry(*peer).or_insert((*peer_epoch, 0));
+                    if *peer_epoch > entry.0 {
+                        *entry = (*peer_epoch, 0);
+                    }
+                    entry.1 = entry.1.max(seq + 1);
+                    rt.ingest(*peer, *peer_epoch, *frame);
+                }
+                Record::Complete { .. } => rt.complete_round(),
+            }
+        }
+        rt.replaying = false;
+
+        // Links come up under the new epoch; receive windows resume
+        // where the journal proves delivery (journal-before-ack: every
+        // acked frame is journaled, so peers lose nothing).
+        let neighbors: Vec<u32> = arena.neighbors(me).iter().map(|n| n.0).collect();
+        for &peer in &neighbors {
+            let mut link = Link::new(me.0, epoch, peer, cfg.link);
+            if let Some(&(pe, count)) = rx_state.get(&peer) {
+                link.restore_rx(pe, count);
+            }
+            rt.links.insert(peer, link);
+        }
+
+        if rt.host.round() == 0 {
+            // Fresh start (or a crash before round 0 closed): close the
+            // spawn round now, which queues round 1 on the links.
+            rt.complete_round();
+        } else {
+            // Peers are provably within [R, R+1] of our last completed
+            // round R, so re-sending the regenerated outboxes of those
+            // two rounds (plus their barrier marks) under the new epoch
+            // covers everything our lost unacked buffers owed them.
+            let resend: Vec<_> = rt.recent_outs.iter().cloned().collect();
+            for (round, frames) in resend {
+                rt.queue_round(round, &frames);
+            }
+        }
+        Ok(rt)
+    }
+
+    /// The node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// This incarnation's boot epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Rounds closed so far (including round 0).
+    #[must_use]
+    pub fn rounds_closed(&self) -> Round {
+        self.host.round()
+    }
+
+    /// True once every configured round has closed.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.host.round() > self.cfg.rounds
+    }
+
+    /// True once finished *and* every peer has acknowledged everything
+    /// we sent — safe to exit without stranding a slower neighbor.
+    #[must_use]
+    pub fn quiesced(&self) -> bool {
+        self.finished() && self.links.values().all(|l| l.in_flight() == 0)
+    }
+
+    /// Sends the given round's deliveries plus its barrier mark to
+    /// every neighbor (rounds past the configured horizon are nobody's
+    /// input and are skipped).
+    fn queue_round(&mut self, round: Round, frames: &[(InstanceId, Msg)]) {
+        if round == 0 || round > self.cfg.rounds {
+            return;
+        }
+        for link in self.links.values_mut() {
+            for &(instance, msg) in frames {
+                link.send(SeqFrame::Data {
+                    round,
+                    instance,
+                    msg,
+                });
+            }
+            link.send(SeqFrame::Mark { round });
+        }
+    }
+
+    /// Deterministic ingestion of one released frame — shared verbatim
+    /// by the live path and journal replay, which is what makes replay
+    /// faithful.
+    fn ingest(&mut self, peer: u32, peer_epoch: u32, frame: SeqFrame) {
+        let seen = self.peer_epochs.entry(peer).or_insert(peer_epoch);
+        if peer_epoch > *seen {
+            // The peer restarted: whatever it sent of un-completed
+            // rounds under the old epoch will be re-sent in full under
+            // the new one (its outboxes regenerate deterministically),
+            // so partial old-epoch buffers must go.
+            *seen = peer_epoch;
+            for by_peer in self.buffers.values_mut() {
+                by_peer.remove(&peer);
+            }
+            for marked in self.marks.values_mut() {
+                marked.remove(&peer);
+            }
+        }
+        // Any sign of life lifts suspicion; the patience clock re-arms.
+        self.suspects.remove(&peer);
+        let current = self.host.round();
+        match frame {
+            SeqFrame::Data {
+                round,
+                instance,
+                msg,
+            } => {
+                if round < current || round > self.cfg.rounds {
+                    self.stats.stale_frames += 1;
+                    return;
+                }
+                self.stats.frames_ingested += 1;
+                self.buffers
+                    .entry(round)
+                    .or_default()
+                    .entry(peer)
+                    .or_default()
+                    .push((instance, msg));
+            }
+            SeqFrame::Mark { round } => {
+                if round < current || round > self.cfg.rounds {
+                    self.stats.stale_frames += 1;
+                    return;
+                }
+                self.marks.entry(round).or_default().insert(peer);
+            }
+        }
+    }
+
+    /// Closes the currently collecting round: replays its buffered
+    /// deliveries to the host in sim order (sender TDMA rank, FIFO per
+    /// sender), runs the round-end callbacks, journals the completion,
+    /// and queues the next round's broadcasts.
+    fn complete_round(&mut self) {
+        let k = self.host.round();
+        if let Some(by_peer) = self.buffers.remove(&k) {
+            let mut senders: Vec<u32> = by_peer.keys().copied().collect();
+            senders.sort_by_key(|&p| self.rank_of[p as usize]);
+            for peer in senders {
+                let from = NodeId(peer);
+                for (instance, msg) in &by_peer[&peer] {
+                    if !self.host.deliver(*instance, from, msg) {
+                        self.stats.unknown_instance += 1;
+                    }
+                }
+            }
+        }
+        self.marks.remove(&k);
+        let out = self.host.end_round();
+        if !self.replaying {
+            self.journal.append(&Record::Complete { round: k });
+        }
+        self.recent_outs.push_back((k + 1, out.clone()));
+        if self.recent_outs.len() > 2 {
+            self.recent_outs.pop_front();
+        }
+        if !self.replaying {
+            self.queue_round(k + 1, &out);
+        }
+        self.last_progress = self.tick;
+    }
+
+    /// Neighbors whose round-`k` mark the barrier is still waiting on.
+    fn missing_marks(&self, k: Round) -> Vec<u32> {
+        let marked = self.marks.get(&k);
+        self.links
+            .keys()
+            .filter(|p| !self.suspects.contains(p))
+            .filter(|p| !marked.is_some_and(|m| m.contains(p)))
+            .copied()
+            .collect()
+    }
+
+    /// One cooperative scheduling step: drain the transport, advance
+    /// the barrier, fire retransmissions. Returns [`Self::finished`].
+    pub fn pump(&mut self) -> bool {
+        self.tick += 1;
+        self.transport.tick(self.tick);
+
+        // Ingest everything the transport has.
+        while let Some(bytes) = self.transport.poll() {
+            let Ok(pkt) = decode_packet(&bytes) else {
+                self.stats.wire_errors += 1;
+                continue;
+            };
+            let Some(link) = self.links.get_mut(&pkt.src) else {
+                self.stats.unknown_src += 1;
+                continue;
+            };
+            let (_event, released) = link.on_packet(&pkt);
+            if released.is_empty() {
+                continue;
+            }
+            // Journal before ack: once these lines are durable the
+            // frames can never be lost, so acknowledging is safe.
+            // Only Seq packets release frames, and the link clears its
+            // out-of-order buffer on an epoch bump, so every released
+            // frame belongs to this packet's header epoch.
+            let pe = pkt.epoch;
+            for &(seq, frame) in &released {
+                self.journal.append(&Record::Frame {
+                    peer: pkt.src,
+                    peer_epoch: pe,
+                    seq,
+                    frame,
+                });
+            }
+            self.links
+                .get_mut(&pkt.src)
+                .expect("link existed a moment ago")
+                .confirm_released();
+            for (_seq, frame) in released {
+                self.ingest(pkt.src, pe, frame);
+            }
+            self.last_progress = self.tick;
+        }
+
+        // Advance the barrier as far as the marks allow.
+        while !self.finished() && self.missing_marks(self.host.round()).is_empty() {
+            self.complete_round();
+        }
+
+        // Patience: a barrier stalled too long proceeds without the
+        // silent peers (degraded, not wedged).
+        if !self.finished() && self.tick.saturating_sub(self.last_progress) > self.cfg.patience {
+            let missing = self.missing_marks(self.host.round());
+            if !missing.is_empty() {
+                self.suspects.extend(missing);
+                self.stats.forced_rounds += 1;
+            }
+            self.last_progress = self.tick;
+            while !self.finished() && self.missing_marks(self.host.round()).is_empty() {
+                self.complete_round();
+            }
+        }
+
+        // Fire acks and due retransmissions.
+        let mut out = Vec::new();
+        for link in self.links.values_mut() {
+            out.clear();
+            link.flush(self.tick, &mut out);
+            let to = link.peer();
+            for bytes in &out {
+                self.transport.send(to, bytes);
+            }
+        }
+        self.finished()
+    }
+
+    /// The end-of-run summary.
+    #[must_use]
+    pub fn report(&self) -> NodeReport {
+        let mut link_totals = LinkStats::default();
+        for l in self.links.values() {
+            link_totals.sent += l.stats.sent;
+            link_totals.retransmits += l.stats.retransmits;
+            link_totals.dup_rx += l.stats.dup_rx;
+            link_totals.stale_rx += l.stats.stale_rx;
+            link_totals.acks_rx += l.stats.acks_rx;
+        }
+        NodeReport {
+            node: self.me,
+            epoch: self.epoch,
+            rounds_closed: self.host.round(),
+            decisions: self.host.decisions(),
+            suspects: self.suspects.iter().copied().collect(),
+            stats: self.stats,
+            link_totals,
+        }
+    }
+}

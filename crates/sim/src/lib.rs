@@ -57,13 +57,15 @@
 #![warn(missing_docs)]
 
 mod channel;
+pub mod driver;
 mod harness;
 mod network;
 mod process;
 mod stats;
 pub mod trace;
 
-pub use channel::ChannelConfig;
+pub use channel::{BurstChain, BurstLoss, ChannelConfig};
+pub use driver::{InstanceHost, InstanceId, NodeDriver, ProtocolDriver};
 pub use harness::Harness;
 pub use network::{EngineKind, Network};
 pub use process::{Ctx, Process};

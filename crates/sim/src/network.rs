@@ -4,7 +4,7 @@ use crate::channel::delivery_lost;
 use crate::process::{DecisionLedger, NodeState};
 use crate::trace::{TraceEvent, TraceSink, FNV_OFFSET};
 use crate::{ChannelConfig, Ctx, Process, Round, RoundReport, RunStats, StopReason, Value};
-use rbcast_grid::{BitSet, Metric, NeighborTable, NodeId, TdmaSchedule, Torus};
+use rbcast_grid::{BitSet, Metric, NeighborTable, NodeId, Torus};
 use std::sync::Arc;
 
 /// Sentinel for "never crashes" in the SoA crash array: no real crash
@@ -181,15 +181,10 @@ impl<M> Network<M> {
         let n = torus.len();
         // Transmission order: TDMA slot order when a periodic schedule
         // fits this torus, id order otherwise (the model guarantees
-        // collision-freedom either way).
-        let mut order: Vec<NodeId> = torus.node_ids().collect();
-        if let Ok(tdma) = TdmaSchedule::new(torus, arena.radius()) {
-            order.sort_by_key(|&id| (tdma.slot_of(torus.coord(id)), id));
-        }
-        let mut rank_of = vec![0u32; n];
-        for (rank, &id) in order.iter().enumerate() {
-            rank_of[id.index()] = u32::try_from(rank).expect("node count fits u32");
-        }
+        // collision-freedom either way). Shared with the networked
+        // runtime via the driver module so both sort identically.
+        let order = crate::driver::transmission_order(&arena);
+        let rank_of = crate::driver::transmission_ranks(&order, n);
         let processes = torus.node_ids().map(|id| Some(make(id))).collect();
         let states = (0..n).map(|_| NodeState::default()).collect();
         Network {
@@ -443,7 +438,7 @@ impl<M> Network<M> {
                             continue;
                         }
                     }
-                    if delivery_lost(&self.channel, round, tx_index, rid) {
+                    if delivery_lost(&self.channel, round, tx_index, tx.sender, rid) {
                         self.lost_deliveries += 1;
                         if self.tracing() {
                             self.emit(TraceEvent::Lost {
@@ -1189,6 +1184,71 @@ mod tests {
         assert_eq!(stats.deliveries + stats.lost_deliveries, 24);
         assert!(stats.lost_deliveries > 0, "no losses at 50%");
         assert!(stats.deliveries > 0, "everything lost at 50%");
+    }
+
+    #[test]
+    fn bursty_channel_accounts_losses_and_replays_identically() {
+        // Gilbert–Elliot losses obey the same invariants as the flat
+        // coin: every non-delivery is accounted, and the same seed
+        // replays byte-identically (trace hash and all counters).
+        let burst = crate::BurstLoss::new(0.3, 0.3, 0.0, 1.0);
+        let run = || {
+            let torus = Torus::new(12, 12);
+            let log: Log = Rc::new(RefCell::new(Vec::new()));
+            let log2 = log.clone();
+            let talker = torus.id(Coord::new(5, 5));
+            let mut net = Network::new_with_channel(
+                torus.clone(),
+                2,
+                Metric::Linf,
+                crate::ChannelConfig::bursty(burst, 99),
+                move |id| {
+                    Box::new(Recorder {
+                        echo: true,
+                        start_value: (id == talker).then_some(1),
+                        log: log2.clone(),
+                        echoed: false,
+                    })
+                },
+            );
+            let stats = net.run(8);
+            (stats, net.trace_hash())
+        };
+        let (a, hash_a) = run();
+        let (b, hash_b) = run();
+        assert_eq!(hash_a, hash_b, "same-seed burst runs must replay");
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.lost_deliveries, b.lost_deliveries);
+        assert!(a.lost_deliveries > 0, "no burst losses at 50% bad time");
+        assert!(a.deliveries > 0, "everything lost");
+    }
+
+    #[test]
+    fn burst_losses_respect_jam_accounting() {
+        // Jamming and burst loss compose: jammed deliveries are counted
+        // as jammed (not lost), and the jam budget is still exact.
+        let torus = Torus::new(12, 12);
+        let jammer = torus.id(Coord::new(0, 0));
+        let talker = torus.id(Coord::new(5, 5));
+        let burst = crate::BurstLoss::new(0.2, 0.4, 0.0, 1.0);
+        let channel = crate::ChannelConfig::bursty(burst, 3).with_jammers(vec![jammer], 1);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        let mut net =
+            Network::new_with_channel(torus.clone(), 2, Metric::Linf, channel, move |id| {
+                Box::new(Recorder {
+                    echo: true,
+                    start_value: (id == talker).then_some(1),
+                    log: log2.clone(),
+                    echoed: false,
+                })
+            });
+        let stats = net.run(8);
+        assert_eq!(
+            stats.jammed_transmissions, 1,
+            "the single-collision battery must be spent exactly once"
+        );
+        assert!(stats.lost_deliveries > 0, "burst chain never went bad");
     }
 
     #[test]

@@ -31,6 +31,7 @@ const LIB_SRC: &[&str] = &[
     "crates/adversary/src",
     "crates/protocols/src",
     "crates/core/src",
+    "crates/net/src",
     "src",
 ];
 
@@ -49,6 +50,7 @@ const CLOCK_SRC: &[&str] = &[
     "crates/adversary/src",
     "crates/protocols/src",
     "crates/core/src",
+    "crates/net/src",
     "crates/bench/src",
     "src",
 ];
@@ -133,6 +135,16 @@ impl Ctx<'_> {
     fn config_module(&self) -> PathBuf {
         self.index
             .exempt_file(ItemKind::Fn, "env_var", "crates/core/src/config.rs")
+    }
+
+    /// The file sanctioned to touch raw sockets: wherever
+    /// `struct UdpTransport` (the datagram transport) is defined.
+    fn transport_module(&self) -> PathBuf {
+        self.index.exempt_file(
+            ItemKind::Struct,
+            "UdpTransport",
+            "crates/net/src/transport.rs",
+        )
     }
 }
 
@@ -295,6 +307,18 @@ pub fn all_rules() -> &'static [Rule] {
                 "crates/protocols/src",
             ],
             check: check_threshold_arith,
+        },
+        Rule {
+            id: "raw-socket-io",
+            allow_name: "raw-socket",
+            summary: "raw socket I/O (std::net, UdpSocket, TcpStream, TcpListener) is \
+                      confined to rbcast-net's transport module (everything above it \
+                      must stay transport-agnostic behind the Datagram trait, so the \
+                      loopback parity oracle exercises the identical code path)",
+            fix: "route datagrams through rbcast_net::transport::Datagram \
+                  (UdpTransport / LoopbackHub) instead of opening sockets directly",
+            scopes: CLOCK_SRC,
+            check: check_raw_socket_io,
         },
         Rule {
             id: "env-read",
@@ -680,6 +704,36 @@ fn check_threshold_arith(m: &FileModel, _ctx: &Ctx) -> Vec<Finding> {
     out
 }
 
+fn check_raw_socket_io(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
+    if m.rel == ctx.transport_module() {
+        return Vec::new();
+    }
+    // `std :: net` catches qualified paths and `use` imports; the bare
+    // type names catch anything brought into scope another way. The
+    // socket types also match inside `std::net::…` paths, which just
+    // means a fully qualified open reports twice — both findings point
+    // at the same line, and both are correct.
+    scan_seqs(
+        m,
+        &[
+            &["std", "::", "net"],
+            &["UdpSocket"],
+            &["TcpStream"],
+            &["TcpListener"],
+        ],
+        |p| {
+            format!(
+                "raw socket I/O ({}) outside rbcast-net's transport module: code \
+                 above the transport must stay behind the Datagram trait so the \
+                 loopback parity oracle and the UDP cluster run the identical \
+                 protocol/link/runtime path; take a `dyn Datagram` instead (or \
+                 annotate audit:allow(raw-socket) with a layering argument)",
+                p.join("")
+            )
+        },
+    )
+}
+
 fn check_env_read(m: &FileModel, ctx: &Ctx) -> Vec<Finding> {
     if m.rel == ctx.config_module() {
         return Vec::new();
@@ -926,6 +980,36 @@ mod tests {
              pub fn shl(r: u32) -> u32 { r << 1 }\n",
         );
         assert_eq!(run(check_threshold_arith, &f), vec![2]);
+    }
+
+    #[test]
+    fn raw_socket_io_confined_to_transport_module() {
+        let idx = WorkspaceIndex::default();
+        let ctx = Ctx { index: &idx };
+        let transport = file(
+            "crates/net/src/transport.rs",
+            "pub struct UdpTransport;\nlet s = std::net::UdpSocket::bind(a).expect(\"bind\");\n",
+        );
+        assert!(check_raw_socket_io(&transport, &ctx).is_empty());
+        let elsewhere = file(
+            "crates/sim/src/w.rs",
+            "let s = std::net::UdpSocket::bind(a).expect(\"bind\");\nlet t = TcpListener::bind(a);\n// UdpSocket in a comment is fine\n",
+        );
+        let v = check_raw_socket_io(&elsewhere, &ctx);
+        // Line 1 matches both the `std::net` path and the bare type.
+        let lines: Vec<usize> = v.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn raw_socket_io_follows_the_udp_transport_definition() {
+        // The exemption tracks wherever `struct UdpTransport` lives, not
+        // a hard-coded path.
+        let moved = file(
+            "crates/net/src/udp.rs",
+            "pub struct UdpTransport;\nuse std::net::UdpSocket;\n",
+        );
+        assert!(run(check_raw_socket_io, &moved).is_empty());
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub enum Command {
         /// Metric.
         metric: Metric,
     },
+    /// Run one networked node over UDP (a cluster child process).
+    Serve(crate::cli_net::ServeSpec),
+    /// Run a whole networked cluster and check sim parity.
+    Cluster {
+        /// Shared per-node configuration.
+        spec: crate::cli_net::NetSpec,
+        /// Orchestration options (transport, kill injection, scratch dir).
+        opts: crate::cli_net::ClusterOpts,
+    },
 }
 
 /// Sweep-only supervision knobs.
@@ -120,6 +129,9 @@ USAGE:
                [--retries N] [--round-budget N] [--trace-dir DIR]
                [--timings] [run options]
   rbcast audit --placement PL [--r N] [--t N] [--seed N] [--metric M]
+  rbcast serve --node I [net options] [--journal FILE] [--out FILE]
+  rbcast cluster [net options] [--transport udp|loopback] [--kill I]
+               [--dir DIR]
   rbcast help
 
   P  = flood | persistent-flood | cpa | indirect-full | indirect-simplified
@@ -164,6 +176,19 @@ USAGE:
   whose fingerprint does not match the requested sweep (exit 2), since
   its task indices would alias unrelated experiments. Headerless
   journals from older versions resume without the check.
+
+  The networked runtime runs the same verified protocols over real
+  datagrams. Net options (shared by serve and cluster): --width N
+  --height N --r N --metric M --protocol P --t N --instances N
+  --rounds N --base-port N --chaos-seed N --patience N --max-ticks N.
+  `cluster --transport udp` (the default) spawns one `rbcast serve`
+  process per torus node on loopback UDP ports, with per-node JSONL
+  journals under --dir; --kill I crashes node I mid-run and restarts it
+  from its journal. `--transport loopback` runs the cluster in-process.
+  Either way the run's commit digest is checked against the verified
+  simulator on the identical configuration; exit 0 iff they match.
+  --chaos-seed arms the deterministic fault shim (Gilbert–Elliott burst
+  loss, duplication, reordering, delay) on every node.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -206,6 +231,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 placement,
                 metric: spec.metric,
             })
+        }
+        "serve" => Ok(Command::Serve(crate::cli_net::parse_serve(rest)?)),
+        "cluster" => {
+            let (spec, opts) = crate::cli_net::parse_cluster(rest)?;
+            Ok(Command::Cluster { spec, opts })
         }
         other => Err(format!("unknown subcommand: {other}")),
     }
@@ -424,6 +454,8 @@ pub fn execute(cmd: &Command) -> i32 {
             );
             0
         }
+        Command::Serve(spec) => crate::cli_net::execute_serve(spec),
+        Command::Cluster { spec, opts } => crate::cli_net::execute_cluster(spec, opts),
     }
 }
 

@@ -1,0 +1,722 @@
+//! CLI surface of the networked runtime: `rbcast serve` (one UDP node)
+//! and `rbcast cluster` (an N-node torus as local processes, or
+//! in-process over loopback).
+//!
+//! `cluster --transport udp` spawns one `rbcast serve` child per node
+//! via `std::process::Command` (no threads — the supervisor taxonomy's
+//! quarantine semantics extend naturally to whole processes), waits for
+//! their JSON reports, aggregates decisions, and checks the commit
+//! digest against the sim oracle. `--kill I` injects a crash: child `I`
+//! is killed mid-run and respawned with the same journal, exercising
+//! the epoch-bump recovery path end to end over real sockets.
+
+use rbcast_grid::Metric;
+use rbcast_net::{
+    ChaosConfig, ClusterSpec, Datagram, FileJournal, LoopbackCluster, MemJournal, NetJournal,
+    NetProtocol, NodeReport, NodeRuntime, RuntimeConfig, UdpTransport,
+};
+use rbcast_sim::driver::InstanceId;
+use rbcast_sim::Round;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One node's serve invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// This node's id.
+    pub node: u32,
+    /// The shared run configuration.
+    pub cluster: NetSpec,
+    /// Journal path (enables crash recovery). `None` = in-memory.
+    pub journal: Option<PathBuf>,
+    /// Where to write the final JSON report (`None` = stdout).
+    pub out: Option<PathBuf>,
+}
+
+/// The flags shared by `serve` and `cluster` — everything a node needs
+/// to agree on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSpec {
+    /// Torus width.
+    pub width: u32,
+    /// Torus height.
+    pub height: u32,
+    /// Transmission radius.
+    pub radius: u32,
+    /// Neighborhood metric.
+    pub metric: Metric,
+    /// Protocol to run.
+    pub protocol: NetProtocol,
+    /// Fault budget `t`.
+    pub t: usize,
+    /// Concurrent broadcast instances.
+    pub instances: u32,
+    /// Lockstep rounds.
+    pub rounds: Round,
+    /// UDP base port (node `i` binds `base_port + i`).
+    pub base_port: u16,
+    /// Chaos seed (`None` = no chaos shim).
+    pub chaos_seed: Option<u64>,
+    /// Barrier patience in ticks before suspecting a silent peer.
+    pub patience: u64,
+    /// Pump-loop budget in ticks.
+    pub max_ticks: u64,
+}
+
+impl NetSpec {
+    fn to_cluster_spec(&self) -> ClusterSpec {
+        ClusterSpec {
+            width: self.width,
+            height: self.height,
+            radius: self.radius,
+            metric: self.metric,
+            protocol: self.protocol,
+            t: self.t,
+            instances: self.instances,
+            rounds: self.rounds,
+        }
+    }
+
+    fn runtime_config(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            rounds: self.rounds,
+            patience: self.patience,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    fn chaos(&self) -> Option<ChaosConfig> {
+        // The smoke profile's loss is bursty but recoverable; the seed
+        // is the only knob the CLI exposes.
+        self.chaos_seed.map(ChaosConfig::smoke)
+    }
+}
+
+impl Default for NetSpec {
+    fn default() -> Self {
+        NetSpec {
+            width: 3,
+            height: 3,
+            radius: 1,
+            metric: Metric::Linf,
+            protocol: NetProtocol::Cpa,
+            t: 1,
+            instances: 4,
+            rounds: 16,
+            base_port: 47_000,
+            chaos_seed: None,
+            patience: 200_000,
+            max_ticks: 20_000_000,
+        }
+    }
+}
+
+/// `cluster`-only options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOpts {
+    /// `udp` (child processes over sockets) or `loopback` (in-process).
+    pub udp: bool,
+    /// Node to kill and restart mid-run, if any.
+    pub kill: Option<u32>,
+    /// Scratch directory for journals and reports (udp mode).
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for ClusterOpts {
+    fn default() -> Self {
+        ClusterOpts {
+            udp: true,
+            kill: None,
+            dir: None,
+        }
+    }
+}
+
+/// The next argument after a flag that requires a value.
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parses the shared flags; unrecognized flags are delegated to `extra`
+/// which returns true when it consumed the flag.
+fn parse_net_flags(
+    args: &[String],
+    spec: &mut NetSpec,
+    mut extra: impl FnMut(&str, &mut std::slice::Iter<'_, String>) -> Result<bool, String>,
+) -> Result<(), String> {
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--width" => spec.width = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--height" => spec.height = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--r" => spec.radius = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--metric" => {
+                let raw = next_value(&mut it, flag)?;
+                spec.metric = match raw.as_str() {
+                    "linf" => Metric::Linf,
+                    "l2" => Metric::L2,
+                    other => return Err(format!("unknown metric: {other}")),
+                };
+            }
+            "--protocol" => {
+                let raw = next_value(&mut it, flag)?;
+                spec.protocol = NetProtocol::parse(raw)
+                    .ok_or_else(|| format!("unknown protocol for the net runtime: {raw}"))?;
+            }
+            "--t" => spec.t = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--instances" => spec.instances = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--rounds" => spec.rounds = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--base-port" => spec.base_port = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--chaos-seed" => {
+                spec.chaos_seed = Some(parse_str(next_value(&mut it, flag)?, flag)?);
+            }
+            "--patience" => spec.patience = parse_str(next_value(&mut it, flag)?, flag)?,
+            "--max-ticks" => spec.max_ticks = parse_str(next_value(&mut it, flag)?, flag)?,
+            other => {
+                if !extra(other, &mut it)? {
+                    return Err(format!("unknown flag: {other}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_str<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("invalid value for {flag}: {raw}"))
+}
+
+/// Parses `rbcast serve` flags.
+pub fn parse_serve(args: &[String]) -> Result<ServeSpec, String> {
+    let mut spec = NetSpec::default();
+    let mut node: Option<u32> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    parse_net_flags(args, &mut spec, |flag, it| match flag {
+        "--node" => {
+            let raw = it.next().ok_or("--node needs a value")?;
+            node = Some(parse_str(raw, "--node")?);
+            Ok(true)
+        }
+        "--journal" => {
+            let raw = it.next().ok_or("--journal needs a value")?;
+            journal = Some(PathBuf::from(raw));
+            Ok(true)
+        }
+        "--out" => {
+            let raw = it.next().ok_or("--out needs a value")?;
+            out = Some(PathBuf::from(raw));
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    Ok(ServeSpec {
+        node: node.ok_or("serve requires --node")?,
+        cluster: spec,
+        journal,
+        out,
+    })
+}
+
+/// Parses `rbcast cluster` flags.
+pub fn parse_cluster(args: &[String]) -> Result<(NetSpec, ClusterOpts), String> {
+    let mut spec = NetSpec::default();
+    let mut opts = ClusterOpts::default();
+    parse_net_flags(args, &mut spec, |flag, it| match flag {
+        "--transport" => {
+            let raw = it.next().ok_or("--transport needs a value")?;
+            opts.udp = match raw.as_str() {
+                "udp" => true,
+                "loopback" => false,
+                other => return Err(format!("unknown transport: {other}")),
+            };
+            Ok(true)
+        }
+        "--kill" => {
+            let raw = it.next().ok_or("--kill needs a value")?;
+            opts.kill = Some(parse_str(raw, "--kill")?);
+            Ok(true)
+        }
+        "--dir" => {
+            let raw = it.next().ok_or("--dir needs a value")?;
+            opts.dir = Some(PathBuf::from(raw));
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    Ok((spec, opts))
+}
+
+// ---------------------------------------------------------------------
+// Report serialization (strict machine JSON, hand-rolled like the
+// journal's — the parent parses exactly what the child writes)
+// ---------------------------------------------------------------------
+
+fn encode_report(report: &NodeReport) -> String {
+    let mut decisions = String::new();
+    for (i, (inst, value, round)) in report.decisions.iter().enumerate() {
+        if i > 0 {
+            decisions.push(',');
+        }
+        decisions.push_str(&format!(
+            "{{\"o\":{},\"s\":{},\"v\":{},\"r\":{}}}",
+            inst.origin.0,
+            inst.seq,
+            u8::from(*value),
+            round
+        ));
+    }
+    let suspects = report
+        .suspects
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"node\":{},\"epoch\":{},\"rounds\":{},\"healthy\":{},\"suspects\":[{}],\"retransmits\":{},\"decisions\":[{}]}}",
+        report.node.0,
+        report.epoch,
+        report.rounds_closed,
+        report.healthy(),
+        suspects,
+        report.link_totals.retransmits,
+        decisions
+    )
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Decisions parsed out of one child report line, as oracle tuples.
+fn decode_report_decisions(
+    line: &str,
+) -> Option<Vec<(InstanceId, rbcast_grid::NodeId, bool, Round)>> {
+    let node = rbcast_grid::NodeId(u32::try_from(field_u64(line, "node")?).ok()?);
+    let start = line.find("\"decisions\":[")? + "\"decisions\":[".len();
+    let end = line[start..].find(']')? + start;
+    let body = &line[start..end];
+    let mut out = Vec::new();
+    if body.is_empty() {
+        return Some(out);
+    }
+    for entry in body.split("},{") {
+        let origin = u32::try_from(field_u64(entry, "o")?).ok()?;
+        let seq = u32::try_from(field_u64(entry, "s")?).ok()?;
+        let value = field_u64(entry, "v")? == 1;
+        let round = u32::try_from(field_u64(entry, "r")?).ok()?;
+        out.push((
+            InstanceId {
+                origin: rbcast_grid::NodeId(origin),
+                seq,
+            },
+            node,
+            value,
+            round,
+        ));
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// Runs one UDP node to completion. Exit code 0 on a finished run.
+#[must_use]
+pub fn execute_serve(spec: &ServeSpec) -> i32 {
+    let cluster = spec.cluster.to_cluster_spec();
+    let arena = cluster.arena();
+    if u64::from(spec.node) >= arena.len() as u64 {
+        eprintln!(
+            "error: node {} outside a {} node torus",
+            spec.node,
+            arena.len()
+        );
+        return 2;
+    }
+    let transport = match UdpTransport::bind(spec.node, spec.cluster.base_port) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: bind failed for node {}: {e}", spec.node);
+            return 2;
+        }
+    };
+    let transport: Box<dyn Datagram> = match spec.cluster.chaos() {
+        Some(mut cfg) => {
+            cfg.seed ^= u64::from(spec.node) << 17;
+            Box::new(rbcast_net::ChaosTransport::new(spec.node, transport, cfg))
+        }
+        None => Box::new(transport),
+    };
+    let journal: Box<dyn NetJournal> = match &spec.journal {
+        Some(path) => match FileJournal::open(path) {
+            Ok(j) => Box::new(j),
+            Err(e) => {
+                eprintln!("error: journal open failed: {e}");
+                return 2;
+            }
+        },
+        None => Box::new(MemJournal::new()),
+    };
+    let mut rt = match NodeRuntime::open(
+        Arc::clone(&arena),
+        rbcast_grid::NodeId(spec.node),
+        &cluster.instance_ids(),
+        &mut |inst| cluster.process_for(inst),
+        transport,
+        journal,
+        spec.cluster.runtime_config(),
+    ) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("error: journal replay failed: {e}");
+            return 2;
+        }
+    };
+    let mut finished_at: Option<u64> = None;
+    let mut ticks: u64 = 0;
+    while ticks < spec.cluster.max_ticks {
+        ticks += 1;
+        let finished = rt.pump();
+        if finished && finished_at.is_none() {
+            finished_at = Some(ticks);
+        }
+        // Keep serving retransmissions after finishing so slower peers
+        // are not stranded; leave once drained (plus a grace window for
+        // straggling duplicate traffic). The linger is bounded: a peer
+        // that exited before acking our last frames would otherwise
+        // keep `quiesced()` false forever — our own decisions are final
+        // at this point, so a hard cap is safe.
+        if let Some(done) = finished_at {
+            let idle = ticks.saturating_sub(done);
+            if (rt.quiesced() && idle > 2_000) || idle > 30_000 {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let report = rt.report();
+    let line = encode_report(&report);
+    match &spec.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{line}\n")) {
+                eprintln!("error: writing report: {e}");
+                return 2;
+            }
+        }
+        None => println!("{line}"),
+    }
+    i32::from(finished_at.is_none())
+}
+
+/// Runs a whole cluster (UDP child processes or in-process loopback),
+/// checks the digest against the sim oracle, prints the summary.
+#[must_use]
+pub fn execute_cluster(spec: &NetSpec, opts: &ClusterOpts) -> i32 {
+    let cluster_spec = spec.to_cluster_spec();
+    let oracle = cluster_spec.sim_oracle();
+    let n = cluster_spec.arena().len();
+    let watch = rbcast_core::obs::Stopwatch::start();
+    let outcome = if opts.udp {
+        run_udp_cluster(spec, opts, n)
+    } else {
+        run_loopback_cluster(spec, opts)
+    };
+    let elapsed_ms = watch.elapsed_ms();
+    let (decisions, degraded) = match outcome {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return 2;
+        }
+    };
+    let digest = rbcast_sim::driver::commit_digest(&decisions);
+    let pairs = (n as u64) * u64::from(spec.instances);
+    let rate = decisions.len() as f64 / pairs as f64;
+    let oracle_rate = oracle.decisions.len() as f64 / pairs as f64;
+    let secs = elapsed_ms / 1_000.0;
+    let bps = if secs > 0.0 {
+        f64::from(spec.instances) / secs
+    } else {
+        0.0
+    };
+    println!(
+        "cluster: {}x{} r={} {} | {} instances x {} rounds | transport={}{}",
+        spec.width,
+        spec.height,
+        spec.radius,
+        spec.protocol.name(),
+        spec.instances,
+        spec.rounds,
+        if opts.udp { "udp" } else { "loopback" },
+        match opts.kill {
+            Some(v) => format!(" | kill+restart node {v}"),
+            None => String::new(),
+        },
+    );
+    println!(
+        "commit rate: {rate:.4} (oracle {oracle_rate:.4}) | digest {digest:#018x} (oracle {:#018x})",
+        oracle.digest
+    );
+    println!(
+        "throughput: {bps:.1} broadcasts/sec ({} commits in {elapsed_ms:.0} ms){}",
+        decisions.len(),
+        if degraded { " | DEGRADED" } else { "" },
+    );
+    if digest == oracle.digest {
+        println!("parity: MATCH");
+        0
+    } else {
+        println!("parity: MISMATCH");
+        1
+    }
+}
+
+type ClusterDecisions = Vec<(InstanceId, rbcast_grid::NodeId, bool, Round)>;
+
+fn run_loopback_cluster(
+    spec: &NetSpec,
+    opts: &ClusterOpts,
+) -> Result<(ClusterDecisions, bool), String> {
+    let mut cluster =
+        LoopbackCluster::new(spec.to_cluster_spec(), spec.runtime_config(), spec.chaos());
+    if let Some(victim) = opts.kill {
+        for _ in 0..20 {
+            if cluster.step() {
+                break;
+            }
+        }
+        cluster.kill(victim);
+        for _ in 0..50 {
+            cluster.step();
+        }
+        cluster.restart(victim);
+    }
+    if !cluster.run(spec.max_ticks) {
+        return Err("loopback cluster did not finish within --max-ticks".into());
+    }
+    let report = cluster.report();
+    let degraded = report.nodes.iter().any(|nr| !nr.healthy());
+    Ok((report.decisions, degraded))
+}
+
+fn run_udp_cluster(
+    spec: &NetSpec,
+    opts: &ClusterOpts,
+    n: usize,
+) -> Result<(ClusterDecisions, bool), String> {
+    let dir = match &opts.dir {
+        Some(d) => d.clone(),
+        None => std::env::temp_dir().join(format!("rbcast-cluster-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let exe = std::env::current_exe().map_err(|e| format!("locating rbcast binary: {e}"))?;
+
+    let spawn = |node: u32| -> Result<std::process::Child, String> {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve")
+            .arg("--node")
+            .arg(node.to_string())
+            .arg("--journal")
+            .arg(dir.join(format!("node{node}.jsonl")))
+            .arg("--out")
+            .arg(dir.join(format!("node{node}.out.json")));
+        push_shared_flags(&mut cmd, spec);
+        cmd.stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit());
+        cmd.spawn()
+            .map_err(|e| format!("spawning node {node}: {e}"))
+    };
+
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(n);
+    for node in 0..n as u32 {
+        children.push(spawn(node)?);
+    }
+
+    if let Some(victim) = opts.kill {
+        let v = victim as usize;
+        if v >= children.len() {
+            return Err(format!("--kill {victim} outside the {n} node cluster"));
+        }
+        // Let the run get under way, then crash the victim and bring it
+        // back: the journal (and only the journal) survives.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        children[v]
+            .kill()
+            .map_err(|e| format!("killing node {victim}: {e}"))?;
+        let _ = children[v].wait();
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        children[v] = spawn(victim)?;
+    }
+
+    let mut failures = 0;
+    for (node, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("node {node} exited with {status}");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("waiting for node {node}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} node(s) failed"));
+    }
+
+    let mut decisions = Vec::new();
+    let mut degraded = false;
+    for node in 0..n as u32 {
+        let path = dir.join(format!("node{node}.out.json"));
+        let line = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let line = line.trim();
+        decisions.extend(
+            decode_report_decisions(line)
+                .ok_or_else(|| format!("unparseable report from node {node}: {line}"))?,
+        );
+        if line.contains("\"healthy\":false") {
+            degraded = true;
+        }
+    }
+    Ok((decisions, degraded))
+}
+
+fn push_shared_flags(cmd: &mut std::process::Command, spec: &NetSpec) {
+    cmd.arg("--width")
+        .arg(spec.width.to_string())
+        .arg("--height")
+        .arg(spec.height.to_string())
+        .arg("--r")
+        .arg(spec.radius.to_string())
+        .arg("--metric")
+        .arg(match spec.metric {
+            Metric::Linf => "linf",
+            Metric::L2 => "l2",
+        })
+        .arg("--protocol")
+        .arg(spec.protocol.name())
+        .arg("--t")
+        .arg(spec.t.to_string())
+        .arg("--instances")
+        .arg(spec.instances.to_string())
+        .arg("--rounds")
+        .arg(spec.rounds.to_string())
+        .arg("--base-port")
+        .arg(spec.base_port.to_string())
+        .arg("--patience")
+        .arg(spec.patience.to_string())
+        .arg("--max-ticks")
+        .arg(spec.max_ticks.to_string());
+    if let Some(seed) = spec.chaos_seed {
+        cmd.arg("--chaos-seed").arg(seed.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcast_net::link::LinkStats;
+    use rbcast_net::runtime::RuntimeStats;
+    use std::path::Path;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn serve_parses_full_flag_set() {
+        let spec = parse_serve(&argv(
+            "--node 4 --width 3 --height 3 --r 1 --protocol cpa --t 1 \
+             --instances 8 --rounds 20 --base-port 48000 --chaos-seed 7 \
+             --journal /tmp/j.jsonl --out /tmp/o.json --patience 9000 --max-ticks 100",
+        ))
+        .expect("parses");
+        assert_eq!(spec.node, 4);
+        assert_eq!(spec.cluster.instances, 8);
+        assert_eq!(spec.cluster.base_port, 48_000);
+        assert_eq!(spec.cluster.chaos_seed, Some(7));
+        assert_eq!(spec.journal.as_deref(), Some(Path::new("/tmp/j.jsonl")));
+        assert_eq!(spec.cluster.patience, 9_000);
+    }
+
+    #[test]
+    fn serve_requires_node() {
+        assert!(parse_serve(&argv("--width 3")).is_err());
+    }
+
+    #[test]
+    fn cluster_parses_transport_and_kill() {
+        let (spec, opts) =
+            parse_cluster(&argv("--transport loopback --kill 2 --instances 6")).expect("parses");
+        assert!(!opts.udp);
+        assert_eq!(opts.kill, Some(2));
+        assert_eq!(spec.instances, 6);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse_cluster(&argv("--bogus 1")).is_err());
+        assert!(parse_serve(&argv("--node 0 --bogus")).is_err());
+    }
+
+    #[test]
+    fn report_lines_round_trip() {
+        let report = NodeReport {
+            node: rbcast_grid::NodeId(3),
+            epoch: 2,
+            rounds_closed: 17,
+            decisions: vec![
+                (
+                    InstanceId {
+                        origin: rbcast_grid::NodeId(0),
+                        seq: 0,
+                    },
+                    true,
+                    4,
+                ),
+                (
+                    InstanceId {
+                        origin: rbcast_grid::NodeId(1),
+                        seq: 1,
+                    },
+                    false,
+                    5,
+                ),
+            ],
+            suspects: vec![7],
+            stats: RuntimeStats::default(),
+            link_totals: LinkStats::default(),
+        };
+        let line = encode_report(&report);
+        let parsed = decode_report_decisions(&line).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].1, rbcast_grid::NodeId(3));
+        assert!(parsed[0].2, "first decision carries value true");
+        assert_eq!(parsed[1].3, 5);
+        assert!(line.contains("\"healthy\":false"), "suspects mean degraded");
+    }
+
+    #[test]
+    fn loopback_cluster_execution_matches_oracle_end_to_end() {
+        let (mut spec, mut opts) = parse_cluster(&argv("--transport loopback")).expect("parses");
+        spec.instances = 2;
+        spec.rounds = 12;
+        opts.kill = None;
+        assert_eq!(execute_cluster(&spec, &opts), 0);
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`adversary`] — locally bounded fault placements and auditing;
 //! * [`protocols`] — flooding, CPA, and the indirect-report protocols,
 //!   plus Byzantine attacker behaviours;
-//! * [`core`] — thresholds, the experiment harness, percolation.
+//! * [`core`] — thresholds, the experiment harness, percolation;
+//! * [`net`] — the networked runtime: the same verified protocols over
+//!   real UDP datagrams with reliable links, chaos injection, and
+//!   journal-based crash recovery.
 //!
 //! # Quickstart
 //!
@@ -35,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod cli_net;
 
 pub use rbcast_adversary as adversary;
 pub use rbcast_construct as construct;
 pub use rbcast_core as core;
 pub use rbcast_flow as flow;
 pub use rbcast_grid as grid;
+pub use rbcast_net as net;
 pub use rbcast_protocols as protocols;
 pub use rbcast_sim as sim;
