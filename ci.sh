@@ -107,6 +107,49 @@ test "$(grep -c '"boot"' "$cluster_dir/node4.jsonl")" -eq 2 \
 rm -rf "$cluster_dir" "$cluster_out"
 echo "cluster chaos smoke passed"
 
+echo "==> attack search gate (pinned seed beats the hand-built library; replay is exact)"
+# The adversary search must earn its keep: at the pinned seed it has to
+# find a placement strictly worse (for the protocol) than every
+# hand-built strategy on at least one (r, t) cell — otherwise the
+# annealer has regressed to a no-op and `rbcast attack` is decoration.
+attack_out=target/attack_gate.out
+cargo run -q --release --bin rbcast -- attack --seed 10976964 --steps 60 --r 1 --gate \
+    > "$attack_out" 2>&1 \
+    || { cat "$attack_out"; echo "attack gate: search no longer beats the library"; exit 1; }
+grep -q "gate: PASS" "$attack_out" \
+    || { cat "$attack_out"; echo "attack gate: missing PASS marker"; exit 1; }
+# Thread-count invariance: every random draw is a pure function of
+# (seed, step), so 1 and 2 workers must produce byte-identical reports.
+cargo run -q --release --bin rbcast -- attack --seed 10976964 --steps 60 --r 1 --threads 1 \
+    > target/attack_t1.out 2>&1
+cargo run -q --release --bin rbcast -- attack --seed 10976964 --steps 60 --r 1 --threads 2 \
+    > target/attack_t2.out 2>&1
+cmp -s target/attack_t1.out target/attack_t2.out \
+    || { diff target/attack_t1.out target/attack_t2.out; \
+         echo "attack gate: thread count changed the search result"; exit 1; }
+# Checkpoint resume: truncate the journal mid-search, resume at a
+# different thread count, and the report must still be byte-identical
+# to the straight-through run.
+attack_journal=target/attack_gate.jsonl
+rm -f "$attack_journal"
+cargo run -q --release --bin rbcast -- attack --seed 10976964 --steps 60 --r 1 \
+    --checkpoint-every 8 --journal "$attack_journal" > target/attack_full.out 2>&1
+test -s "$attack_journal" || { echo "attack gate: no checkpoint journal written"; exit 1; }
+head -n 3 "$attack_journal" > "$attack_journal.cut"
+mv "$attack_journal.cut" "$attack_journal"
+cargo run -q --release --bin rbcast -- attack --seed 10976964 --steps 60 --r 1 \
+    --checkpoint-every 8 --resume "$attack_journal" --threads 2 \
+    > target/attack_resumed.out 2>&1
+cmp -s target/attack_full.out target/attack_resumed.out \
+    || { diff target/attack_full.out target/attack_resumed.out; \
+         echo "attack gate: resume diverged from the straight-through run"; exit 1; }
+rm -f "$attack_out" target/attack_t1.out target/attack_t2.out \
+    target/attack_full.out target/attack_resumed.out "$attack_journal"
+echo "attack search gate passed"
+
+echo "==> attack corpus smoke (worst-found placements verify by independent replay)"
+cargo run -q --release -p rbcast-bench --bin attack_corpus -- --smoke
+
 echo "==> sweep_engine smoke (multi-thread throughput >= 85% of serial)"
 cargo bench -q -p rbcast-bench --bench sweep_engine -- --smoke
 

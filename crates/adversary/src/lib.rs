@@ -33,7 +33,11 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod objective;
 mod placement;
+mod search;
 
 pub use audit::{local_fault_bound, local_fault_bound_in, respects_bound};
+pub use objective::AttackScore;
 pub use placement::Placement;
+pub use search::{anneal, greedy_cut_seed, initial_state, mix, AnnealState, SearchConfig};

@@ -1,0 +1,102 @@
+//! The adversary-search objective.
+//!
+//! A placement is scored by how much damage it does to one full
+//! protocol run. Scores are compared lexicographically — a placement
+//! that makes any honest node commit the *wrong* value beats every
+//! merely-slow placement, a placement that strands honest nodes
+//! undecided beats every placement under which all of them commit, and
+//! among placements with equal damage the one forcing the latest
+//! commit wins. The ordering is pure `Ord` (no floating-point weights),
+//! so search decisions are exactly reproducible across platforms.
+
+/// Damage score of one fault placement, higher = worse for the
+/// protocol (= better for the adversary).
+///
+/// Field order is load-bearing: the derived [`Ord`] compares
+/// lexicographically, so `wrong` dominates `undecided` dominates
+/// `last_round`.
+///
+/// # Example
+///
+/// ```
+/// use rbcast_adversary::AttackScore;
+///
+/// let slow = AttackScore { wrong: 0, undecided: 0, last_round: 90 };
+/// let stuck = AttackScore { wrong: 0, undecided: 3, last_round: 12 };
+/// let broken = AttackScore { wrong: 1, undecided: 0, last_round: 5 };
+/// assert!(broken > stuck && stuck > slow);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AttackScore {
+    /// Honest nodes that committed the wrong value (a safety break).
+    pub wrong: u64,
+    /// Honest nodes that never decided (a liveness break).
+    pub undecided: u64,
+    /// Latest round at which an honest node decided — time-to-commit.
+    /// `0` when nothing decided (the `undecided` term already dominates
+    /// in that case).
+    pub last_round: u32,
+}
+
+impl AttackScore {
+    /// True iff the placement broke the protocol outright (wrong commit
+    /// or stranded node) rather than merely slowing it down.
+    #[must_use]
+    pub fn is_break(&self) -> bool {
+        self.wrong > 0 || self.undecided > 0
+    }
+}
+
+impl std::fmt::Display for AttackScore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wrong={} undecided={} last-round={}",
+            self.wrong, self.undecided, self.last_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic_by_damage() {
+        let fast = AttackScore {
+            wrong: 0,
+            undecided: 0,
+            last_round: 8,
+        };
+        let slow = AttackScore {
+            wrong: 0,
+            undecided: 0,
+            last_round: 90,
+        };
+        let stuck = AttackScore {
+            wrong: 0,
+            undecided: 1,
+            last_round: 200,
+        };
+        let broken = AttackScore {
+            wrong: 1,
+            undecided: 0,
+            last_round: 1,
+        };
+        assert!(slow > fast);
+        assert!(stuck > slow);
+        assert!(broken > stuck);
+        assert!(!slow.is_break());
+        assert!(stuck.is_break() && broken.is_break());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = AttackScore {
+            wrong: 1,
+            undecided: 2,
+            last_round: 3,
+        };
+        assert_eq!(s.to_string(), "wrong=1 undecided=2 last-round=3");
+    }
+}

@@ -61,6 +61,16 @@ pub enum Placement {
         /// RNG seed.
         seed: u64,
     },
+    /// An explicit fault set, typically the output of the adversary
+    /// search (`rbcast attack`). Replaying a found placement through the
+    /// normal experiment pipeline makes search results first-class
+    /// strategies: sweeps, benches, and golden tests can all reference
+    /// them. Node ids outside the torus are dropped at placement time;
+    /// the usual experiment-side local-bound audit still applies.
+    Explicit {
+        /// The fault set, by node id on the target torus.
+        faults: Vec<NodeId>,
+    },
 }
 
 impl Placement {
@@ -85,6 +95,11 @@ impl Placement {
                     .filter(|_| rng.gen_bool(p.clamp(0.0, 1.0)))
                     .collect()
             }
+            Placement::Explicit { faults } => faults
+                .iter()
+                .copied()
+                .filter(|id| id.index() < torus.len())
+                .collect(),
         };
         faults.retain(|&id| id != source);
         faults.sort_unstable();
@@ -102,6 +117,7 @@ impl Placement {
             Placement::FrontierCluster { .. } => "frontier-cluster",
             Placement::RandomLocal { .. } => "random-local",
             Placement::Bernoulli { .. } => "bernoulli",
+            Placement::Explicit { .. } => "attack",
         }
     }
 }
@@ -378,5 +394,20 @@ mod tests {
             Placement::FrontierCluster { t: 1 }.name(),
             "frontier-cluster"
         );
+        assert_eq!(Placement::Explicit { faults: Vec::new() }.name(), "attack");
+    }
+
+    #[test]
+    fn explicit_drops_source_out_of_range_and_duplicates() {
+        let torus = Torus::new(10, 10);
+        let source = torus.id(Coord::ORIGIN);
+        let a = torus.id(Coord::new(3, 4));
+        let b = torus.id(Coord::new(7, 1));
+        let out_of_range = NodeId(torus.len() as u32 + 5);
+        let f = Placement::Explicit {
+            faults: vec![b, a, source, b, out_of_range],
+        }
+        .place(&torus, 2, Metric::Linf);
+        assert_eq!(f, vec![a.min(b), a.max(b)]);
     }
 }

@@ -92,6 +92,10 @@ pub struct Outcome {
     pub stats: RunStats,
     /// Transmission counts per message kind (SOURCE / COMMITTED / HEARD).
     pub message_kinds: Vec<(&'static str, u64)>,
+    /// The latest round at which any honest node decided (`None` when no
+    /// honest node decided at all) — the run's time-to-commit, and the
+    /// tiebreaking term of the adversary-search objective.
+    pub last_decision_round: Option<rbcast_sim::Round>,
 }
 
 impl Outcome {
@@ -544,6 +548,7 @@ impl Experiment {
             audited_bound,
             stats,
             message_kinds,
+            last_decision_round: net.latest_decision_round(&honest_ids),
         };
         (outcome, net.trace_hash())
     }

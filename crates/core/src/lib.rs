@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod arena_cache;
+pub mod attack;
 pub mod complexity;
 pub mod config;
 pub mod engine;

@@ -74,18 +74,26 @@ pub fn counter(name: &'static str) -> Counter {
 
 /// A point-in-time reading of every registered counter, sorted by name,
 /// plus the bridged counters of crates below the observability layer
-/// (currently `flow/augmentations` from [`rbcast_flow::stats`]).
+/// (currently `flow/augmentations` and `flow/min-cuts` from
+/// [`rbcast_flow::stats`]).
 #[must_use]
 pub fn metrics_snapshot() -> Vec<(String, u64)> {
     let mut out: Vec<(String, u64)> = lock_ignoring_poison(&COUNTERS)
         .iter()
         .map(|(name, v)| ((*name).to_string(), v.load(Ordering::Relaxed)))
         .collect();
-    let augmentations = rbcast_flow::stats::augmentations_total();
-    let key = "flow/augmentations".to_string();
-    match out.binary_search_by(|(n, _)| n.as_str().cmp(&key)) {
-        Ok(i) => out[i].1 += augmentations,
-        Err(i) => out.insert(i, (key, augmentations)),
+    let bridged = [
+        (
+            "flow/augmentations",
+            rbcast_flow::stats::augmentations_total(),
+        ),
+        ("flow/min-cuts", rbcast_flow::stats::min_cuts_total()),
+    ];
+    for (key, value) in bridged {
+        match out.binary_search_by(|(n, _)| n.as_str().cmp(key)) {
+            Ok(i) => out[i].1 += value,
+            Err(i) => out.insert(i, (key.to_string(), value)),
+        }
     }
     out
 }

@@ -734,7 +734,7 @@ impl Journal {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -752,15 +752,17 @@ fn escape_json(s: &str) -> String {
 
 /// The value shapes the journal format uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum JsonValue {
+pub(crate) enum JsonValue {
+    /// An unsigned integer.
     Number(u64),
+    /// A string literal.
     String(String),
 }
 
 /// Parses one flat JSON object (string/unsigned-number values only — the
 /// exact shape the journal writes; this is not a general JSON parser,
 /// and stays std-only because the container has no registry access).
-fn parse_flat_json(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+pub(crate) fn parse_flat_json(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     let body = line
         .trim()
         .strip_prefix('{')

@@ -217,6 +217,7 @@ pub fn try_min_vertex_cut(
     t: usize,
 ) -> Result<Option<Vec<usize>>, DisjointError> {
     validate(adj, s, t)?;
+    crate::stats::count_min_cut();
     if adj[s].contains(&t) {
         return Ok(None);
     }

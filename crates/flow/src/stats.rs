@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static AUGMENTATIONS: AtomicU64 = AtomicU64::new(0);
+static MIN_CUTS: AtomicU64 = AtomicU64::new(0);
 
 /// Records one augmenting path routed by Dinic's algorithm.
 pub(crate) fn count_augmentation() {
@@ -23,6 +24,23 @@ pub(crate) fn count_augmentation() {
 pub fn augmentations_total() -> u64 {
     // audit:allow(atomic-ordering): monotone diagnostic counter, read only at snapshot
     AUGMENTATIONS.load(Ordering::Relaxed)
+}
+
+/// Records one minimum-vertex-cut extraction.
+pub(crate) fn count_min_cut() {
+    // audit:allow(atomic-ordering): monotone diagnostic counter, read only at snapshot
+    MIN_CUTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total min-vertex-cut queries answered by
+/// [`crate::try_min_vertex_cut`] since process start, across all
+/// threads. Monotonic. The adversary search uses cut extraction as its
+/// seeding primitive, so this counter tracks how hard a search leaned on
+/// the flow machinery.
+#[must_use]
+pub fn min_cuts_total() -> u64 {
+    // audit:allow(atomic-ordering): monotone diagnostic counter, read only at snapshot
+    MIN_CUTS.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -39,5 +57,17 @@ mod tests {
         assert_eq!(net.max_flow(0, 1), 2);
         // Other tests run concurrently, so only a lower bound is stable.
         assert!(augmentations_total() >= before + 2);
+    }
+
+    #[test]
+    fn min_cut_queries_advance_counter() {
+        let before = min_cuts_total();
+        // path 0-1-2: the cut is {1}
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        let cut = crate::try_min_vertex_cut(&adj, 0, 2)
+            .expect("valid terminals")
+            .expect("non-adjacent terminals");
+        assert_eq!(cut, vec![1]);
+        assert!(min_cuts_total() > before);
     }
 }

@@ -15,7 +15,7 @@
 //! how the recovery tests exercise the crash path deterministically.
 
 use crate::chaos::{ChaosConfig, ChaosTransport};
-use crate::journal::SharedJournal;
+use crate::journal::{JournalError, SharedJournal};
 use crate::runtime::{NodeReport, NodeRuntime, RuntimeConfig};
 use crate::transport::{Datagram, LoopbackHub};
 use rbcast_grid::{Metric, NeighborTable, NodeId, Torus};
@@ -183,6 +183,10 @@ pub struct ClusterReport {
     pub commit_rate: f64,
     /// Ticks the run loop executed.
     pub ticks: u64,
+    /// Nodes that could not (re)boot because their journal was corrupt,
+    /// with the replay error. A quarantined node contributes no
+    /// decisions; the rest of the cluster keeps running.
+    pub quarantined: Vec<(u32, String)>,
 }
 
 /// An in-process cluster: every node is a [`NodeRuntime`] pumped
@@ -198,6 +202,8 @@ pub struct LoopbackCluster {
     journals: Vec<SharedJournal>,
     /// Nodes frozen (not pumped) until the given tick — stall chaos.
     stalled_until: Vec<u64>,
+    /// Why a node refused to boot (corrupt journal), by node index.
+    quarantined: Vec<Option<String>>,
     ticks: u64,
 }
 
@@ -228,15 +234,18 @@ impl LoopbackCluster {
             nodes: (0..n).map(|_| None).collect(),
             journals: (0..n).map(|_| SharedJournal::new()).collect(),
             stalled_until: vec![0; n],
+            quarantined: vec![None; n],
             ticks: 0,
         };
         for i in 0..n {
-            cluster.boot(i as u32);
+            // Fresh journals cannot be corrupt, but the same boot path
+            // serves restarts, where they can.
+            let _booted = cluster.boot(i as u32);
         }
         cluster
     }
 
-    fn boot(&mut self, node: u32) {
+    fn boot(&mut self, node: u32) -> Result<(), JournalError> {
         let port = self.hub.attach(node);
         let transport: Box<dyn Datagram> = match self.chaos {
             Some(base) => {
@@ -247,7 +256,7 @@ impl LoopbackCluster {
             None => Box::new(port),
         };
         let spec = self.spec;
-        let rt = NodeRuntime::open(
+        match NodeRuntime::open(
             Arc::clone(&self.arena),
             NodeId(node),
             &spec.instance_ids(),
@@ -255,9 +264,21 @@ impl LoopbackCluster {
             transport,
             Box::new(self.journals[node as usize].clone()),
             self.cfg,
-        )
-        .expect("loopback journals never corrupt");
-        self.nodes[node as usize] = Some(rt);
+        ) {
+            Ok(rt) => {
+                self.nodes[node as usize] = Some(rt);
+                self.quarantined[node as usize] = None;
+                Ok(())
+            }
+            Err(e) => {
+                // A node that cannot replay its journal stays down —
+                // rebooting with amnesia could un-ack delivered frames.
+                // The cluster keeps running without it; the report
+                // carries the reason.
+                self.quarantined[node as usize] = Some(e.to_string());
+                Err(e)
+            }
+        }
     }
 
     /// Kills a node: its runtime (including unacked link buffers and
@@ -268,13 +289,23 @@ impl LoopbackCluster {
     }
 
     /// Restarts a killed node from its journal (bumped epoch, replayed
-    /// state, re-sent outboxes).
-    pub fn restart(&mut self, node: u32) {
+    /// state, re-sent outboxes). Returns false — leaving the node
+    /// quarantined, with the reason in [`LoopbackCluster::report`] —
+    /// when the journal no longer replays.
+    pub fn restart(&mut self, node: u32) -> bool {
         assert!(
             self.nodes[node as usize].is_none(),
             "restart of a live node"
         );
-        self.boot(node);
+        self.boot(node).is_ok()
+    }
+
+    /// Corrupts a node's journal by appending a raw garbage line — the
+    /// recovery tests' stand-in for a torn write on disk. Takes effect
+    /// at the next [`LoopbackCluster::restart`] (a live runtime never
+    /// re-reads its own journal).
+    pub fn corrupt_journal(&mut self, node: u32, line: &str) {
+        self.journals[node as usize].inject_raw(line);
     }
 
     /// Freezes a node for `ticks` cluster steps: it receives nothing
@@ -334,7 +365,13 @@ impl LoopbackCluster {
             .flatten()
             .map(NodeRuntime::report)
             .collect();
-        summarize(&self.spec, nodes, self.ticks)
+        let quarantined = self
+            .quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|why| (i as u32, why.clone())))
+            .collect();
+        summarize(&self.spec, nodes, self.ticks, quarantined)
     }
 }
 
@@ -342,7 +379,12 @@ impl LoopbackCluster {
 /// loopback cluster and the UDP cluster CLI, which collects the same
 /// per-node reports from child processes).
 #[must_use]
-pub fn summarize(spec: &ClusterSpec, nodes: Vec<NodeReport>, ticks: u64) -> ClusterReport {
+pub fn summarize(
+    spec: &ClusterSpec,
+    nodes: Vec<NodeReport>,
+    ticks: u64,
+    quarantined: Vec<(u32, String)>,
+) -> ClusterReport {
     let mut decisions = Vec::new();
     for report in &nodes {
         for &(inst, value, round) in &report.decisions {
@@ -362,6 +404,7 @@ pub fn summarize(spec: &ClusterSpec, nodes: Vec<NodeReport>, ticks: u64) -> Clus
         digest,
         commit_rate,
         ticks,
+        quarantined,
     }
 }
 
@@ -394,6 +437,58 @@ mod tests {
         assert_eq!(report.digest, oracle.digest, "commit digests diverge");
         assert!((report.commit_rate - 1.0).abs() < 1e-12);
         assert!(report.nodes.iter().all(NodeReport::healthy));
+    }
+
+    #[test]
+    fn corrupt_journal_quarantines_the_node_and_surfaces_in_the_report() {
+        let spec = spec();
+        // Finite patience: survivors must suspect the quarantined node
+        // and finish without it, as in the unrecovered-crash test.
+        let cfg = RuntimeConfig {
+            patience: 400,
+            ..RuntimeConfig::default()
+        };
+        let mut cluster = LoopbackCluster::new(spec, cfg, None);
+        for _ in 0..20 {
+            cluster.step();
+        }
+        // Crash node 4 and tear its journal: the restart must refuse to
+        // boot (no amnesia reboots) instead of panicking, and the rest
+        // of the cluster must still finish.
+        cluster.kill(4);
+        cluster.corrupt_journal(
+            4,
+            "{\"frame\":{\"peer\":1,\"pe\":1,\"seq\":0,\"body\":\"zz\"}}",
+        );
+        assert!(!cluster.restart(4), "corrupt journal must refuse to boot");
+        assert!(!cluster.is_live(4));
+        assert!(cluster.run(100_000), "healthy nodes must still finish");
+
+        let report = cluster.report();
+        assert_eq!(report.quarantined.len(), 1);
+        let (node, why) = &report.quarantined[0];
+        assert_eq!(*node, 4);
+        assert!(why.contains("corrupt journal"), "reason surfaced: {why}");
+        assert_eq!(report.nodes.len(), 8, "the other eight nodes report");
+        assert!(report.commit_rate < 1.0);
+
+        // A second restart after the corruption still refuses, and the
+        // quarantine reason stays stable.
+        assert!(!cluster.restart(4));
+        assert_eq!(cluster.report().quarantined, report.quarantined);
+    }
+
+    #[test]
+    fn healthy_restart_clears_nothing_and_reports_no_quarantine() {
+        let spec = spec();
+        let mut cluster = LoopbackCluster::new(spec, RuntimeConfig::default(), None);
+        for _ in 0..20 {
+            cluster.step();
+        }
+        cluster.kill(4);
+        assert!(cluster.restart(4), "intact journal must boot");
+        assert!(cluster.run(100_000));
+        assert!(cluster.report().quarantined.is_empty());
     }
 
     #[test]

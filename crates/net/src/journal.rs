@@ -225,6 +225,14 @@ impl MemJournal {
     pub fn is_empty(&self) -> bool {
         self.lines.is_empty()
     }
+
+    /// Appends a raw line without encoding it — the fault-injection
+    /// hook recovery tests use to model on-disk corruption (a torn
+    /// write, bit rot) that [`NetJournal::records`] must surface as a
+    /// [`JournalError`] instead of a panic.
+    pub fn inject_raw(&mut self, line: &str) {
+        self.lines.push(line.to_string());
+    }
 }
 
 impl NetJournal for MemJournal {
@@ -268,6 +276,12 @@ impl SharedJournal {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.0.borrow().is_empty()
+    }
+
+    /// Injects a raw (possibly corrupt) line; see
+    /// [`MemJournal::inject_raw`].
+    pub fn inject_raw(&self, line: &str) {
+        self.0.borrow_mut().inject_raw(line);
     }
 }
 

@@ -182,6 +182,16 @@ fn put_u64(out: &mut Vec<u8>, x: u64) {
     out.extend_from_slice(&x.to_le_bytes());
 }
 
+// The relay count of a Heard chain rides a single wire byte. The chain
+// capacity is a protocol-layer constant; if it ever outgrew a u8, the
+// `relays.len() as u8` below would silently truncate the count and the
+// decoder would mis-frame every following byte. Make that a build
+// error instead.
+const _: () = assert!(
+    CHAIN_CAP <= u8::MAX as usize,
+    "relay chains must fit the one-byte wire count"
+);
+
 /// Appends the encoding of `msg` to `out`.
 fn encode_msg(out: &mut Vec<u8>, msg: &Msg) {
     match msg {
@@ -198,6 +208,8 @@ fn encode_msg(out: &mut Vec<u8>, msg: &Msg) {
             out.push(u8::from(chain.value()));
             put_u32(out, chain.committer().0);
             let relays = chain.relays();
+            // Lossless: relays.len() ≤ CHAIN_CAP ≤ u8::MAX (const
+            // assert above).
             out.push(relays.len() as u8);
             for r in relays {
                 put_u32(out, r.0);

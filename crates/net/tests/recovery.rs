@@ -41,7 +41,7 @@ fn kill_restart_run(
     for _ in 0..outage {
         cluster.step();
     }
-    cluster.restart(victim);
+    assert!(cluster.restart(victim), "intact journal must boot");
     assert!(cluster.run(400_000), "cluster wedged after restart");
     let report = cluster.report();
     assert!(
@@ -103,7 +103,7 @@ fn double_restart_of_the_same_node_recovers() {
         for _ in 0..15 {
             cluster.step();
         }
-        cluster.restart(2);
+        assert!(cluster.restart(2), "intact journal must boot");
     }
     assert!(cluster.run(400_000));
     let report = cluster.report();

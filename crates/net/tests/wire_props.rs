@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use rbcast_grid::NodeId;
-use rbcast_net::wire::{decode_frame, encode_frame};
+use rbcast_net::wire::{decode_frame, encode_frame, WireError};
 use rbcast_net::wire::{decode_packet, encode_packet, Packet, PacketKind, SeqFrame, MAX_DATAGRAM};
 use rbcast_protocols::{ChainRepr, Msg, CHAIN_CAP};
 use rbcast_sim::driver::InstanceId;
@@ -120,5 +120,51 @@ proptest! {
             encode_frame(&mut out, &frame);
             prop_assert_eq!(out, bytes);
         }
+    }
+
+    /// Regression for the relay-count wire byte: a chain at exactly
+    /// CHAIN_CAP relays — the count the one-byte field must represent
+    /// losslessly (enforced at compile time in the codec) — round-trips
+    /// through both the packet and the frame codec.
+    #[test]
+    fn max_relay_chain_round_trips(
+        src in 0u32..u32::MAX, a in 0u64..u64::MAX, b in 0u32..u32::MAX, value in 0u8..2,
+    ) {
+        let relay_ids: Vec<NodeId> = (0..CHAIN_CAP).map(|i| NodeId(b.wrapping_add(i as u32))).collect();
+        let chain = ChainRepr::try_new(NodeId(b), value == 1, &relay_ids)
+            .expect("CHAIN_CAP relays fit");
+        let frame = SeqFrame::Data {
+            round: b % 10_000,
+            instance: InstanceId { origin: NodeId(b), seq: src },
+            msg: Msg::Heard(chain),
+        };
+        let pkt = Packet { src, epoch: 1, kind: PacketKind::Seq { seq: a, frame } };
+        let bytes = encode_packet(&pkt);
+        prop_assert_eq!(decode_packet(&bytes), Ok(pkt));
+    }
+
+    /// Regression for the decode side of the same byte: a hand-built
+    /// frame body claiming more than CHAIN_CAP relays is rejected as
+    /// ChainTooLong — never accepted, never mis-framed into a shorter
+    /// chain by count truncation.
+    #[test]
+    fn oversized_relay_count_is_rejected(
+        n in (CHAIN_CAP as u8 + 1)..=u8::MAX, round in 0u32..10_000,
+    ) {
+        // SeqFrame::Data { round, instance, Msg::Heard { .. } }, relay
+        // count forged to n.
+        let mut body = Vec::new();
+        body.push(0); // Data
+        body.extend_from_slice(&round.to_le_bytes());
+        body.extend_from_slice(&7u32.to_le_bytes()); // origin
+        body.extend_from_slice(&3u32.to_le_bytes()); // seq
+        body.push(2); // Heard
+        body.push(1); // value = true
+        body.extend_from_slice(&9u32.to_le_bytes()); // committer
+        body.push(n);
+        for i in 0..u32::from(n) {
+            body.extend_from_slice(&i.to_le_bytes());
+        }
+        prop_assert_eq!(decode_frame(&body), Err(WireError::ChainTooLong(n)));
     }
 }

@@ -720,6 +720,70 @@ mod tests {
     }
 
     #[test]
+    fn out_of_frame_committer_spills_and_matches_unbound_semantics() {
+        // A forged chain can name a committer far beyond the 3r frame a
+        // bound store indexes densely (no *valid* chain can — 2r from
+        // the last relay, which is within r of us — but a liar is not
+        // bound by validity). Such a committer must take the ordered
+        // spill path, and the spill path must be observably identical
+        // to the unbound store's: same insertion verdicts, same chain
+        // counts, same determinations, same commit decision.
+        let torus = Torus::new(24, 24);
+        let table = table(&torus);
+        let me = Coord::new(10, 10);
+        let geo = Geometry::new(&table, me);
+        let t = 1;
+
+        let near = id(&torus, 12, 12); // inside the frame: dense slots
+        let far = id(&torus, 22, 22); // wrap displacement (±12, ±12) > 3r = 6
+        let frame = table.local_frame(me, 6);
+        assert!(frame.slot_of_id(near).is_some(), "near committer indexed");
+        assert!(frame.slot_of_id(far).is_none(), "forged committer spills");
+
+        // Identical evidence stream for both stores: an honestly
+        // determined in-frame committer, then forged chains about the
+        // out-of-frame one (including an exact duplicate).
+        let feed = |ev: &mut EvidenceStore| {
+            vec![
+                ev.record_chain(near, true, &[id(&torus, 11, 12)]),
+                ev.record_chain(near, true, &[id(&torus, 12, 11)]),
+                ev.record_chain(far, false, &[id(&torus, 11, 11)]),
+                ev.record_chain(far, false, &[id(&torus, 11, 11)]),
+                ev.record_chain(far, false, &[id(&torus, 13, 11)]),
+            ]
+        };
+        let mut bound = EvidenceStore::new(t, CommitRule::TwoLevel);
+        bound.bind(table.local_frame(me, 6));
+        let mut unbound = EvidenceStore::new(t, CommitRule::TwoLevel);
+        let verdicts = feed(&mut bound);
+        assert_eq!(verdicts, feed(&mut unbound), "insertion verdicts agree");
+        assert_eq!(verdicts, [true, true, true, false, true], "dup dominated");
+        assert_eq!(bound.chain_count(), unbound.chain_count());
+
+        // The forged chains are stored but inert: the far committer
+        // shares no ball with its claimed relays, so only the honest
+        // in-frame committer is determined — identically in both
+        // stores — and neither store commits (one determination < t+1).
+        assert_eq!(bound.evaluate(&geo), unbound.evaluate(&geo));
+        assert_eq!(bound.determined(), unbound.determined());
+        assert_eq!(bound.determined().get(&near), Some(&true));
+        assert!(!bound.determined().contains_key(&far));
+
+        // The spill map participates in the evidence digest: replaying
+        // the stream into a fresh bound store reproduces it exactly,
+        // and dropping the forged chains changes it.
+        let mut replay = EvidenceStore::new(t, CommitRule::TwoLevel);
+        replay.bind(table.local_frame(me, 6));
+        let _ = feed(&mut replay);
+        assert_eq!(bound.digest(), replay.digest());
+        let mut clean = EvidenceStore::new(t, CommitRule::TwoLevel);
+        clean.bind(table.local_frame(me, 6));
+        clean.record_chain(near, true, &[id(&torus, 11, 12)]);
+        clean.record_chain(near, true, &[id(&torus, 12, 11)]);
+        assert_ne!(clean.digest(), bound.digest(), "spill chains are folded");
+    }
+
+    #[test]
     fn first_determination_wins_per_committer() {
         let torus = Torus::new(24, 24);
         let table = table(&torus);

@@ -787,6 +787,16 @@ impl<M> Network<M> {
         self.states[id.index()].decision
     }
 
+    /// The latest round at which any node in `ids` decided, or `None`
+    /// when none of them has. This is the network's time-to-commit for
+    /// the given cohort — the quantity the adversary search maximizes.
+    #[must_use]
+    pub fn latest_decision_round(&self, ids: &[NodeId]) -> Option<Round> {
+        ids.iter()
+            .filter_map(|&id| self.states[id.index()].decision.map(|(_, round)| round))
+            .max()
+    }
+
     /// Immutable access to a node's process (e.g. to inspect protocol
     /// state after a run).
     #[must_use]

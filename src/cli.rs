@@ -13,7 +13,7 @@
 use crate::adversary::{local_fault_bound, Placement};
 use crate::core::supervisor::{self, Journal, JournalHeader, SupervisorConfig, TaskReport};
 use crate::core::{engine, obs, thresholds, EngineKind, Experiment, FaultKind, ProtocolKind};
-use crate::grid::{Metric, Torus};
+use crate::grid::{Metric, NodeId, Torus};
 use crate::sim::ChannelConfig;
 use std::path::PathBuf;
 
@@ -47,6 +47,8 @@ pub enum Command {
         /// Metric.
         metric: Metric,
     },
+    /// Search for worst-case fault placements (seeded annealing).
+    Attack(crate::cli_attack::AttackSpec),
     /// Run one networked node over UDP (a cluster child process).
     Serve(crate::cli_net::ServeSpec),
     /// Run a whole networked cluster and check sim parity.
@@ -129,6 +131,10 @@ USAGE:
                [--retries N] [--round-budget N] [--trace-dir DIR]
                [--timings] [run options]
   rbcast audit --placement PL [--r N] [--t N] [--seed N] [--metric M]
+  rbcast attack [--seed N] [--steps N] [--threads N] [--r N]...
+               [--protocol P] [--behavior B] [--metric M] [--gate]
+               [--journal FILE | --resume FILE] [--checkpoint-every N]
+               [--out DIR] [--timings]
   rbcast serve --node I [net options] [--journal FILE] [--out FILE]
   rbcast cluster [net options] [--transport udp|loopback] [--kill I]
                [--dir DIR]
@@ -136,7 +142,8 @@ USAGE:
 
   P  = flood | persistent-flood | cpa | indirect-full | indirect-simplified
   M  = linf | l2
-  PL = cluster | random | double-strip | checker-strips | column-strips | bernoulli
+  PL = cluster | random | double-strip | checker-strips | column-strips
+       | bernoulli | file:PATH
   B  = crash | silent | liar | forger | spoofer | mixed
 
   Sweeps fan out over worker threads through the deterministic engine:
@@ -176,6 +183,19 @@ USAGE:
   whose fingerprint does not match the requested sweep (exit 2), since
   its task indices would alias unrelated experiments. Headerless
   journals from older versions resume without the check.
+
+  `attack` searches for worst-case fault placements: for each radius it
+  sweeps the local bound t across the protocol's proven threshold (half,
+  at, and just past it), seeds each cell from a minimum vertex cut
+  between the source and the far side of the torus, and refines it by
+  seeded annealing — every accept decision derives from (seed, step), so
+  results are byte-identical at any --threads and a --resume replays the
+  interrupted tail exactly. Each cell reports the worst placement found
+  against the best admissible hand-built strategy; --gate exits nonzero
+  unless the search beats that library somewhere, and --out DIR writes
+  each placement as a file `run --placement file:PATH` can replay.
+  `--placement file:PATH` (run/sweep/audit) loads such a file: one node
+  id per line.
 
   The networked runtime runs the same verified protocols over real
   datagrams. Net options (shared by serve and cluster): --width N
@@ -232,6 +252,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metric: spec.metric,
             })
         }
+        "attack" => Ok(Command::Attack(crate::cli_attack::parse_attack(rest)?)),
         "serve" => Ok(Command::Serve(crate::cli_net::parse_serve(rest)?)),
         "cluster" => {
             let (spec, opts) = crate::cli_net::parse_cluster(rest)?;
@@ -347,7 +368,10 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
         Some("checker-strips") => Some(Placement::CheckerStrips),
         Some("column-strips") => Some(Placement::ColumnStrips),
         Some("bernoulli") => Some(Placement::Bernoulli { p: prob, seed }),
-        Some(other) => return Err(format!("unknown placement: {other}")),
+        Some(other) => match other.strip_prefix("file:") {
+            Some(path) => Some(load_placement_file(std::path::Path::new(path))?),
+            None => return Err(format!("unknown placement: {other}")),
+        },
     };
 
     let mut channel = if loss > 0.0 {
@@ -378,6 +402,24 @@ fn parse_run(args: &[String]) -> Result<(RunSpec, Option<usize>, SweepOpts), Str
         t_max,
         opts,
     ))
+}
+
+/// Loads an explicit fault set (`--placement file:PATH`): node ids
+/// separated by newlines or commas, as written by `rbcast attack --out`.
+fn load_placement_file(path: &std::path::Path) -> Result<Placement, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read placement file {}: {e}", path.display()))?;
+    let mut faults = Vec::new();
+    for token in text.split_whitespace().flat_map(|w| w.split(',')) {
+        if token.is_empty() {
+            continue;
+        }
+        let id: u32 = token
+            .parse()
+            .map_err(|_| format!("invalid node id in {}: {token}", path.display()))?;
+        faults.push(NodeId(id));
+    }
+    Ok(Placement::Explicit { faults })
 }
 
 fn default_t(protocol: ProtocolKind, r: u32) -> usize {
@@ -454,6 +496,7 @@ pub fn execute(cmd: &Command) -> i32 {
             );
             0
         }
+        Command::Attack(spec) => crate::cli_attack::execute_attack(spec),
         Command::Serve(spec) => crate::cli_net::execute_serve(spec),
         Command::Cluster { spec, opts } => crate::cli_net::execute_cluster(spec, opts),
     }
@@ -754,6 +797,39 @@ mod tests {
             panic!("not an audit");
         };
         assert_eq!(placement, Placement::DoubleStrip);
+    }
+
+    #[test]
+    fn placement_file_loads_explicit_faults() {
+        let path = std::env::temp_dir().join("rbcast_cli_placement.txt");
+        std::fs::write(&path, "3\n7\n11,12\n").unwrap();
+        let Command::Run(spec) =
+            parse(&argv(&format!("run --placement file:{}", path.display()))).unwrap()
+        else {
+            panic!("not a run");
+        };
+        assert_eq!(
+            spec.placement,
+            Some(Placement::Explicit {
+                faults: vec![NodeId(3), NodeId(7), NodeId(11), NodeId(12)],
+            })
+        );
+        std::fs::write(&path, "3\nseven\n").unwrap();
+        assert!(parse(&argv(&format!("run --placement file:{}", path.display()))).is_err());
+        let _ = std::fs::remove_file(&path);
+        assert!(parse(&argv("run --placement file:/no/such/file")).is_err());
+    }
+
+    #[test]
+    fn attack_subcommand_parses() {
+        let Command::Attack(spec) = parse(&argv("attack --seed 7 --steps 10 --gate")).unwrap()
+        else {
+            panic!("not an attack");
+        };
+        assert_eq!(spec.config.seed, 7);
+        assert_eq!(spec.config.steps, 10);
+        assert!(spec.gate);
+        assert!(parse(&argv("attack --bogus")).is_err());
     }
 
     #[test]

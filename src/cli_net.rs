@@ -501,13 +501,18 @@ fn run_loopback_cluster(
         for _ in 0..50 {
             cluster.step();
         }
-        cluster.restart(victim);
+        if !cluster.restart(victim) {
+            eprintln!("node {victim}: journal replay failed; node stays quarantined");
+        }
     }
     if !cluster.run(spec.max_ticks) {
         return Err("loopback cluster did not finish within --max-ticks".into());
     }
     let report = cluster.report();
-    let degraded = report.nodes.iter().any(|nr| !nr.healthy());
+    for (node, why) in &report.quarantined {
+        eprintln!("quarantined node {node}: {why}");
+    }
+    let degraded = report.nodes.iter().any(|nr| !nr.healthy()) || !report.quarantined.is_empty();
     Ok((report.decisions, degraded))
 }
 

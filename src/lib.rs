@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod cli_attack;
 pub mod cli_net;
 
 pub use rbcast_adversary as adversary;
